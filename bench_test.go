@@ -1,0 +1,219 @@
+// Benchmarks: one per reproduced table/figure (printing the regenerated
+// rows/series on first run), plus microbenchmarks of the core components.
+//
+// The figure benches share one quick-configuration session; run
+//
+//	go test -bench=. -benchmem
+//
+// for the full set, or `go run ./cmd/layoutlab -full -run all` for the
+// paper-scale tables.
+package codelayout_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"codelayout"
+	"codelayout/internal/cache"
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/expt"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/progtest"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/trace"
+)
+
+var (
+	sessOnce sync.Once
+	sess     *expt.Session
+	sessErr  error
+	printed  sync.Map
+)
+
+func session(b *testing.B) *expt.Session {
+	b.Helper()
+	sessOnce.Do(func() {
+		sess, sessErr = expt.NewSession(expt.QuickOptions())
+	})
+	if sessErr != nil {
+		b.Fatal(sessErr)
+	}
+	return sess
+}
+
+// benchFigure runs one experiment per iteration (simulations are memoized
+// inside the session after the first run) and prints its tables once.
+func benchFigure(b *testing.B, id string) {
+	s := session(b)
+	for i := 0; i < b.N; i++ {
+		tables, err := s.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printed.LoadOrStore(id, true); !done {
+			fmt.Fprintf(os.Stdout, "\n--- %s ---\n", id)
+			for _, t := range tables {
+				t.Render(os.Stdout)
+			}
+		}
+	}
+}
+
+func BenchmarkFig03_ExecutionProfile(b *testing.B)   { benchFigure(b, "fig03") }
+func BenchmarkFig04_MissSweep(b *testing.B)          { benchFigure(b, "fig04") }
+func BenchmarkFig05_RelativeMisses(b *testing.B)     { benchFigure(b, "fig05") }
+func BenchmarkFig06_Associativity(b *testing.B)      { benchFigure(b, "fig06") }
+func BenchmarkFig07_OptCombos(b *testing.B)          { benchFigure(b, "fig07") }
+func BenchmarkFig08_SequenceLengths(b *testing.B)    { benchFigure(b, "fig08") }
+func BenchmarkFig09_WordUsage(b *testing.B)          { benchFigure(b, "fig09") }
+func BenchmarkFig10_WordReuse(b *testing.B)          { benchFigure(b, "fig10") }
+func BenchmarkFig11_LineLifetimes(b *testing.B)      { benchFigure(b, "fig11") }
+func BenchmarkFig12_CombinedStreams(b *testing.B)    { benchFigure(b, "fig12") }
+func BenchmarkFig13_Interference(b *testing.B)       { benchFigure(b, "fig13") }
+func BenchmarkFig14_TLBandL2(b *testing.B)           { benchFigure(b, "fig14") }
+func BenchmarkFig15_ExecutionTime(b *testing.B)      { benchFigure(b, "fig15") }
+func BenchmarkText_Footprint(b *testing.B)           { benchFigure(b, "footprint") }
+func BenchmarkText_HW21164(b *testing.B)             { benchFigure(b, "hw21164") }
+func BenchmarkText_Speedups(b *testing.B)            { benchFigure(b, "speedup") }
+func BenchmarkText_KernelOpt(b *testing.B)           { benchFigure(b, "kernopt") }
+func BenchmarkAblation_Splitting(b *testing.B)       { benchFigure(b, "abl-split") }
+func BenchmarkAblation_CFA(b *testing.B)             { benchFigure(b, "abl-cfa") }
+func BenchmarkAblation_SamplingProfile(b *testing.B) { benchFigure(b, "abl-profile") }
+
+// ---- Microbenchmarks of the core components ----
+
+// BenchmarkICacheFetch measures raw cache-simulator throughput.
+func BenchmarkICacheFetch(b *testing.B) {
+	c := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 4})
+	r := rand.New(rand.NewSource(1))
+	runs := make([]trace.FetchRun, 4096)
+	for i := range runs {
+		runs[i] = trace.FetchRun{Addr: uint64(r.Intn(1<<20)) &^ 3, Words: int32(1 + r.Intn(16))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fetch(runs[i&4095])
+	}
+	b.ReportMetric(float64(c.Stats().MissRate()*100), "miss%")
+}
+
+// BenchmarkChainProc measures the chaining pass.
+func BenchmarkChainProc(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	p := progtest.RandProgram(r, 64)
+	pf := progtest.RandProfile(r, p, 50, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pr := range p.Procs {
+			core.ChainProc(p, pr, pf)
+		}
+	}
+}
+
+// BenchmarkPettisHansen measures the ordering pass on a moderate unit graph.
+func BenchmarkPettisHansen(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	p := progtest.RandProgram(r, 200)
+	pf := progtest.RandProfile(r, p, 100, 500)
+	chains := make(map[program.ProcID][]core.Chain, len(p.Procs))
+	for _, pr := range p.Procs {
+		chains[pr.ID] = core.ChainProc(p, pr, pf)
+	}
+	units := core.BuildUnits(p, pf, chains, core.SplitFine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PettisHansen(p, pf, units)
+	}
+}
+
+// BenchmarkOptimizeAll measures the whole Spike pipeline on the real OLTP
+// image.
+func BenchmarkOptimizeAll(b *testing.B) {
+	s := session(b)
+	prof, err := s.Profile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := s.AppImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Optimize(img.Prog, prof, core.Options{
+			Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmitterWalk measures instruction-stream generation throughput.
+func BenchmarkEmitterWalk(b *testing.B) {
+	s := session(b)
+	img := s.AppImage()
+	l, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	em := codegen.NewEmitter(img, l, 4)
+	var instr uint64
+	em.Sink = func(_ uint64, words int32) { instr += uint64(words) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.RunAuto("sql_0")
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instr/op")
+}
+
+// BenchmarkMachineTxns measures full-system simulation throughput in
+// transactions per benchmark op (10 txns per iteration).
+func BenchmarkMachineTxns(b *testing.B) {
+	s := session(b)
+	img := s.AppImage()
+	kimg := s.KernelImage()
+	appL, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kernL, err := codelayout.BaselineLayout(kimg.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(machine.Config{
+			CPUs: 1, ProcsPerCPU: 4, Seed: int64(i),
+			WarmupTxns: 2, Transactions: 10,
+			Scale:    tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 100},
+			AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPixieCollection measures profiling overhead.
+func BenchmarkPixieCollection(b *testing.B) {
+	s := session(b)
+	img := s.AppImage()
+	l, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	px := profile.NewPixie(img.Prog, "bench")
+	em := codegen.NewEmitter(img, l, 5)
+	em.Sink = func(uint64, int32) {}
+	em.Collector = px
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		em.RunAuto("sql_0")
+	}
+}

@@ -1,0 +1,108 @@
+// layoutlab regenerates the paper's tables and figures.
+//
+//	layoutlab -list
+//	layoutlab -run fig05            # one experiment, quick configuration
+//	layoutlab -run all -full        # everything at paper scale
+//	layoutlab -run fig04 -csv out/  # also dump CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"codelayout/internal/expt"
+	"codelayout/internal/stats"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id to run, or 'all'")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		full   = flag.Bool("full", false, "paper-scale run (default is the quick configuration)")
+		seed   = flag.Int64("seed", 0, "override workload seed")
+		txns   = flag.Int("txns", 0, "override measured transactions")
+		cpus   = flag.Int("cpus", 0, "override processor count")
+		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, line := range expt.Summary() {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	opts := expt.QuickOptions()
+	if *full {
+		opts = expt.DefaultOptions()
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+		opts.TrainSeed = *seed + 7
+	}
+	if *txns != 0 {
+		opts.Transactions = *txns
+	}
+	if *cpus != 0 {
+		opts.CPUs = *cpus
+	}
+
+	s, err := expt.NewSession(opts)
+	if err != nil {
+		fatal(err)
+	}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = expt.IDs()
+	}
+	for _, id := range ids {
+		e, err := expt.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n### %s — %s (%s)\n\n", e.ID, e.Title, e.Paper)
+		tables, err := s.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Title)
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.CSV(f)
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layoutlab:", err)
+	os.Exit(1)
+}

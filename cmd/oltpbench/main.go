@@ -1,0 +1,116 @@
+// oltpbench runs the OLTP workload on the simulated multiprocessor and
+// reports throughput and memory-system behavior, optionally recording the
+// instruction/data trace for offline replay with cmd/icachesim.
+//
+//	oltpbench -txns 500 -cpus 4 -layout app.layout -trace run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/cache"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/program"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/trace"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 2001, "image generation seed")
+		runSeed   = flag.Int64("runseed", 2001, "workload seed")
+		txns      = flag.Int("txns", 500, "measured transactions")
+		warmup    = flag.Int("warmup", 100, "warmup transactions")
+		cpus      = flag.Int("cpus", 4, "processors")
+		procs     = flag.Int("procs", 8, "server processes per CPU")
+		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
+		cold      = flag.Int("cold", 6_400_000, "app cold words")
+		layoutIn  = flag.String("layout", "", "optimized layout file (from spike); default baseline")
+		tracePath = flag.String("trace", "", "write the measured trace to this file")
+	)
+	flag.Parse()
+
+	app, err := appmodel.Build(appmodel.Config{Seed: *seed, LibScale: *libScale, ColdWords: *cold})
+	if err != nil {
+		fatal(err)
+	}
+	appL, err := program.BaselineLayout(app.Prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *layoutIn != "" {
+		appL, err = program.LoadLayoutFile(*layoutIn, app.Prog)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	kern, err := kernel.Build(kernel.DefaultConfig(*seed + 1))
+	if err != nil {
+		fatal(err)
+	}
+	kernL, err := program.BaselineLayout(kern.Prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	ic := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 4})
+	seq := trace.NewSeqLen()
+	sinks := []trace.Sink{ic, seq}
+	var dataSinks []trace.DataSink
+	var tw *trace.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw, err = trace.NewWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, tw)
+		dataSinks = append(dataSinks, tw)
+	}
+
+	cfg := machine.Config{
+		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
+		WarmupTxns: *warmup, Transactions: *txns,
+		Scale:    tpcb.DefaultScale(),
+		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
+		Sinks: sinks, DataSinks: dataSinks,
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+
+	fmt.Printf("committed:        %d transactions\n", res.Committed)
+	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",
+		res.AppInstrs, res.KernelInstrs, res.KernelFrac()*100)
+	fmt.Printf("per transaction:  %.0f instructions\n",
+		float64(res.BusyInstrs)/float64(res.Committed))
+	fmt.Printf("icache 64KB/128B/4-way: %d misses (%.3f%% of line accesses)\n",
+		ic.Stats().Misses, ic.Stats().MissRate()*100)
+	fmt.Printf("mean fetch sequence:    %.2f instructions\n", seq.Hist.Mean())
+	fmt.Printf("log: %d flushes, %d grouped commits; %d lock conflicts; idle %d\n",
+		res.LogFlushes, res.GroupedCommits, res.LockConflicts, res.IdleInstrs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oltpbench:", err)
+	os.Exit(1)
+}

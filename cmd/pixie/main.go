@@ -1,0 +1,86 @@
+// pixie collects a basic-block execution profile of the OLTP workload, the
+// way the paper profiles the pixified Oracle server processes: the image is
+// rebuilt from its seed, the workload runs under the baseline layout, and
+// exact block/edge counts are written to a profile file.
+//
+//	pixie -seed 2001 -txns 2000 -out oltp.prof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/tpcb"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 2001, "image generation seed")
+		runSeed  = flag.Int64("runseed", 1998, "workload seed for the profiling run")
+		txns     = flag.Int("txns", 2000, "profiled transactions")
+		warmup   = flag.Int("warmup", 100, "warmup transactions before profiling")
+		cpus     = flag.Int("cpus", 4, "processors")
+		libScale = flag.Float64("libscale", 1.0, "library size multiplier")
+		cold     = flag.Int("cold", 6_400_000, "app cold words")
+		out      = flag.String("out", "oltp.prof", "profile output file")
+		kout     = flag.String("kout", "", "optional kernel profile output file")
+	)
+	flag.Parse()
+
+	app, err := appmodel.Build(appmodel.Config{Seed: *seed, LibScale: *libScale, ColdWords: *cold})
+	if err != nil {
+		fatal(err)
+	}
+	appL, err := program.BaselineLayout(app.Prog)
+	if err != nil {
+		fatal(err)
+	}
+	kern, err := kernel.Build(kernel.DefaultConfig(*seed + 1))
+	if err != nil {
+		fatal(err)
+	}
+	kernL, err := program.BaselineLayout(kern.Prog)
+	if err != nil {
+		fatal(err)
+	}
+
+	px := profile.NewPixie(app.Prog, "pixie")
+	kx := profile.NewPixie(kern.Prog, "kprofile")
+	cfg := machine.Config{
+		CPUs: *cpus, Seed: *runSeed,
+		WarmupTxns: *warmup, Transactions: *txns,
+		Scale:    tpcb.DefaultScale(),
+		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
+		AppCollector: px, KernCollector: kx,
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if err := px.Profile.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiled %d txns (%d app + %d kernel instructions), wrote %s\n",
+		res.Committed, res.AppInstrs, res.KernelInstrs, *out)
+	if *kout != "" {
+		if err := kx.Profile.SaveFile(*kout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote kernel profile %s\n", *kout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pixie:", err)
+	os.Exit(1)
+}

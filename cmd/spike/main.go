@@ -1,0 +1,71 @@
+// spike applies the paper's code layout optimizations to a program given a
+// profile, like the Spike executable optimizer: basic block chaining,
+// fine-grain procedure splitting, and Pettis–Hansen procedure ordering.
+//
+//	spike -prog images/app.prog -profile oltp.prof -combo all -out app.layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codelayout/internal/core"
+	"codelayout/internal/isa"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "program file (from oltpgen)")
+		profPath = flag.String("profile", "", "profile file (from pixie)")
+		combo    = flag.String("combo", "all", "optimization combo: base|porder|chain|chain+split|chain+porder|all")
+		out      = flag.String("out", "", "layout output file (optional)")
+		dump     = flag.Bool("dump", false, "dump the laid-out program (small programs only)")
+	)
+	flag.Parse()
+	if *progPath == "" || *profPath == "" {
+		fatal(fmt.Errorf("need -prog and -profile"))
+	}
+	p, err := program.LoadFile(*progPath)
+	if err != nil {
+		fatal(err)
+	}
+	pf, err := profile.LoadFile(*profPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := core.ComboByName(*combo)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := program.BaselineLayout(p)
+	if err != nil {
+		fatal(err)
+	}
+	l, rep, err := core.Optimize(p, pf, c.Opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("combo %s: %d chains, %d units (%d hot), hot text %.1f KB\n",
+		c.Name, rep.Chains, rep.Units, rep.HotUnits,
+		float64(rep.HotWords*isa.WordBytes)/1024)
+	fmt.Printf("image: %.2f MB -> %.2f MB (padding %.1f KB, %d long branches)\n",
+		float64(base.TotalBytes())/(1<<20), float64(l.TotalBytes())/(1<<20),
+		float64(rep.PadWords*isa.WordBytes)/1024, rep.LongBranches)
+	if *out != "" {
+		if err := program.SaveLayoutFile(*out, l, 4); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *dump {
+		p.Dump(os.Stdout, l)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spike:", err)
+	os.Exit(1)
+}

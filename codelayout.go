@@ -1,0 +1,161 @@
+// Package codelayout reproduces "Code Layout Optimizations for Transaction
+// Processing Workloads" (Ramírez et al., ISCA 2001) as a Go library: a
+// Spike-style profile-driven layout optimizer (basic block chaining,
+// fine-grain procedure splitting, Pettis–Hansen procedure ordering), the
+// OLTP system it is evaluated on (a TPC-B storage engine, modeled
+// application and kernel code images, a multiprocessor full-system
+// simulator), and the measurement stack (instruction caches with the
+// paper's word-usage/lifetime/interference metrics, iTLB, unified L2,
+// timing model) that regenerates every figure of the paper's evaluation.
+//
+// The package is a facade: it re-exports the stable surface of the internal
+// packages so downstream users interact with one import.
+//
+//	img, _ := codelayout.BuildOLTPImage(codelayout.DefaultImageConfig(1))
+//	base, _ := codelayout.BaselineLayout(img.Prog)
+//	... run a profiling workload ...
+//	opt, rep, _ := codelayout.Optimize(img.Prog, prof, codelayout.OptAll())
+//
+// See examples/ for complete programs and cmd/layoutlab for the experiment
+// harness.
+package codelayout
+
+import (
+	"io"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/expt"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/stats"
+	"codelayout/internal/tpcb"
+)
+
+// Core program representation.
+type (
+	// Program is an executable image: procedures of basic blocks.
+	Program = program.Program
+	// Layout places a program's blocks at addresses.
+	Layout = program.Layout
+	// BlockID identifies a basic block.
+	BlockID = program.BlockID
+	// ProcID identifies a procedure.
+	ProcID = program.ProcID
+	// Profile carries basic-block and edge execution counts.
+	Profile = profile.Profile
+	// Image is a modeled binary with emitter annotations.
+	Image = codegen.Image
+	// Table is a rendered experiment result.
+	Table = stats.Table
+)
+
+// Optimizer surface.
+type (
+	// OptimizeOptions selects the optimization combination.
+	OptimizeOptions = core.Options
+	// OptimizeReport summarizes what the optimizer did.
+	OptimizeReport = core.Report
+	// SplitMode selects procedure splitting (none, fine-grain, hot/cold).
+	SplitMode = core.SplitMode
+	// OrderMode selects procedure ordering (original or Pettis–Hansen).
+	OrderMode = core.OrderMode
+)
+
+// Splitting and ordering modes.
+const (
+	SplitNone         = core.SplitNone
+	SplitFine         = core.SplitFine
+	SplitHotCold      = core.SplitHotCold
+	OrderOriginal     = core.OrderOriginal
+	OrderPettisHansen = core.OrderPettisHansen
+)
+
+// Optimize lays out the program under the given options using the profile,
+// exactly as Spike does: chaining, splitting, then ordering.
+func Optimize(p *Program, prof *Profile, o OptimizeOptions) (*Layout, *OptimizeReport, error) {
+	return core.Optimize(p, prof, o)
+}
+
+// OptAll returns the paper's full optimization combination
+// (chain + fine-grain split + Pettis–Hansen ordering).
+func OptAll() OptimizeOptions {
+	return OptimizeOptions{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
+}
+
+// Combos returns the paper's six optimization combinations in order
+// (base, porder, chain, chain+split, chain+porder, all).
+func Combos() []core.Combo { return core.Combos() }
+
+// BaselineLayout materializes the original (source-order) binary layout.
+func BaselineLayout(p *Program) (*Layout, error) { return program.BaselineLayout(p) }
+
+// ImageConfig shapes the OLTP application image.
+type ImageConfig = appmodel.Config
+
+// DefaultImageConfig returns the paper-calibrated image shape.
+func DefaultImageConfig(seed int64) ImageConfig { return appmodel.DefaultConfig(seed) }
+
+// BuildOLTPImage assembles the modeled database-engine binary.
+func BuildOLTPImage(cfg ImageConfig) (*Image, error) { return appmodel.Build(cfg) }
+
+// KernelConfig shapes the modeled kernel image.
+type KernelConfig = kernel.Config
+
+// DefaultKernelConfig returns the standard kernel shape.
+func DefaultKernelConfig(seed int64) KernelConfig { return kernel.DefaultConfig(seed) }
+
+// BuildKernelImage assembles the modeled operating-system binary.
+func BuildKernelImage(cfg KernelConfig) (*Image, error) { return kernel.Build(cfg) }
+
+// Machine surface.
+type (
+	// MachineConfig configures a full-system simulation run.
+	MachineConfig = machine.Config
+	// MachineResult reports a run's outcome.
+	MachineResult = machine.Result
+	// Machine is one configured simulation.
+	Machine = machine.Machine
+	// Scale sizes the TPC-B database.
+	Scale = tpcb.Scale
+)
+
+// NewMachine builds a full-system simulation (engine, loaded TPC-B
+// database, server processes).
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// DefaultScale returns the paper's 40-branch TPC-B scaling.
+func DefaultScale() Scale { return tpcb.DefaultScale() }
+
+// Experiment harness surface.
+type (
+	// Session owns images, profiles and memoized measurement runs.
+	Session = expt.Session
+	// SessionOptions configures a session.
+	SessionOptions = expt.Options
+)
+
+// DefaultSessionOptions is the paper-scale configuration.
+func DefaultSessionOptions() SessionOptions { return expt.DefaultOptions() }
+
+// QuickSessionOptions is a fast, shape-preserving configuration.
+func QuickSessionOptions() SessionOptions { return expt.QuickOptions() }
+
+// NewSession builds the images and baseline layouts for experiments.
+func NewSession(o SessionOptions) (*Session, error) { return expt.NewSession(o) }
+
+// ExperimentIDs lists the reproducible figures and in-text results.
+func ExperimentIDs() []string { return expt.IDs() }
+
+// RunExperiment executes one experiment in the session.
+func RunExperiment(s *Session, id string) ([]*Table, error) { return s.Run(id) }
+
+// RunAllExperiments executes every experiment, rendering tables to w.
+func RunAllExperiments(s *Session, w io.Writer) error { return s.RunAll(w) }
+
+// NewPixie creates an exact (instrumentation) profile collector for the
+// program; attach it as a machine's AppCollector.
+func NewPixie(p *Program, name string) *profile.Pixie { return profile.NewPixie(p, name) }

@@ -1,0 +1,118 @@
+package codelayout_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout"
+	"codelayout/internal/progtest"
+)
+
+func TestFacadeOptimizePipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := progtest.RandProgram(r, 8)
+	pf := progtest.RandProfile(r, p, 20, 300)
+	l, rep, err := codelayout.Optimize(p, pf, codelayout.OptAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Units == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFacadeCombosMatchPaper(t *testing.T) {
+	names := make([]string, 0, 6)
+	for _, c := range codelayout.Combos() {
+		names = append(names, c.Name)
+	}
+	want := []string{"base", "porder", "chain", "chain+split", "chain+porder", "all"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("combo %d = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestFacadeImageBuilders(t *testing.T) {
+	cfg := codelayout.DefaultImageConfig(1)
+	cfg.LibScale = 0.15
+	cfg.ColdWords = 50_000
+	img, err := codelayout.BuildOLTPImage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Prog.FindProc("tpcb_txn") == nil {
+		t.Fatal("missing tpcb_txn")
+	}
+	kcfg := codelayout.DefaultKernelConfig(2)
+	kcfg.ColdWords = 20_000
+	kern, err := codelayout.BuildKernelImage(kcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kern.Prog.FindProc("svc_log_write") == nil {
+		t.Fatal("missing svc_log_write")
+	}
+}
+
+func TestFacadeMachineRun(t *testing.T) {
+	cfg := codelayout.DefaultImageConfig(1)
+	cfg.LibScale = 0.15
+	cfg.ColdWords = 50_000
+	img, err := codelayout.BuildOLTPImage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcfg := codelayout.DefaultKernelConfig(2)
+	kcfg.ColdWords = 20_000
+	kern, err := codelayout.BuildKernelImage(kcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appL, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernL, err := codelayout.BaselineLayout(kern.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := codelayout.NewPixie(img.Prog, "train")
+	m, err := codelayout.NewMachine(codelayout.MachineConfig{
+		CPUs: 1, ProcsPerCPU: 2, Seed: 3,
+		WarmupTxns: 2, Transactions: 20,
+		Scale:    codelayout.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 100},
+		AppImage: img, AppLayout: appL,
+		KernImage: kern, KernLayout: kernL,
+		AppCollector: px,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 20 || px.Profile.TotalBlocks() == 0 {
+		t.Fatalf("committed=%d profileBlocks=%d", res.Committed, px.Profile.TotalBlocks())
+	}
+	// The collected profile should drive a working optimization.
+	opt, _, err := codelayout.Optimize(img.Prog, px.Profile, codelayout.OptAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentIDs(t *testing.T) {
+	ids := codelayout.ExperimentIDs()
+	if len(ids) != 20 {
+		t.Fatalf("experiments = %d", len(ids))
+	}
+}

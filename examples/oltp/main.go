@@ -1,0 +1,34 @@
+// OLTP: the paper's full pipeline end to end on the TPC-B workload —
+// profile the database engine's modeled binary, optimize its layout, and
+// reproduce the headline results (miss reduction, sequence lengths,
+// speedup) through the experiment session.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"codelayout"
+)
+
+func main() {
+	opts := codelayout.QuickSessionOptions()
+	s, err := codelayout.NewSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Reproducing the paper's headline results (quick configuration)...")
+	for _, id := range []string{"fig05", "fig08", "footprint", "speedup"} {
+		tables, err := codelayout.RunExperiment(s, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	fmt.Println("Run `go run ./cmd/layoutlab -full -run all` for the paper-scale tables.")
+}

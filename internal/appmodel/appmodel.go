@@ -1,0 +1,296 @@
+// Package appmodel assembles the modeled application binary: one code model
+// per instrumented engine routine (the models mirror, site for site, the
+// probe calls in internal/db and internal/tpcb), a deep library of auto
+// helper functions that gives the image its OLTP-sized flat footprint, and a
+// cold-code complement that brings the static image to database-binary
+// proportions (the paper's Oracle binary is 27 MB with a ~260 KB hot
+// footprint).
+//
+// The conformance between these models and the engine's probe sequences is
+// enforced at runtime — any drift panics inside codegen.Emitter — and
+// covered by tests that execute full transactions against an emitter.
+package appmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/codegen"
+	"codelayout/internal/isa"
+)
+
+// Config shapes the generated image.
+type Config struct {
+	// Seed drives all generation randomness.
+	Seed int64
+	// LibScale multiplies library function counts (1.0 = default sizing,
+	// tuned so the hot footprint lands near the paper's ~260 KB).
+	LibScale float64
+	// ColdWords is the cold-code complement in instruction words.
+	// The default models a 27 MB binary.
+	ColdWords int
+}
+
+// DefaultConfig returns the paper-calibrated image shape.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, LibScale: 1.0, ColdWords: 6_400_000}
+}
+
+// families describes the library layers, bottom (leaf) first.
+type familySpec struct {
+	name  string
+	n     int
+	mean  int
+	calls int
+	width int
+	pools []string // families the call sites dispatch into
+}
+
+func libraryPlan(scale float64) []familySpec {
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return []familySpec{
+		{name: "ut", n: s(150), mean: 80},
+		{name: "lat", n: s(40), mean: 25},
+		{name: "cmp", n: s(40), mean: 30},
+		{name: "rt", n: s(150), mean: 70, calls: 2, width: 6, pools: []string{"ut"}},
+		{name: "io", n: s(40), mean: 60, calls: 1, width: 4, pools: []string{"ut"}},
+		{name: "row", n: s(80), mean: 55, calls: 1, width: 6, pools: []string{"ut", "cmp"}},
+		{name: "sv", n: s(120), mean: 65, calls: 2, width: 6, pools: []string{"rt"}},
+		{name: "sql", n: s(100), mean: 60, calls: 2, width: 8, pools: []string{"sv", "rt"}},
+	}
+}
+
+// Build assembles the application image.
+func Build(cfg Config) (*codegen.Image, error) {
+	if cfg.LibScale == 0 {
+		cfg.LibScale = 1.0
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// 1. Library layers.
+	fams := make(map[string][]string)
+	var libSpecs []codegen.FnSpec
+	for _, f := range libraryPlan(cfg.LibScale) {
+		var pool []string
+		for _, p := range f.pools {
+			pool = append(pool, fams[p]...)
+		}
+		specs, names := codegen.GenLayer(r, codegen.LibConfig{
+			Prefix:     f.name,
+			N:          f.n,
+			MeanWords:  f.mean,
+			CallsPerFn: f.calls,
+			PickWidth:  f.width,
+		}, pool)
+		libSpecs = append(libSpecs, specs...)
+		fams[f.name] = names
+	}
+
+	// pick builds an AutoPick call site into a family.
+	pick := func(family string, width int) codegen.Frag {
+		names := fams[family]
+		if len(names) == 0 {
+			panic(fmt.Sprintf("appmodel: empty family %q", family))
+		}
+		if width > len(names) {
+			width = len(names)
+		}
+		start := r.Intn(len(names) - width + 1)
+		fns := make([]string, width)
+		weights := make([]uint32, width)
+		for i := 0; i < width; i++ {
+			fns[i] = names[start+i]
+			weights[i] = uint32(1 + r.Intn(900))
+		}
+		return codegen.AutoPick{Fns: fns, Weights: weights}
+	}
+
+	errPath := func() codegen.Frag { return codegen.ErrPath(r) }
+
+	// 2. Engine routine models. Each mirrors the probe sequence of the
+	// matching internal/db / internal/tpcb routine.
+	engine := []codegen.FnSpec{
+		{Name: "buf_get", Body: []codegen.Frag{
+			codegen.Seq(6), errPath(), pick("lat", 4),
+			codegen.If{Site: "buf_hit",
+				Then: []codegen.Frag{codegen.Seq(5), pick("ut", 4)},
+				Else: []codegen.Frag{codegen.Seq(9), pick("io", 4), codegen.Seq(14)}},
+			codegen.Seq(4),
+		}},
+		{Name: "lock_acquire", Body: []codegen.Frag{
+			codegen.Seq(7), pick("lat", 4),
+			codegen.Loop{Site: "lock_conflict", Head: 3,
+				Body: []codegen.Frag{codegen.Seq(9), pick("sv", 4)}},
+			codegen.Seq(3),
+		}},
+		{Name: "lock_release", Body: []codegen.Frag{
+			codegen.Seq(5),
+			codegen.Loop{Site: "lockrel_iter", Head: 2,
+				Body: []codegen.Frag{codegen.Seq(6), pick("lat", 4)}},
+			codegen.Seq(2),
+		}},
+		{Name: "log_append", Body: []codegen.Frag{
+			codegen.Seq(6), errPath(), pick("rt", 4),
+			codegen.If{Site: "logbuf_high", Then: []codegen.Frag{codegen.Seq(7)}},
+			codegen.Seq(4),
+		}},
+		{Name: "log_flush", Body: []codegen.Frag{
+			codegen.Seq(5),
+			codegen.Loop{Site: "log_retry", Head: 3, Body: []codegen.Frag{
+				codegen.If{Site: "log_leader",
+					Then: []codegen.Frag{codegen.Seq(10), pick("io", 4)},
+					Else: []codegen.Frag{codegen.Seq(6), pick("sv", 4)}},
+			}},
+			codegen.Seq(3),
+		}},
+		{Name: "txn_begin", Body: []codegen.Frag{
+			codegen.Seq(8), pick("rt", 4), codegen.Seq(4),
+		}},
+		{Name: "txn_commit", Body: []codegen.Frag{
+			codegen.Seq(6),
+			codegen.Call{Fn: "log_append"},
+			codegen.Call{Fn: "log_flush"},
+			codegen.Call{Fn: "lock_release"},
+			codegen.Seq(5),
+		}},
+		{Name: "txn_abort", Body: []codegen.Frag{
+			codegen.Seq(6),
+			codegen.Loop{Site: "undo_iter", Head: 2,
+				Body: []codegen.Frag{codegen.Seq(8), pick("rt", 4)}},
+			codegen.Call{Fn: "log_append"},
+			codegen.Call{Fn: "lock_release"},
+			codegen.Seq(3),
+		}},
+		{Name: "heap_insert", Body: []codegen.Frag{
+			codegen.Seq(6),
+			codegen.If{Site: "heap_newpage", Then: []codegen.Frag{codegen.Seq(9), pick("sv", 4)}},
+			codegen.Call{Fn: "buf_get"},
+			codegen.Seq(5),
+			codegen.Call{Fn: "log_append"},
+			codegen.Seq(6), pick("row", 5),
+		}},
+		{Name: "heap_fetch", Body: []codegen.Frag{
+			codegen.Seq(5),
+			codegen.Call{Fn: "buf_get"},
+			codegen.Seq(4), pick("row", 5),
+		}},
+		{Name: "heap_update", Body: []codegen.Frag{
+			codegen.Seq(5), errPath(),
+			codegen.Call{Fn: "buf_get"},
+			codegen.Seq(6),
+			codegen.Call{Fn: "log_append"},
+			codegen.Seq(7), pick("row", 5),
+		}},
+		{Name: "bt_search", Body: []codegen.Frag{
+			codegen.Seq(6), errPath(), pick("cmp", 4),
+			codegen.Loop{Site: "bt_descend", Head: 3, Body: []codegen.Frag{
+				codegen.Call{Fn: "buf_get"},
+				codegen.Seq(4),
+				codegen.Loop{Site: "bt_scan", Head: 2, Body: []codegen.Frag{codegen.Seq(5)}},
+				codegen.Seq(3),
+			}},
+			codegen.Call{Fn: "buf_get"},
+			codegen.Seq(3),
+			codegen.Loop{Site: "bt_leaf", Head: 2, Body: []codegen.Frag{codegen.Seq(5)}},
+			codegen.If{Site: "bt_found",
+				Then: []codegen.Frag{codegen.Seq(5)},
+				Else: []codegen.Frag{codegen.Seq(3)}},
+			codegen.Seq(2),
+		}},
+		{Name: "bt_insert", Body: []codegen.Frag{
+			codegen.Seq(8), pick("cmp", 4),
+			codegen.If{Site: "bt_grow", Then: []codegen.Frag{codegen.Seq(12)}},
+			codegen.Seq(3),
+		}},
+		{Name: "upd_account", Body: []codegen.Frag{
+			codegen.Seq(7), pick("sql", 6),
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(5), pick("row", 4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "upd_teller", Body: []codegen.Frag{
+			codegen.Seq(6), pick("sql", 6),
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(4), pick("row", 4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "upd_branch", Body: []codegen.Frag{
+			codegen.Seq(6), pick("sql", 5),
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "ins_history", Body: []codegen.Frag{
+			codegen.Seq(5), pick("sql", 5),
+			codegen.Call{Fn: "heap_insert"},
+			codegen.Seq(3),
+		}},
+		{Name: "tpcb_txn", Body: []codegen.Frag{
+			codegen.Seq(9), errPath(), pick("sql", 8),
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "upd_account"},
+			codegen.Call{Fn: "upd_teller"},
+			codegen.Call{Fn: "upd_branch"},
+			codegen.Call{Fn: "ins_history"},
+			codegen.Call{Fn: "txn_commit"},
+			codegen.Seq(6), pick("rt", 4),
+		}},
+	}
+
+	// 3. Cold complement.
+	var cold []codegen.FnSpec
+	if cfg.ColdWords > 0 {
+		cold = codegen.GenCold(r, "cold", cfg.ColdWords, 1200)
+	}
+
+	// 4. Link order. Real binaries are linked object file by object file: a
+	// module's handful of exercised functions sit together, followed by
+	// that module's unexercised code. The hot footprint therefore spreads
+	// across the whole image (bad iTLB/page locality, as the paper's
+	// baseline shows) while related hot functions still share lines and
+	// pages (so whole-procedure reordering alone wins little, also as the
+	// paper shows).
+	hot := append(append([]codegen.FnSpec{}, engine...), libSpecs...)
+	var modules [][]codegen.FnSpec
+	for len(hot) > 0 {
+		n := 3 + r.Intn(6)
+		if n > len(hot) {
+			n = len(hot)
+		}
+		modules = append(modules, hot[:n])
+		hot = hot[n:]
+	}
+	r.Shuffle(len(modules), func(i, j int) { modules[i], modules[j] = modules[j], modules[i] })
+	var fns []codegen.FnSpec
+	ci := 0
+	for i, mod := range modules {
+		fns = append(fns, mod...)
+		// The module's cold complement follows its hot code.
+		want := (i + 1) * len(cold) / len(modules)
+		for ci < want {
+			fns = append(fns, cold[ci])
+			ci++
+		}
+	}
+	fns = append(fns, cold[ci:]...)
+
+	return codegen.Build(codegen.ImageSpec{
+		Name:     "oracle-like-oltp",
+		TextBase: isa.AppTextBase,
+		Fns:      fns,
+	})
+}

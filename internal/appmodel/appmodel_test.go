@@ -1,0 +1,122 @@
+package appmodel_test
+
+import (
+	"testing"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/db"
+	"codelayout/internal/program"
+	"codelayout/internal/tpcb"
+
+	"math/rand"
+
+	"codelayout/internal/codegen"
+)
+
+func TestBuildDefaultShape(t *testing.T) {
+	img, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 1.0, ColdWords: 6_400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := img.Prog.ComputeStats()
+	if st.ColdProcs == 0 || st.ColdProcs >= st.Procs {
+		t.Fatalf("procs=%d cold=%d", st.Procs, st.ColdProcs)
+	}
+	// Static image should be in the tens of MB; hot code in the 100s of KB.
+	mb := float64(st.BodyWords*4) / (1 << 20)
+	if mb < 15 || mb > 40 {
+		t.Fatalf("static size = %.1f MB", mb)
+	}
+	hotKB := float64(st.HotWords*4) / 1024
+	if hotKB < 120 || hotKB > 500 {
+		t.Fatalf("hot code = %.1f KB", hotKB)
+	}
+	l, err := program.BaselineLayout(img.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog.NumBlocks() != b.Prog.NumBlocks() || len(a.Prog.Procs) != len(b.Prog.Procs) {
+		t.Fatal("same seed produced different images")
+	}
+	for i, pr := range a.Prog.Procs {
+		if b.Prog.Procs[i].Name != pr.Name {
+			t.Fatalf("proc %d: %s vs %s", i, pr.Name, b.Prog.Procs[i].Name)
+		}
+	}
+}
+
+// TestEngineModelConformance drives real transactions through an emitter
+// bound to the image; any probe/model mismatch panics inside the emitter.
+func TestEngineModelConformance(t *testing.T) {
+	img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := program.BaselineLayout(img.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := codegen.NewEmitter(img, l, 3)
+	em.Sink = func(uint64, int32) {}
+
+	eng := db.NewEngine(db.Config{BufferPoolPages: 4096})
+	bench, err := tpcb.Load(eng, tpcb.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession(1, em)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		bench.RunTxn(s, bench.GenInput(r))
+		if !em.Idle() {
+			t.Fatalf("txn %d: emitter not idle after transaction", i)
+		}
+	}
+	if em.Instructions == 0 {
+		t.Fatal("no instructions emitted")
+	}
+	// Instrumented per-transaction instruction cost should be substantial
+	// (thousands of instructions), like a database transaction.
+	per := float64(em.Instructions) / 100
+	if per < 2000 {
+		t.Fatalf("only %.0f instructions per transaction", per)
+	}
+}
+
+// TestAbortPathConformance exercises the txn_abort model, which normal
+// transactions never reach.
+func TestAbortPathConformance(t *testing.T) {
+	img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := program.BaselineLayout(img.Prog)
+	em := codegen.NewEmitter(img, l, 3)
+	em.Sink = func(uint64, int32) {}
+	eng := db.NewEngine(db.Config{BufferPoolPages: 1024})
+	tb := eng.CreateTable("t")
+	s0 := eng.NewSession(0, nil)
+	rid := tb.Insert(s0, make([]byte, 64))
+
+	s := eng.NewSession(1, em)
+	s.Begin()
+	tb.Update(s, rid, make([]byte, 64))
+	s.Abort()
+	if !em.Idle() {
+		t.Fatal("emitter not idle after abort")
+	}
+}

@@ -1,0 +1,310 @@
+// Package cache implements the instruction-cache simulator used for every
+// miss study in the paper, including the specialized metrics of Section 4.2:
+// unique-word usage before replacement (Fig 9), per-word reuse counts
+// (Fig 10), cache line lifetimes in cache accesses (Fig 11), unique-line
+// footprint, and the application/kernel interference attribution of Fig 13.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"codelayout/internal/isa"
+	"codelayout/internal/stats"
+	"codelayout/internal/trace"
+)
+
+// Owner classifies who filled a cache line or issued a miss.
+type Owner uint8
+
+const (
+	// OwnerApp marks application text.
+	OwnerApp Owner = iota
+	// OwnerKernel marks kernel text.
+	OwnerKernel
+	// OwnerNone marks a cold miss (no valid victim).
+	OwnerNone
+)
+
+func (o Owner) String() string {
+	switch o {
+	case OwnerApp:
+		return "application"
+	case OwnerKernel:
+		return "kernel"
+	default:
+		return "none"
+	}
+}
+
+// Config describes an instruction cache.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int // 1 = direct-mapped
+	// WordStats enables per-word usage tracking (Figs 9-11 and the
+	// unused-fetched-instructions statistic). It costs time and memory, so
+	// the big parameter sweeps leave it off.
+	WordStats bool
+}
+
+// String renders the config like the paper's captions, e.g.
+// "128KB/128B/4-way".
+func (c Config) String() string {
+	way := fmt.Sprintf("%d-way", c.Assoc)
+	if c.Assoc == 1 {
+		way = "direct"
+	}
+	return fmt.Sprintf("%dKB/%dB/%s", c.SizeBytes/1024, c.LineBytes, way)
+}
+
+// Stats accumulates simulation results. Merge combines per-CPU instances.
+type Stats struct {
+	Config   Config
+	Accesses uint64 // line-granularity accesses
+	Misses   uint64
+	Fills    uint64
+	// MissBy[m] counts misses issued by missing process m (OwnerApp or
+	// OwnerKernel).
+	MissBy [2]uint64
+	// VictimBy[m][v] counts misses by missing process m that displaced a
+	// line owned by v (OwnerApp, OwnerKernel, or OwnerNone for cold fills).
+	VictimBy [2][3]uint64
+
+	// Word-level metrics (valid when Config.WordStats).
+	WordsUsed     *stats.Hist     // unique words used in a line before replacement
+	WordReuse     *stats.Hist     // times an individual word is used before replacement
+	Lifetime      *stats.Log2Hist // line lifetime in cache accesses
+	FetchedWords  uint64          // words brought in by fills
+	UsedWordSlots uint64          // word slots used at least once before replacement
+}
+
+// NewStats allocates a stats block for the given config.
+func NewStats(cfg Config) *Stats {
+	s := &Stats{Config: cfg}
+	if cfg.WordStats {
+		s.WordsUsed = stats.NewHist(0, cfg.LineBytes/isa.WordBytes)
+		s.WordReuse = stats.NewHist(0, 15)
+		s.Lifetime = &stats.Log2Hist{}
+	}
+	return s
+}
+
+// Merge folds other (same config) into s.
+func (s *Stats) Merge(other *Stats) {
+	s.Accesses += other.Accesses
+	s.Misses += other.Misses
+	s.Fills += other.Fills
+	for i := range s.MissBy {
+		s.MissBy[i] += other.MissBy[i]
+		for j := range s.VictimBy[i] {
+			s.VictimBy[i][j] += other.VictimBy[i][j]
+		}
+	}
+	if s.Config.WordStats && other.Config.WordStats {
+		s.WordsUsed.Merge(other.WordsUsed)
+		s.WordReuse.Merge(other.WordReuse)
+		s.Lifetime.Merge(other.Lifetime)
+		s.FetchedWords += other.FetchedWords
+		s.UsedWordSlots += other.UsedWordSlots
+	}
+}
+
+// MissRate returns misses per access.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// UnusedFetchedFrac returns the fraction of fetched instruction words that
+// were never executed before their line was replaced (the paper reports 46%
+// baseline vs 21% optimized).
+func (s *Stats) UnusedFetchedFrac() float64 {
+	if s.FetchedWords == 0 {
+		return 0
+	}
+	return 1 - float64(s.UsedWordSlots)/float64(s.FetchedWords)
+}
+
+// ICache simulates one instruction cache with LRU replacement.
+type ICache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	lineWords int
+	numSets   int
+
+	// Frame state, flattened as set*assoc+way.
+	tags    []uint64 // line number + 1; 0 = invalid
+	lastUse []uint64
+	fillAt  []uint64
+	owner   []Owner
+	wordCnt []uint8 // frames × lineWords saturating counters (WordStats)
+	missCB  func(lineAddr uint64, kernel bool)
+
+	clock uint64
+	stats *Stats
+}
+
+// New creates an instruction cache simulator.
+func New(cfg Config) *ICache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Assoc <= 0 {
+		panic("cache: bad config")
+	}
+	if cfg.SizeBytes%(cfg.LineBytes*cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache: size %d not divisible by line*assoc", cfg.SizeBytes))
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", numSets))
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size not a power of two")
+	}
+	c := &ICache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(numSets - 1),
+		assoc:     cfg.Assoc,
+		lineWords: cfg.LineBytes / isa.WordBytes,
+		numSets:   numSets,
+		tags:      make([]uint64, numSets*cfg.Assoc),
+		lastUse:   make([]uint64, numSets*cfg.Assoc),
+		fillAt:    make([]uint64, numSets*cfg.Assoc),
+		owner:     make([]Owner, numSets*cfg.Assoc),
+		stats:     NewStats(cfg),
+	}
+	if cfg.WordStats {
+		c.wordCnt = make([]uint8, numSets*cfg.Assoc*c.lineWords)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *ICache) Config() Config { return c.cfg }
+
+// OnMiss registers a callback invoked on every miss with the line-aligned
+// address, used to feed a unified L2.
+func (c *ICache) OnMiss(cb func(lineAddr uint64, kernel bool)) { c.missCB = cb }
+
+// Fetch implements trace.Sink: it touches every line the run covers and, if
+// word stats are enabled, marks each fetched word used.
+func (c *ICache) Fetch(r trace.FetchRun) {
+	first := r.Addr >> c.lineShift
+	last := (r.End() - 1) >> c.lineShift
+	for ln := first; ln <= last; ln++ {
+		frame := c.access(ln, r.Kernel)
+		if c.wordCnt != nil {
+			lineStart := ln << c.lineShift
+			w0 := 0
+			if r.Addr > lineStart {
+				w0 = int(r.Addr-lineStart) / isa.WordBytes
+			}
+			w1 := c.lineWords - 1
+			if end := (ln + 1) << c.lineShift; r.End() < end {
+				w1 = int(r.End()-lineStart)/isa.WordBytes - 1
+			}
+			base := frame * c.lineWords
+			for w := w0; w <= w1; w++ {
+				if c.wordCnt[base+w] != 255 {
+					c.wordCnt[base+w]++
+				}
+			}
+		}
+	}
+}
+
+// access looks up one line and returns the frame index holding it.
+func (c *ICache) access(line uint64, kernel bool) int {
+	c.clock++
+	c.stats.Accesses++
+	set := int(line & c.setMask)
+	base := set * c.assoc
+	tag := line + 1
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		f := base + w
+		switch {
+		case c.tags[f] == tag:
+			c.lastUse[f] = c.clock
+			return f
+		case c.tags[f] == 0:
+			victim = f
+		case c.tags[victim] != 0 && c.lastUse[f] < c.lastUse[victim]:
+			victim = f
+		}
+	}
+	// Miss.
+	c.stats.Misses++
+	miss := OwnerApp
+	if kernel {
+		miss = OwnerKernel
+	}
+	c.stats.MissBy[miss]++
+	if c.tags[victim] == 0 {
+		c.stats.VictimBy[miss][OwnerNone]++
+	} else {
+		c.stats.VictimBy[miss][c.owner[victim]]++
+		c.retire(victim)
+	}
+	c.fill(victim, tag, miss)
+	if c.missCB != nil {
+		c.missCB(line<<c.lineShift, kernel)
+	}
+	return victim
+}
+
+func (c *ICache) fill(f int, tag uint64, owner Owner) {
+	c.tags[f] = tag
+	c.lastUse[f] = c.clock
+	c.fillAt[f] = c.clock
+	c.owner[f] = owner
+	c.stats.Fills++
+	if c.wordCnt != nil {
+		base := f * c.lineWords
+		for w := 0; w < c.lineWords; w++ {
+			c.wordCnt[base+w] = 0
+		}
+		c.stats.FetchedWords += uint64(c.lineWords)
+	}
+}
+
+// retire records replacement-time metrics for a valid frame.
+func (c *ICache) retire(f int) {
+	if c.wordCnt == nil {
+		return
+	}
+	base := f * c.lineWords
+	used := 0
+	for w := 0; w < c.lineWords; w++ {
+		n := c.wordCnt[base+w]
+		c.stats.WordReuse.Add(int(n))
+		if n > 0 {
+			used++
+		}
+	}
+	c.stats.WordsUsed.Add(used)
+	c.stats.UsedWordSlots += uint64(used)
+	c.stats.Lifetime.Add(c.clock - c.fillAt[f])
+}
+
+// Finalize folds still-resident lines into the replacement-time metrics so
+// short runs are not biased toward early evictions. Safe to call once at the
+// end of a simulation.
+func (c *ICache) Finalize() {
+	if c.wordCnt == nil {
+		return
+	}
+	for f, tag := range c.tags {
+		if tag != 0 {
+			c.retire(f)
+			c.tags[f] = 0
+		}
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (c *ICache) Stats() *Stats { return c.stats }

@@ -1,0 +1,167 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LibConfig shapes one generated layer of auto helper functions. These model
+// the bulk of a commercial database binary — row formatters, comparators,
+// latch and cursor utilities — that executes under the instrumented entry
+// points and gives the image its large, flat instruction footprint.
+type LibConfig struct {
+	// Prefix names the layer's functions (prefix_0, prefix_1, ...).
+	Prefix string
+	// N is the number of functions in the layer.
+	N int
+	// MeanWords is the approximate straight-line size of each function.
+	MeanWords int
+	// CallsPerFn is how many call sites each function gets into the next
+	// layer (0 for leaf layers).
+	CallsPerFn int
+	// PickWidth is the dispatch width of each call site: >1 uses an
+	// indirect AutoPick over that many candidates, spreading execution
+	// across the layer below.
+	PickWidth int
+}
+
+// GenLayer generates one layer of auto functions that call into pool (the
+// already-generated layer below). It returns the specs and the new layer's
+// function names.
+func GenLayer(r *rand.Rand, cfg LibConfig, pool []string) ([]FnSpec, []string) {
+	specs := make([]FnSpec, 0, cfg.N)
+	names := make([]string, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		name := fmt.Sprintf("%s_%d", cfg.Prefix, i)
+		specs = append(specs, FnSpec{
+			Name: name,
+			Auto: true,
+			Body: genAutoBody(r, cfg, pool),
+		})
+		names = append(names, name)
+	}
+	return specs, names
+}
+
+// genAutoBody builds a plausible helper-function body: short straight-line
+// stretches separated by biased branches, an occasional short loop, and call
+// sites into the layer below.
+func genAutoBody(r *rand.Rand, cfg LibConfig, pool []string) []Frag {
+	var body []Frag
+	remaining := cfg.MeanWords/2 + r.Intn(cfg.MeanWords+1)
+	calls := cfg.CallsPerFn
+	if len(pool) == 0 {
+		calls = 0
+	}
+	seq := func(max int) Seq {
+		n := 2 + r.Intn(max)
+		if n > remaining {
+			n = remaining
+		}
+		if n < 1 {
+			n = 1
+		}
+		remaining -= n
+		return Seq(n)
+	}
+	for remaining > 0 {
+		switch r.Intn(8) {
+		case 0, 1, 2:
+			body = append(body, seq(9))
+		case 3:
+			// Biased conditional: hot arm first with p in [0.65, 0.95].
+			p := 0.65 + 0.3*r.Float64()
+			frag := AutoIf{Prob: p, Then: []Frag{seq(7)}}
+			if r.Intn(2) == 0 {
+				frag.Else = []Frag{seq(7)}
+			}
+			body = append(body, frag)
+		case 4:
+			// Short loop, mean ~2 extra iterations.
+			body = append(body, AutoLoop{Prob: 0.55 + 0.15*r.Float64(), Head: 2, Body: []Frag{seq(6)}})
+		case 5:
+			if calls > 0 {
+				body = append(body, genCallSite(r, cfg, pool))
+				calls--
+			} else {
+				body = append(body, seq(9))
+			}
+		case 6, 7:
+			// Error/assertion path: in-line code that essentially never
+			// executes, as real engine code carries everywhere. These
+			// blocks inflate the baseline's fetched-but-unused words; the
+			// fine-grain splitting pass is what gets rid of them.
+			body = append(body, ErrPath(r))
+		}
+	}
+	for calls > 0 {
+		body = append(body, genCallSite(r, cfg, pool))
+		calls--
+	}
+	return body
+}
+
+// ErrPath returns an inline error-handling branch that essentially never
+// executes (probability ~1 of falling through past it). Real database code
+// is dense with these; they are what makes nearly half the fetched words of
+// an unoptimized binary useless.
+func ErrPath(r *rand.Rand) Frag {
+	return AutoIf{
+		Prob: 0.9995,
+		Else: []Frag{Seq(6 + r.Intn(28))},
+	}
+}
+
+func genCallSite(r *rand.Rand, cfg LibConfig, pool []string) Frag {
+	width := cfg.PickWidth
+	if width <= 1 || len(pool) == 1 {
+		return Call{Fn: pool[r.Intn(len(pool))]}
+	}
+	if width > len(pool) {
+		width = len(pool)
+	}
+	// Pick a random window of candidates with Zipf-ish weights so that some
+	// callees are much hotter than others (a flat-but-skewed profile, like
+	// Figure 3's).
+	start := r.Intn(len(pool) - width + 1)
+	fns := make([]string, width)
+	weights := make([]uint32, width)
+	perm := r.Perm(width)
+	for j := 0; j < width; j++ {
+		fns[j] = pool[start+j]
+		weights[j] = uint32(math.Max(1, 1000/math.Pow(float64(perm[j]+1), 0.9)))
+	}
+	return AutoPick{Fns: fns, Weights: weights}
+}
+
+// GenCold generates never-executed static-image functions totaling about
+// totalWords of code, modeling the cold bulk of a large database binary.
+func GenCold(r *rand.Rand, prefix string, totalWords int, meanFnWords int) []FnSpec {
+	var specs []FnSpec
+	i := 0
+	for totalWords > 0 {
+		n := meanFnWords/2 + r.Intn(meanFnWords+1)
+		if n > totalWords {
+			n = totalWords
+		}
+		if n < 4 {
+			n = 4
+		}
+		totalWords -= n
+		// A couple of blocks so cold procedures are not single blobs.
+		third := n / 3
+		specs = append(specs, FnSpec{
+			Name: fmt.Sprintf("%s_%d", prefix, i),
+			Auto: true,
+			Cold: true,
+			Body: []Frag{
+				Seq(third + 1),
+				AutoIf{Prob: 0.5, Then: []Frag{Seq(third + 1)}},
+				Seq(n - 2*third),
+			},
+		})
+		i++
+	}
+	return specs
+}

@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the Spike-style
+// profile-driven code layout optimizer. It provides the three algorithms of
+// Section 2 — basic block chaining, fine-grain procedure splitting, and
+// Pettis–Hansen procedure ordering — plus the hot/cold splitting variant
+// shipped in the Spike distribution and the CFA (reserved conflict-free
+// area) optimization the paper evaluated and discarded.
+package core
+
+import (
+	"sort"
+
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+// Chain is a sequence of blocks laid out consecutively so that every
+// intra-chain transition is a fall-through (or an elided branch).
+type Chain []program.BlockID
+
+// ChainProc runs the paper's greedy basic-block chaining on one procedure:
+// flow edges are sorted by weight and processed heaviest first; an edge
+// joins two chains when its source is still a chain tail and its destination
+// is still a chain head (and no cycle would form). The chain containing the
+// procedure entry is placed first; the remaining chains follow in decreasing
+// execution count of their first block.
+func ChainProc(p *program.Program, pr *program.Procedure, pf *profile.Profile) []Chain {
+	entry := pr.Entry()
+
+	// Local indexes for the proc's blocks.
+	local := make(map[program.BlockID]int, len(pr.Blocks))
+	for i, b := range pr.Blocks {
+		local[b] = i
+	}
+
+	type edgeW struct {
+		e program.Edge
+		w uint64
+	}
+	var edges []edgeW
+	for _, bid := range pr.Blocks {
+		b := p.Block(bid)
+		p.FlowEdges(b, func(e program.Edge) {
+			if e.Dst == e.Src {
+				return // self-loop cannot be sequentialized
+			}
+			edges = append(edges, edgeW{e, pf.Edge(e.Src, e.Dst)})
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.w != b.w {
+			return a.w > b.w
+		}
+		if a.e.Src != b.e.Src {
+			return a.e.Src < b.e.Src
+		}
+		return a.e.Dst < b.e.Dst
+	})
+
+	next := make([]program.BlockID, len(pr.Blocks))
+	prev := make([]program.BlockID, len(pr.Blocks))
+	for i := range next {
+		next[i] = program.NoBlock
+		prev[i] = program.NoBlock
+	}
+	// Union-find over local indexes to reject cycles.
+	parent := make([]int, len(pr.Blocks))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	for _, ew := range edges {
+		src, dst := ew.e.Src, ew.e.Dst
+		if dst == entry {
+			continue // the entry must stay a chain head
+		}
+		ls, ok1 := local[src]
+		ld, ok2 := local[dst]
+		if !ok1 || !ok2 {
+			continue
+		}
+		if next[ls] != program.NoBlock || prev[ld] != program.NoBlock {
+			continue
+		}
+		rs, rd := find(ls), find(ld)
+		if rs == rd {
+			continue // would close a cycle
+		}
+		next[ls] = dst
+		prev[ld] = src
+		parent[rs] = rd
+	}
+
+	var chains []Chain
+	for i, bid := range pr.Blocks {
+		if prev[i] != program.NoBlock {
+			continue
+		}
+		ch := Chain{bid}
+		cur := i
+		for next[cur] != program.NoBlock {
+			nb := next[cur]
+			ch = append(ch, nb)
+			cur = local[nb]
+		}
+		chains = append(chains, ch)
+	}
+
+	sort.SliceStable(chains, func(i, j int) bool {
+		a, b := chains[i], chains[j]
+		ae, be := a[0] == entry, b[0] == entry
+		if ae != be {
+			return ae
+		}
+		ca, cb := pf.Count(a[0]), pf.Count(b[0])
+		if ca != cb {
+			return ca > cb
+		}
+		return a[0] < b[0]
+	})
+	return chains
+}
+
+// SourceChains returns the unchained block order of a procedure as a single
+// chain (the layout the original binary has inside the procedure).
+func SourceChains(pr *program.Procedure) []Chain {
+	return []Chain{Chain(append([]program.BlockID(nil), pr.Blocks...))}
+}

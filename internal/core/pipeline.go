@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+// OrderMode selects the procedure-ordering pass.
+type OrderMode int
+
+const (
+	// OrderOriginal keeps units in the original binary's link order.
+	OrderOriginal OrderMode = iota
+	// OrderPettisHansen applies Pettis–Hansen ordering to the hot units and
+	// appends cold units afterwards.
+	OrderPettisHansen
+)
+
+func (m OrderMode) String() string {
+	if m == OrderPettisHansen {
+		return "pettis-hansen"
+	}
+	return "original"
+}
+
+// Options selects the optimization combination, mirroring the combinations
+// of Figure 7: base, porder, chain, chain+split, chain+porder, all.
+type Options struct {
+	// Chain enables basic block chaining within procedures.
+	Chain bool
+	// Split selects how procedures are cut into placement units.
+	Split SplitMode
+	// Order selects the unit ordering pass.
+	Order OrderMode
+	// AlignWords pads unit starts; 0 defaults to 4 (16-byte alignment).
+	AlignWords int
+	// CFA, if non-nil, reserves a conflict-free instruction-cache area for
+	// the hottest units (the software-trace-cache style optimization the
+	// paper found unprofitable for OLTP).
+	CFA *CFAOptions
+}
+
+// Combo names a standard optimization combination from the paper.
+type Combo struct {
+	Name string
+	Opts Options
+}
+
+// Combos returns the paper's Figure 7 / Figure 15 combinations in order.
+func Combos() []Combo {
+	return []Combo{
+		{"base", Options{}},
+		{"porder", Options{Order: OrderPettisHansen}},
+		{"chain", Options{Chain: true}},
+		{"chain+split", Options{Chain: true, Split: SplitFine}},
+		{"chain+porder", Options{Chain: true, Order: OrderPettisHansen}},
+		{"all", Options{Chain: true, Split: SplitFine, Order: OrderPettisHansen}},
+	}
+}
+
+// ComboByName returns the named combination.
+func ComboByName(name string) (Combo, error) {
+	for _, c := range Combos() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Combo{}, fmt.Errorf("core: unknown optimization combo %q", name)
+}
+
+// Report summarizes what the optimizer did.
+type Report struct {
+	Chains           int
+	Units            int
+	HotUnits         int
+	HotWords         int64
+	LongBranches     int
+	PadWords         int64
+	CFAReservedWords int64
+}
+
+// Optimize produces a layout of the program under the given options. The
+// profile may be sampling-based (block counts only); edge weights are then
+// estimated the way Spike does. The base combination (zero Options with no
+// chaining) reproduces the original binary's layout modulo alignment.
+func Optimize(p *program.Program, pf *profile.Profile, o Options) (*program.Layout, *Report, error) {
+	pf.EnsureEdges(p)
+	rep := &Report{}
+
+	// 1. Chain blocks within each procedure.
+	chains := make(map[program.ProcID][]Chain, len(p.Procs))
+	for _, pr := range p.Procs {
+		if o.Chain && !pr.Cold {
+			chains[pr.ID] = ChainProc(p, pr, pf)
+		} else {
+			chains[pr.ID] = SourceChains(pr)
+		}
+		rep.Chains += len(chains[pr.ID])
+	}
+
+	// 2. Cut into placement units.
+	units := BuildUnits(p, pf, chains, o.Split)
+	rep.Units = len(units)
+	for _, u := range units {
+		if u.Hot {
+			rep.HotUnits++
+			rep.HotWords += unitWords(p, u)
+		}
+	}
+
+	// 3. Order units.
+	var unitOrder []int
+	switch o.Order {
+	case OrderOriginal:
+		unitOrder = make([]int, len(units))
+		for i := range units {
+			unitOrder[i] = i
+		}
+		sort.SliceStable(unitOrder, func(a, b int) bool {
+			ua, ub := units[unitOrder[a]], units[unitOrder[b]]
+			if ua.Proc != ub.Proc {
+				return ua.Proc < ub.Proc
+			}
+			return ua.Seq < ub.Seq
+		})
+	case OrderPettisHansen:
+		hot := PettisHansen(p, pf, units)
+		seen := make([]bool, len(units))
+		for _, i := range hot {
+			seen[i] = true
+		}
+		unitOrder = append(unitOrder, hot...)
+		var cold []int
+		for i := range units {
+			if !seen[i] {
+				cold = append(cold, i)
+			}
+		}
+		sort.SliceStable(cold, func(a, b int) bool {
+			ua, ub := units[cold[a]], units[cold[b]]
+			if ua.Proc != ub.Proc {
+				return ua.Proc < ub.Proc
+			}
+			return ua.Seq < ub.Seq
+		})
+		unitOrder = append(unitOrder, cold...)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown order mode %d", o.Order)
+	}
+
+	// 4. Flatten and materialize.
+	order := make([]program.BlockID, 0, p.NumBlocks())
+	alignAt := make(map[program.BlockID]bool, len(units))
+	for _, ui := range unitOrder {
+		u := units[ui]
+		if len(u.Blocks) == 0 {
+			continue
+		}
+		alignAt[u.Blocks[0]] = true
+		order = append(order, u.Blocks...)
+	}
+	align := o.AlignWords
+	if align == 0 {
+		align = 4
+	}
+	mopts := program.MaterializeOptions{
+		AlignWords: align,
+		AlignAt:    alignAt,
+		Hotness:    pf.Count,
+	}
+	if o.CFA != nil {
+		gaps, reserved := planCFA(p, units, unitOrder, *o.CFA)
+		mopts.GapBefore = gaps
+		rep.CFAReservedWords = reserved
+	}
+	l, err := program.Materialize(p, order, mopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.LongBranches = l.LongBranches
+	rep.PadWords = l.PadWords
+	return l, rep, nil
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+// PettisHansen orders the hot placement units with the Pettis and Hansen
+// procedure ordering algorithm (Figure 2 of the paper): build a weighted
+// (undirected) call graph over units — including branch edges between units,
+// which fine-grain splitting introduces — then repeatedly collapse the
+// heaviest edge, choosing among the four possible merge orientations using
+// the weights of the original graph. Cold units keep their original relative
+// order and are appended by the caller.
+//
+// The returned slice is a permutation of the indexes of the hot units in
+// placement order.
+func PettisHansen(p *program.Program, pf *profile.Profile, units []Unit) []int {
+	// Map blocks to unit indexes.
+	unitOf := make([]int32, p.NumBlocks())
+	for i := range unitOf {
+		unitOf[i] = -1
+	}
+	hotIdx := make([]int, 0, len(units))
+	for i, u := range units {
+		if !u.Hot {
+			continue
+		}
+		hotIdx = append(hotIdx, i)
+		for _, b := range u.Blocks {
+			unitOf[b] = int32(i)
+		}
+	}
+	if len(hotIdx) <= 1 {
+		return hotIdx
+	}
+
+	// Original undirected inter-unit weights.
+	type pair struct{ a, b int32 }
+	norm := func(a, b int32) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	orig := make(map[pair]uint64)
+	for _, i := range hotIdx {
+		for _, bid := range units[i].Blocks {
+			b := p.Block(bid)
+			p.SuccEdges(b, func(e program.Edge) {
+				w := pf.Edge(e.Src, e.Dst)
+				if w == 0 {
+					return
+				}
+				du := unitOf[e.Dst]
+				if du < 0 || du == int32(i) {
+					return
+				}
+				orig[norm(int32(i), du)] += w
+			})
+		}
+	}
+
+	// Group state: each hot unit starts as its own group.
+	parent := make(map[int32]int32, len(hotIdx))
+	lists := make(map[int32][]int32, len(hotIdx))
+	adj := make(map[int32]map[int32]uint64, len(hotIdx))
+	for _, i := range hotIdx {
+		gi := int32(i)
+		parent[gi] = gi
+		lists[gi] = []int32{gi}
+		adj[gi] = make(map[int32]uint64)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for pr, w := range orig {
+		adj[pr.a][pr.b] += w
+		adj[pr.b][pr.a] += w
+	}
+
+	// Max-heap of candidate merges with lazy invalidation.
+	h := &edgeHeap{}
+	for pr, w := range orig {
+		heap.Push(h, heapEdge{w: w, a: pr.a, b: pr.b})
+	}
+	sort.Sort(h) // heap.Init equivalent but deterministic start
+	heap.Init(h)
+
+	originalWeight := func(a, b int32) uint64 { return orig[norm(a, b)] }
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEdge)
+		ga, gb := find(e.a), find(e.b)
+		if ga == gb {
+			continue
+		}
+		if w := adj[ga][gb]; w != e.w || w == 0 {
+			continue // stale entry
+		}
+		// Merge gb into ga, choosing the best of the four orientations by
+		// the original-graph weight between the junction endpoints.
+		L, R := lists[ga], lists[gb]
+		type combo struct {
+			revL, revR bool
+			score      uint64
+		}
+		combos := []combo{
+			{false, false, originalWeight(L[len(L)-1], R[0])},
+			{false, true, originalWeight(L[len(L)-1], R[len(R)-1])},
+			{true, false, originalWeight(L[0], R[0])},
+			{true, true, originalWeight(L[0], R[len(R)-1])},
+		}
+		best := combos[0]
+		for _, c := range combos[1:] {
+			if c.score > best.score {
+				best = c
+			}
+		}
+		if best.revL {
+			reverse(L)
+		}
+		if best.revR {
+			reverse(R)
+		}
+		lists[ga] = append(L, R...)
+		delete(lists, gb)
+		parent[gb] = ga
+
+		// Fold gb's adjacency into ga's and refresh heap entries.
+		for n, w := range adj[gb] {
+			gn := find(n)
+			if gn == ga || w == 0 {
+				continue
+			}
+			adj[ga][gn] += w
+			adj[gn][ga] = adj[ga][gn]
+			delete(adj[gn], gb)
+			heap.Push(h, heapEdge{w: adj[ga][gn], a: ga, b: gn})
+		}
+		delete(adj, gb)
+		delete(adj[ga], gb)
+	}
+
+	// Collect surviving groups; order by total dynamic weight, then by the
+	// smallest original unit index for determinism.
+	type group struct {
+		rep    int32
+		weight uint64
+		minIdx int32
+	}
+	var groups []group
+	for rep, list := range lists {
+		var w uint64
+		min := list[0]
+		for _, u := range list {
+			w += units[u].Count
+			if u < min {
+				min = u
+			}
+		}
+		groups = append(groups, group{rep, w, min})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].weight != groups[j].weight {
+			return groups[i].weight > groups[j].weight
+		}
+		return groups[i].minIdx < groups[j].minIdx
+	})
+	var order []int
+	for _, g := range groups {
+		for _, u := range lists[g.rep] {
+			order = append(order, int(u))
+		}
+	}
+	return order
+}
+
+func reverse(s []int32) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+type heapEdge struct {
+	w    uint64
+	a, b int32
+}
+
+type edgeHeap []heapEdge
+
+func (h edgeHeap) Len() int { return len(h) }
+func (h edgeHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w > h[j].w
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(heapEdge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

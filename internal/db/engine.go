@@ -1,0 +1,232 @@
+package db
+
+import (
+	"fmt"
+
+	"codelayout/internal/probe"
+)
+
+// Engine is the shared database instance (the SGA): buffer pool, WAL, lock
+// manager, catalogs. Server processes share one Engine through per-process
+// Sessions; the simulated machine runs exactly one process at a time, so no
+// internal locking is needed (as with real dedicated-server processes
+// synchronizing through latches, which the models charge as library code).
+type Engine struct {
+	Disk  *Disk
+	Pool  *BufferPool
+	WAL   *WAL
+	Locks *LockMgr
+	Env   Env
+
+	trees    map[string]*BTree
+	tables   map[string]*Table
+	nextPage PageID
+	nextTxn  uint64
+
+	// Committed counts committed transactions.
+	Committed uint64
+	// Aborted counts aborted transactions.
+	Aborted uint64
+}
+
+// Config sizes the engine.
+type Config struct {
+	// BufferPoolPages caps resident pages. Size it to hold the whole
+	// database to reproduce the paper's cached-tables setup.
+	BufferPoolPages int
+	// Env provides process blocking; nil means NopEnv (single process).
+	Env Env
+}
+
+// NewEngine creates an empty database.
+func NewEngine(cfg Config) *Engine {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 4096
+	}
+	env := cfg.Env
+	if env == nil {
+		env = NopEnv{}
+	}
+	disk := NewDisk()
+	return &Engine{
+		Disk:    disk,
+		Pool:    NewBufferPool(disk, cfg.BufferPoolPages),
+		WAL:     NewWAL(),
+		Locks:   NewLockMgr(),
+		Env:     env,
+		trees:   make(map[string]*BTree),
+		tables:  make(map[string]*Table),
+		nextTxn: 1,
+	}
+}
+
+// AllocPage reserves a fresh page ID.
+func (e *Engine) AllocPage() PageID {
+	id := e.nextPage
+	e.nextPage++
+	return id
+}
+
+// Tree returns a named index.
+func (e *Engine) Tree(name string) *BTree { return e.trees[name] }
+
+// Table is a heap table: pages filled append-only, with in-place updates.
+type Table struct {
+	Name  string
+	Pages []PageID
+	eng   *Engine
+}
+
+// CreateTable registers an empty heap table.
+func (e *Engine) CreateTable(name string) *Table {
+	t := &Table{Name: name, eng: e}
+	e.tables[name] = t
+	return t
+}
+
+// Table returns a named heap table.
+func (e *Engine) Table(name string) *Table { return e.tables[name] }
+
+// Session is one server process's handle on the engine. PB receives the
+// instrumentation events that drive the modeled instruction stream.
+type Session struct {
+	Eng *Engine
+	PB  probe.Probe
+	// PID identifies the server process (for diagnostics).
+	PID int
+
+	txn *Txn
+}
+
+// NewSession creates a session; pb may be probe.Nop{}.
+func (e *Engine) NewSession(pid int, pb probe.Probe) *Session {
+	if pb == nil {
+		pb = probe.Nop{}
+	}
+	return &Session{Eng: e, PB: pb, PID: pid}
+}
+
+// BufGet pins a page through the instrumented buffer-manager path: the
+// hit/miss outcome is reported, and a miss crosses into the kernel for the
+// read.
+func (s *Session) BufGet(id PageID) *Page {
+	s.PB.Enter("buf_get")
+	defer s.PB.Leave("buf_get")
+	pg, hit, err := s.Eng.Pool.get(id)
+	if err != nil {
+		panic(fmt.Sprintf("db: bufget %d: %v", id, err))
+	}
+	s.PB.Branch("buf_hit", hit)
+	if hit {
+		s.PB.Data(PageAddr(id), 32, false)
+	} else {
+		s.PB.Syscall("pread")
+		s.PB.Data(PageAddr(id), 256, true)
+	}
+	return pg
+}
+
+// bufGetQuiet pins a page without instrumentation (load/recovery paths and
+// B+tree structure modification, which the models charge as library code).
+func (s *Session) bufGetQuiet(id PageID) *Page {
+	pg, _, err := s.Eng.Pool.get(id)
+	if err != nil {
+		panic(fmt.Sprintf("db: bufget %d: %v", id, err))
+	}
+	return pg
+}
+
+// Unpin releases a page pin.
+func (s *Session) Unpin(pg *Page) { s.Eng.Pool.Unpin(pg) }
+
+// LockX acquires an exclusive row lock, parking the process on conflict
+// until the holder releases.
+func (s *Session) LockX(key uint64) {
+	s.lock(key, LockX)
+}
+
+// LockS acquires a shared row lock.
+func (s *Session) LockS(key uint64) {
+	s.lock(key, LockS)
+}
+
+func (s *Session) lock(key uint64, mode LockMode) {
+	s.PB.Enter("lock_acquire")
+	defer s.PB.Leave("lock_acquire")
+	if s.txn == nil {
+		panic("db: lock outside transaction")
+	}
+	for {
+		ok, isNew := s.Eng.Locks.try(s.txn.ID, key, mode)
+		s.PB.Data(lockTableAddr(key), 64, true)
+		s.PB.Branch("lock_conflict", !ok)
+		if ok {
+			if isNew {
+				s.txn.held = append(s.txn.held, key)
+			}
+			return
+		}
+		s.Eng.Locks.Conflicts++
+		st := s.Eng.Locks.locks[key]
+		st.waiting++
+		s.PB.Syscall("lock_sleep")
+		s.Eng.Env.Wait(st.queue)
+		st.waiting--
+	}
+}
+
+// ReleaseLocks drops every lock held by the current transaction (strict
+// 2PL: called at commit/abort).
+func (s *Session) ReleaseLocks() {
+	s.PB.Enter("lock_release")
+	defer s.PB.Leave("lock_release")
+	t := s.txn
+	for _, key := range t.held {
+		s.PB.Branch("lockrel_iter", true)
+		s.PB.Data(lockTableAddr(key), 64, true)
+		wake, err := s.Eng.Locks.release(t.ID, key)
+		if err != nil {
+			panic(err)
+		}
+		if wake {
+			s.Eng.Env.Wake(s.Eng.Locks.queueFor(key))
+		}
+	}
+	s.PB.Branch("lockrel_iter", false)
+	t.held = t.held[:0]
+}
+
+// LogAppend writes a WAL record through the instrumented path.
+func (s *Session) LogAppend(rec LogRec) uint64 {
+	s.PB.Enter("log_append")
+	defer s.PB.Leave("log_append")
+	lsn, off := s.Eng.WAL.Append(rec)
+	s.PB.Data(logBufAddr(off), 32+len(rec.Before)+len(rec.After), true)
+	s.PB.Branch("logbuf_high", s.Eng.WAL.BufferedBytes() > logBufHighWater)
+	return lsn
+}
+
+// logBufHighWater models log-buffer pressure (purely an observable branch;
+// flushing happens at commit).
+const logBufHighWater = 1 << 16
+
+// logBufAddr places the (1 MB circular) log buffer in the shared data
+// segment; records pack contiguously, so commits from different CPUs share
+// lines.
+func logBufAddr(offset int64) uint64 {
+	return DataBase + 0x4000_0000 + uint64(offset)%(1<<20)
+}
+
+// lockTableAddr places the shared lock table: every acquire and release
+// writes the resource's bucket, the way SGA-resident lock structures behave.
+func lockTableAddr(key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return DataBase + 0x6000_0000 + (h%16384)*64
+}
+
+// ScratchAddr returns per-process private working storage (sort areas,
+// cursor state); private data pressures the D-cache without producing
+// sharing traffic.
+func (s *Session) ScratchAddr(off uint64) uint64 {
+	return DataBase + 0x7000_0000 + uint64(s.PID)<<20 + off%(1<<18)
+}

@@ -1,0 +1,250 @@
+package db
+
+import "fmt"
+
+// Txn is an in-flight transaction.
+type Txn struct {
+	ID   uint64
+	held []uint64 // lock keys, release order = acquisition order
+	undo []LogRec // before-images for abort
+}
+
+// Begin starts a transaction on the session.
+func (s *Session) Begin() *Txn {
+	s.PB.Enter("txn_begin")
+	defer s.PB.Leave("txn_begin")
+	if s.txn != nil {
+		panic("db: nested transaction")
+	}
+	t := &Txn{ID: s.Eng.nextTxn}
+	s.Eng.nextTxn++
+	s.txn = t
+	return t
+}
+
+// Txn returns the session's current transaction (nil outside one).
+func (s *Session) Txn() *Txn { return s.txn }
+
+// Commit forces the log (group commit) and releases locks.
+func (s *Session) Commit() {
+	s.PB.Enter("txn_commit")
+	defer s.PB.Leave("txn_commit")
+	t := s.txn
+	if t == nil {
+		panic("db: commit outside transaction")
+	}
+	lsn := s.LogAppend(LogRec{Txn: t.ID, Kind: LogCommit})
+	s.logForce(lsn)
+	s.ReleaseLocks()
+	s.txn = nil
+	s.Eng.Committed++
+}
+
+// Abort undoes the transaction's updates from its before-images, logs the
+// abort, and releases locks.
+func (s *Session) Abort() {
+	s.PB.Enter("txn_abort")
+	defer s.PB.Leave("txn_abort")
+	t := s.txn
+	if t == nil {
+		panic("db: abort outside transaction")
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		s.PB.Branch("undo_iter", true)
+		rec := t.undo[i]
+		pg := s.bufGetQuiet(rec.Page)
+		switch rec.Kind {
+		case LogUpdate:
+			if err := pg.Update(int(rec.Slot), rec.Before); err != nil {
+				panic(err)
+			}
+		case LogInsert:
+			if err := pg.Delete(int(rec.Slot)); err != nil {
+				panic(err)
+			}
+		}
+		s.Unpin(pg)
+	}
+	s.PB.Branch("undo_iter", false)
+	s.LogAppend(LogRec{Txn: t.ID, Kind: LogAbort})
+	s.ReleaseLocks()
+	s.txn = nil
+	s.Eng.Aborted++
+}
+
+// logForce implements group commit: the first committer whose LSN is not yet
+// stable becomes the leader and performs the log write (a blocking kernel
+// crossing); committers arriving while a flush is in flight park and are
+// released together when the leader finishes.
+func (s *Session) logForce(lsn uint64) {
+	s.PB.Enter("log_flush")
+	defer s.PB.Leave("log_flush")
+	w := s.Eng.WAL
+	grouped := false
+	for {
+		done := w.FlushedLSN >= lsn
+		s.PB.Branch("log_retry", !done)
+		if done {
+			break
+		}
+		leader := !w.Flushing
+		s.PB.Branch("log_leader", leader)
+		if leader {
+			w.Flushing = true
+			target := w.CurrentLSN()
+			s.PB.Syscall("log_write")
+			w.MarkFlushed(target)
+			w.Flushing = false
+			s.Eng.Env.Wake(w.Waiters)
+		} else {
+			grouped = true
+			s.PB.Syscall("log_wait")
+			s.Eng.Env.Wait(w.Waiters)
+		}
+	}
+	if grouped {
+		w.GroupedCommits++
+	}
+}
+
+// ---- Heap table operations ----
+
+// Insert appends a record to the heap table, allocating a fresh page when
+// the tail page is full.
+func (tb *Table) Insert(s *Session, rec []byte) RID {
+	s.PB.Enter("heap_insert")
+	defer s.PB.Leave("heap_insert")
+	needNew := len(tb.Pages) == 0
+	if !needNew {
+		tail := s.bufGetQuiet(tb.Pages[len(tb.Pages)-1])
+		needNew = tail.FreeBytes() < len(rec)+2
+		s.Unpin(tail)
+	}
+	s.PB.Branch("heap_newpage", needNew)
+	if needNew {
+		tb.Pages = append(tb.Pages, tb.eng.AllocPage())
+	}
+	pgID := tb.Pages[len(tb.Pages)-1]
+	pg := s.BufGet(pgID)
+	defer s.Unpin(pg)
+	slot, err := pg.Insert(rec)
+	if err != nil {
+		panic(fmt.Sprintf("db: heap insert: %v", err))
+	}
+	rid := RID{Page: pgID, Slot: uint16(slot)}
+	lr := LogRec{Txn: s.txnID(), Kind: LogInsert, Page: pgID, Slot: uint16(slot), After: clone(rec)}
+	s.LogAppend(lr)
+	if s.txn != nil {
+		s.txn.undo = append(s.txn.undo, lr)
+	}
+	s.PB.Data(PageAddr(pgID), 16, true) // page header: slot count, LSN
+	s.PB.Data(PageAddr(pgID)+uint64(slot%64)*100, len(rec), true)
+	return rid
+}
+
+// Fetch copies the record at rid.
+func (tb *Table) Fetch(s *Session, rid RID) []byte {
+	s.PB.Enter("heap_fetch")
+	defer s.PB.Leave("heap_fetch")
+	pg := s.BufGet(rid.Page)
+	defer s.Unpin(pg)
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		panic(fmt.Sprintf("db: heap fetch %v: %v", rid, err))
+	}
+	s.PB.Data(PageAddr(rid.Page)+uint64(rid.Slot)*100, len(rec), false)
+	return clone(rec)
+}
+
+// Update rewrites the record at rid (same size), logging before/after
+// images.
+func (tb *Table) Update(s *Session, rid RID, rec []byte) {
+	s.PB.Enter("heap_update")
+	defer s.PB.Leave("heap_update")
+	pg := s.BufGet(rid.Page)
+	defer s.Unpin(pg)
+	old, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		panic(fmt.Sprintf("db: heap update %v: %v", rid, err))
+	}
+	lr := LogRec{Txn: s.txnID(), Kind: LogUpdate, Page: rid.Page, Slot: rid.Slot,
+		Before: clone(old), After: clone(rec)}
+	s.LogAppend(lr)
+	if s.txn != nil {
+		s.txn.undo = append(s.txn.undo, lr)
+	}
+	if err := pg.Update(int(rid.Slot), rec); err != nil {
+		panic(err)
+	}
+	s.PB.Data(PageAddr(rid.Page), 16, true) // page header LSN
+	s.PB.Data(PageAddr(rid.Page)+uint64(rid.Slot)*100, len(rec), true)
+}
+
+func (s *Session) txnID() uint64 {
+	if s.txn == nil {
+		return 0
+	}
+	return s.txn.ID
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// ---- Recovery ----
+
+// Recover rebuilds the database from the disk checkpoint plus the stable
+// log: redo-only (the engine never steals dirty pages of uncommitted
+// transactions to disk mid-transaction; checkpoints happen at quiescence).
+// It returns the set of committed transaction IDs.
+func Recover(disk *Disk, wal *WAL) (map[uint64]bool, error) {
+	committed := make(map[uint64]bool)
+	for _, rec := range wal.Records {
+		if rec.LSN > wal.FlushedLSN {
+			break // tail never reached stable storage
+		}
+		if rec.Kind == LogCommit {
+			committed[rec.Txn] = true
+		}
+	}
+	// Redo committed changes in log order.
+	pages := make(map[PageID]*Page)
+	getPage := func(id PageID) *Page {
+		if pg, ok := pages[id]; ok {
+			return pg
+		}
+		pg := &Page{ID: id, Data: disk.Read(id)}
+		pages[id] = pg
+		return pg
+	}
+	for _, rec := range wal.Records {
+		if rec.LSN > wal.FlushedLSN {
+			break
+		}
+		if !committed[rec.Txn] {
+			continue
+		}
+		switch rec.Kind {
+		case LogInsert:
+			pg := getPage(rec.Page)
+			slot, err := pg.Insert(rec.After)
+			if err != nil {
+				return nil, fmt.Errorf("recover: %w", err)
+			}
+			if uint16(slot) != rec.Slot {
+				return nil, fmt.Errorf("recover: insert slot %d, log says %d", slot, rec.Slot)
+			}
+		case LogUpdate:
+			pg := getPage(rec.Page)
+			if err := pg.Update(int(rec.Slot), rec.After); err != nil {
+				return nil, fmt.Errorf("recover: %w", err)
+			}
+		}
+	}
+	for id, pg := range pages {
+		disk.Write(id, pg.Data)
+	}
+	return committed, nil
+}

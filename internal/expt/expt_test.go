@@ -1,0 +1,127 @@
+package expt_test
+
+import (
+	"strings"
+	"testing"
+
+	"codelayout/internal/expt"
+)
+
+// sharedSession is built once; experiments memoize runs inside it.
+var sharedSession *expt.Session
+
+func session(t *testing.T) *expt.Session {
+	t.Helper()
+	if sharedSession != nil {
+		return sharedSession
+	}
+	o := expt.QuickOptions()
+	// Even quicker for unit tests.
+	o.Transactions = 60
+	o.WarmupTxns = 15
+	o.TrainTxns = 150
+	o.CPUs = 2
+	o.ProcsPerCPU = 4
+	o.Scale.Branches = 6
+	o.Scale.AccountsPerBranch = 250
+	o.LibScale = 0.3
+	o.ColdWords = 400_000
+	o.KernColdWords = 100_000
+	s, err := expt.NewSession(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedSession = s
+	return s
+}
+
+func TestRegistryIsComplete(t *testing.T) {
+	ids := expt.IDs()
+	want := []string{
+		"fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "footprint", "hw21164",
+		"speedup", "kernopt", "abl-split", "abl-cfa", "abl-profile",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	if _, err := expt.Get("fig04"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expt.Get("nope"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	s := session(t)
+	for _, id := range expt.IDs() {
+		tables, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+		for _, tb := range tables {
+			out := tb.String()
+			if !strings.Contains(out, "==") || len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table:\n%s", id, out)
+			}
+		}
+	}
+}
+
+// TestHeadlineShapes asserts the paper's qualitative results hold in the
+// quick configuration: big app-only miss reductions at 64-128KB, smaller
+// combined reductions, porder-alone not helping much, sequences lengthening.
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	s := session(t)
+	base, err := s.Measure("base", s.Opt.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.Measure("all", s.Opt.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{64, 128} {
+		b, o := base.App4W[size].Misses, opt.App4W[size].Misses
+		if o >= b {
+			t.Fatalf("no app miss reduction at %dKB: %d -> %d", size, b, o)
+		}
+		red := 1 - float64(o)/float64(b)
+		t.Logf("app-only reduction at %dKB: %.1f%%", size, red*100)
+		if red < 0.25 {
+			t.Errorf("reduction at %dKB only %.1f%%, paper band is 55-65%%", size, red*100)
+		}
+		bc, oc := base.Comb4W[size].Misses, opt.Comb4W[size].Misses
+		if oc >= bc {
+			t.Fatalf("no combined reduction at %dKB", size)
+		}
+	}
+	if opt.Seq.Hist.Mean() <= base.Seq.Hist.Mean() {
+		t.Errorf("sequences did not lengthen: %.2f -> %.2f", base.Seq.Hist.Mean(), opt.Seq.Hist.Mean())
+	}
+	if opt.Foot.Bytes() >= base.Foot.Bytes() {
+		t.Errorf("footprint did not shrink: %d -> %d", base.Foot.Bytes(), opt.Foot.Bytes())
+	}
+	if opt.Word.UnusedFetchedFrac() >= base.Word.UnusedFetchedFrac() {
+		t.Errorf("unused fetched fraction did not drop: %.2f -> %.2f",
+			base.Word.UnusedFetchedFrac(), opt.Word.UnusedFetchedFrac())
+	}
+	if opt.ITLB64 >= base.ITLB64 {
+		t.Errorf("iTLB misses did not drop: %d -> %d", base.ITLB64, opt.ITLB64)
+	}
+}

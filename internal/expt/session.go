@@ -1,0 +1,301 @@
+// Package expt is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation from the simulated system. A Session
+// owns the built images, the training profile, the optimized layouts, and a
+// memo of measured runs, so that the many figures drawing on the same run
+// share one simulation.
+package expt
+
+import (
+	"fmt"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/trace"
+)
+
+// Options configures a session.
+type Options struct {
+	Seed      int64
+	TrainSeed int64
+
+	CPUs        int
+	ProcsPerCPU int
+
+	Transactions int
+	WarmupTxns   int
+	TrainTxns    int
+
+	Scale         tpcb.Scale
+	LibScale      float64
+	ColdWords     int
+	KernColdWords int
+
+	// DCPIPeriod is the sampling period for the DCPI-profile ablation.
+	DCPIPeriod uint64
+
+	// Quick shrinks the workload and image for fast CI/bench runs while
+	// keeping every shape qualitatively intact.
+	Quick bool
+}
+
+// DefaultOptions returns the paper-scale configuration: 4 processors, 8
+// server processes each, 40 branches, 500 measured transactions, profiles
+// trained on a separate 2000-transaction run with a different seed.
+func DefaultOptions() Options {
+	return Options{
+		Seed: 2001, TrainSeed: 1998,
+		CPUs: 4, ProcsPerCPU: 8,
+		Transactions: 500, WarmupTxns: 100, TrainTxns: 2000,
+		Scale:    tpcb.DefaultScale(),
+		LibScale: 1.0, ColdWords: 6_400_000, KernColdWords: 1_400_000,
+		DCPIPeriod: 256,
+	}
+}
+
+// QuickOptions returns a shrunken configuration for tests and default
+// bench runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	o.CPUs = 2
+	o.ProcsPerCPU = 6
+	o.Transactions = 150
+	o.WarmupTxns = 40
+	o.TrainTxns = 400
+	o.Scale = tpcb.Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400}
+	o.LibScale = 0.4
+	o.ColdWords = 900_000
+	o.KernColdWords = 250_000
+	return o
+}
+
+// Session owns built images, layouts and memoized measurements.
+type Session struct {
+	Opt Options
+
+	appImg  *codegen.Image
+	kernImg *codegen.Image
+
+	layouts  map[string]*program.Layout
+	reports  map[string]*core.Report
+	kernLay  map[string]*program.Layout
+	train    *profile.Profile // Pixie profile of the app under base layout
+	trainK   *profile.Profile // kernel profile
+	trainDC  *profile.Profile // DCPI sampling profile
+	measures map[measKey]*Measure
+}
+
+type measKey struct {
+	layout string
+	kern   string
+	cpus   int
+}
+
+// NewSession builds the images and baseline layouts.
+func NewSession(o Options) (*Session, error) {
+	s := &Session{
+		Opt:      o,
+		layouts:  make(map[string]*program.Layout),
+		reports:  make(map[string]*core.Report),
+		kernLay:  make(map[string]*program.Layout),
+		measures: make(map[measKey]*Measure),
+	}
+	var err error
+	s.appImg, err = appmodel.Build(appmodel.Config{Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords})
+	if err != nil {
+		return nil, fmt.Errorf("expt: app image: %w", err)
+	}
+	s.kernImg, err = kernel.Build(kernel.Config{Seed: o.Seed + 1, ColdWords: o.KernColdWords})
+	if err != nil {
+		return nil, fmt.Errorf("expt: kernel image: %w", err)
+	}
+	base, err := program.BaselineLayout(s.appImg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	s.layouts["base"] = base
+	kbase, err := program.BaselineLayout(s.kernImg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	s.kernLay["kbase"] = kbase
+	return s, nil
+}
+
+// AppImage exposes the application image (facade and tools).
+func (s *Session) AppImage() *codegen.Image { return s.appImg }
+
+// KernelImage exposes the kernel image.
+func (s *Session) KernelImage() *codegen.Image { return s.kernImg }
+
+// Train runs the profiling workload once (Pixie instrumentation plus a
+// DCPI-style sampler over the same run) and caches the profiles.
+func (s *Session) Train() error {
+	if s.train != nil {
+		return nil
+	}
+	px := profile.NewPixie(s.appImg.Prog, "pixie-train")
+	kx := profile.NewPixie(s.kernImg.Prog, "kprofile")
+	dcpi := profile.NewDCPI(s.layouts["base"], s.Opt.DCPIPeriod)
+	cfg := s.machineConfig("base", "kbase", s.Opt.CPUs)
+	cfg.Seed = s.Opt.TrainSeed
+	cfg.Transactions = s.Opt.TrainTxns
+	cfg.AppCollector = px
+	cfg.KernCollector = kx
+	cfg.Sinks = []trace.Sink{trace.AppOnly(dcpi)}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(); err != nil {
+		return err
+	}
+	s.train = px.Profile
+	s.trainK = kx.Profile
+	s.trainDC = dcpi.Finish("dcpi-train")
+	return nil
+}
+
+// Profile returns the Pixie training profile (training the profile first if
+// needed).
+func (s *Session) Profile() (*profile.Profile, error) {
+	if err := s.Train(); err != nil {
+		return nil, err
+	}
+	return s.train, nil
+}
+
+// layoutSpecs names every layout the experiments use.
+func (s *Session) layoutSpec(name string) (core.Options, *profile.Profile, error) {
+	if err := s.Train(); err != nil {
+		return core.Options{}, nil, err
+	}
+	switch name {
+	case "porder":
+		return core.Options{Order: core.OrderPettisHansen}, s.train, nil
+	case "chain":
+		return core.Options{Chain: true}, s.train, nil
+	case "chain+split":
+		return core.Options{Chain: true, Split: core.SplitFine}, s.train, nil
+	case "chain+porder":
+		return core.Options{Chain: true, Order: core.OrderPettisHansen}, s.train, nil
+	case "all":
+		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}, s.train, nil
+	case "hotcold":
+		return core.Options{Chain: true, Split: core.SplitHotCold, Order: core.OrderPettisHansen}, s.train, nil
+	case "cfa":
+		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+			CFA: &core.CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}}, s.train, nil
+	case "dcpi-all":
+		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}, s.trainDC, nil
+	default:
+		return core.Options{}, nil, fmt.Errorf("expt: unknown layout %q", name)
+	}
+}
+
+// Layout returns (building if needed) a named app layout. Known names:
+// base, porder, chain, chain+split, chain+porder, all, hotcold, cfa,
+// dcpi-all.
+func (s *Session) Layout(name string) (*program.Layout, error) {
+	if l, ok := s.layouts[name]; ok {
+		return l, nil
+	}
+	opts, prof, err := s.layoutSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	// Copy the profile so EnsureEdges on a sampled profile does not
+	// contaminate the shared instance.
+	pf := &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount, EdgeCount: prof.EdgeCount}
+	if name == "dcpi-all" {
+		pf = &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount}
+	}
+	l, rep, err := core.Optimize(s.appImg.Prog, pf, opts)
+	if err != nil {
+		return nil, fmt.Errorf("expt: layout %q: %w", name, err)
+	}
+	s.layouts[name] = l
+	s.reports[name] = rep
+	return l, nil
+}
+
+// Report returns the optimizer report for a built layout.
+func (s *Session) Report(name string) *core.Report { return s.reports[name] }
+
+// KernLayout returns a kernel layout: "kbase" or "kopt" (kernel code laid
+// out with the full optimization pipeline over the kernel profile).
+func (s *Session) KernLayout(name string) (*program.Layout, error) {
+	if l, ok := s.kernLay[name]; ok {
+		return l, nil
+	}
+	if name != "kopt" {
+		return nil, fmt.Errorf("expt: unknown kernel layout %q", name)
+	}
+	if err := s.Train(); err != nil {
+		return nil, err
+	}
+	l, _, err := core.Optimize(s.kernImg.Prog, s.trainK, core.Options{
+		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.kernLay["kopt"] = l
+	return l, nil
+}
+
+func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
+	return machine.Config{
+		CPUs:         cpus,
+		ProcsPerCPU:  s.Opt.ProcsPerCPU,
+		Seed:         s.Opt.Seed,
+		WarmupTxns:   s.Opt.WarmupTxns,
+		Transactions: s.Opt.Transactions,
+		Scale:        s.Opt.Scale,
+		AppImage:     s.appImg,
+		AppLayout:    s.layouts[layout],
+		KernImage:    s.kernImg,
+		KernLayout:   s.kernLay[kern],
+	}
+}
+
+// Measure runs (or returns the memoized run of) the workload under the
+// named layouts with the full measurement battery attached.
+func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
+	return s.MeasureKern(layout, "kbase", cpus)
+}
+
+// MeasureKern is Measure with an explicit kernel layout.
+func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
+	key := measKey{layout, kern, cpus}
+	if m, ok := s.measures[key]; ok {
+		return m, nil
+	}
+	if _, err := s.Layout(layout); err != nil && layout != "base" {
+		return nil, err
+	}
+	if _, err := s.KernLayout(kern); err != nil && kern != "kbase" {
+		return nil, err
+	}
+	bat := newBattery(cpus)
+	cfg := s.machineConfig(layout, kern, cpus)
+	cfg.Sinks = bat.sinks()
+	cfg.DataSinks = bat.dataSinks()
+	mach, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mach.Run()
+	if err != nil {
+		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu: %w", layout, kern, cpus, err)
+	}
+	meas := bat.finish(res)
+	s.measures[key] = meas
+	return meas, nil
+}

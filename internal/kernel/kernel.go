@@ -1,0 +1,171 @@
+// Package kernel models the operating-system code image: syscall handlers
+// for the engine's kernel crossings (log writes, data reads, lock sleeps),
+// the scheduler/context-switch path, and the timer interrupt. Section 5 of
+// the paper studies how this stream interferes with the application's in
+// the instruction cache.
+//
+// Kernel services carry no engine instrumentation — they are auto functions
+// walked to completion by a codegen.Emitter when the machine crosses into
+// the kernel.
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/codegen"
+	"codelayout/internal/isa"
+)
+
+// Service names the machine can invoke, mapped from probe.Syscall arguments.
+const (
+	SvcLogWrite  = "svc_log_write"
+	SvcLogWait   = "svc_log_wait"
+	SvcPread     = "svc_pread"
+	SvcLockSleep = "svc_lock_sleep"
+	SvcTimer     = "svc_timer"
+	SvcSwitch    = "svc_switch"
+)
+
+// ServiceFor maps a probe.Syscall name to the kernel service entry point.
+func ServiceFor(syscall string) (string, error) {
+	switch syscall {
+	case "log_write":
+		return SvcLogWrite, nil
+	case "log_wait":
+		return SvcLogWait, nil
+	case "pread":
+		return SvcPread, nil
+	case "lock_sleep":
+		return SvcLockSleep, nil
+	default:
+		return "", fmt.Errorf("kernel: unknown syscall %q", syscall)
+	}
+}
+
+// Config shapes the kernel image.
+type Config struct {
+	Seed int64
+	// ColdWords is the unexercised kernel code (default ~6 MB image tail).
+	ColdWords int
+}
+
+// DefaultConfig returns the standard kernel shape.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, ColdWords: 1_400_000}
+}
+
+// Build assembles the kernel image.
+func Build(cfg Config) (*codegen.Image, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Library layers: low-level utilities, VM, filesystem, driver,
+	// scheduler.
+	fams := make(map[string][]string)
+	var layers []codegen.FnSpec
+	addLayer := func(prefix string, n, mean, calls, width int, pools ...string) {
+		var pool []string
+		for _, p := range pools {
+			pool = append(pool, fams[p]...)
+		}
+		specs, names := codegen.GenLayer(r, codegen.LibConfig{
+			Prefix: prefix, N: n, MeanWords: mean, CallsPerFn: calls, PickWidth: width,
+		}, pool)
+		layers = append(layers, specs...)
+		fams[prefix] = names
+	}
+	addLayer("klib", 70, 60, 0, 0)
+	addLayer("kvm", 40, 55, 1, 4, "klib")
+	addLayer("kfs", 60, 70, 2, 6, "klib", "kvm")
+	addLayer("kdrv", 40, 80, 1, 4, "klib")
+	addLayer("ksch", 30, 50, 1, 4, "klib")
+	addLayer("ktrap", 25, 40, 0, 0)
+
+	pick := func(family string, width int) codegen.Frag {
+		names := fams[family]
+		if width > len(names) {
+			width = len(names)
+		}
+		start := r.Intn(len(names) - width + 1)
+		fns := make([]string, width)
+		weights := make([]uint32, width)
+		for i := 0; i < width; i++ {
+			fns[i] = names[start+i]
+			weights[i] = uint32(1 + r.Intn(900))
+		}
+		return codegen.AutoPick{Fns: fns, Weights: weights}
+	}
+
+	services := []codegen.FnSpec{
+		{Name: SvcLogWrite, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(18), pick("ktrap", 3),
+			pick("kfs", 5),
+			codegen.AutoLoop{Prob: 0.82, Head: 2, Body: []codegen.Frag{codegen.Seq(9)}},
+			pick("kdrv", 5),
+			codegen.Seq(12), pick("ksch", 3),
+		}},
+		{Name: SvcLogWait, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(14), pick("ktrap", 3),
+			pick("ksch", 4),
+			codegen.Seq(8),
+		}},
+		{Name: SvcPread, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(18), pick("ktrap", 3),
+			pick("kfs", 5),
+			codegen.AutoLoop{Prob: 0.85, Head: 2, Body: []codegen.Frag{codegen.Seq(10)}},
+			pick("kdrv", 4), pick("kvm", 4),
+			codegen.Seq(10),
+		}},
+		{Name: SvcLockSleep, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(12), pick("ktrap", 3),
+			pick("ksch", 4),
+			codegen.Seq(6),
+		}},
+		{Name: SvcTimer, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(10), pick("ktrap", 3),
+			codegen.AutoIf{Prob: 0.3, Then: []codegen.Frag{pick("ksch", 3)}},
+			codegen.Seq(6),
+		}},
+		{Name: SvcSwitch, Auto: true, Body: []codegen.Frag{
+			codegen.Seq(12), pick("ksch", 5),
+			pick("kvm", 3),
+			codegen.Seq(14),
+		}},
+	}
+
+	var cold []codegen.FnSpec
+	if cfg.ColdWords > 0 {
+		cold = codegen.GenCold(r, "kcold", cfg.ColdWords, 1000)
+	}
+
+	// Module-clustered link order, like the application image: a few
+	// related hot functions, then their module's cold complement.
+	hot := append(append([]codegen.FnSpec{}, services...), layers...)
+	var modules [][]codegen.FnSpec
+	for len(hot) > 0 {
+		n := 3 + r.Intn(6)
+		if n > len(hot) {
+			n = len(hot)
+		}
+		modules = append(modules, hot[:n])
+		hot = hot[n:]
+	}
+	r.Shuffle(len(modules), func(i, j int) { modules[i], modules[j] = modules[j], modules[i] })
+	var fns []codegen.FnSpec
+	ci := 0
+	for i, mod := range modules {
+		fns = append(fns, mod...)
+		want := (i + 1) * len(cold) / len(modules)
+		for ci < want {
+			fns = append(fns, cold[ci])
+			ci++
+		}
+	}
+	fns = append(fns, cold[ci:]...)
+
+	return codegen.Build(codegen.ImageSpec{
+		Name:     "tru64-like-kernel",
+		TextBase: isa.KernelTextBase,
+		Fns:      fns,
+	})
+}

@@ -1,0 +1,400 @@
+// Package machine is the full-system simulation layer (the SimOS-Alpha
+// stand-in): it runs N server processes per CPU against the shared database
+// engine, interleaves them deterministically (quantum expiry, blocking log
+// writes, lock waits, timer interrupts), crosses into the modeled kernel at
+// syscalls, and fans the resulting per-CPU instruction and data streams out
+// to the attached cache simulators and collectors.
+//
+// Processes are goroutines, but exactly one runs at a time: the scheduler
+// and the running process hand control back and forth over unbuffered
+// channels, so runs are fully deterministic for a given seed.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/codegen"
+	"codelayout/internal/db"
+	"codelayout/internal/kernel"
+	"codelayout/internal/program"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/trace"
+)
+
+// Config describes one simulated run.
+type Config struct {
+	CPUs        int
+	ProcsPerCPU int
+	Seed        int64
+
+	// WarmupTxns commit before measurement begins (caches and emitters
+	// stay warm across the phase switch; only stat collection toggles).
+	WarmupTxns int
+	// Transactions is the measured committed-transaction count.
+	Transactions int
+
+	Scale tpcb.Scale
+	// BufferPoolPages sizes the cache; 0 = large enough for everything.
+	BufferPoolPages int
+
+	// QuantumInstr is the scheduling timeslice in instructions.
+	QuantumInstr uint64
+	// TimerIntervalInstr is the clock-interrupt period in instructions.
+	TimerIntervalInstr uint64
+	// LogWriteDelayInstr is how long a log write keeps a process blocked,
+	// in instruction-times (1 instruction ≈ 1 ns at the paper's 1 GHz).
+	LogWriteDelayInstr uint64
+	// PreadDelayInstr is the data-file read latency.
+	PreadDelayInstr uint64
+
+	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
+	AppImage   *codegen.Image
+	AppLayout  *program.Layout
+	KernImage  *codegen.Image
+	KernLayout *program.Layout
+
+	// Sinks receive measured-phase fetch runs; DataSinks receive measured
+	// data references.
+	Sinks     []trace.Sink
+	DataSinks []trace.DataSink
+	// AppCollector and KernCollector receive measured-phase block events
+	// (profiling).
+	AppCollector  codegen.Collector
+	KernCollector codegen.Collector
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.CPUs <= 0 {
+		c.CPUs = 1
+	}
+	if c.ProcsPerCPU <= 0 {
+		c.ProcsPerCPU = 8
+	}
+	if c.Transactions <= 0 {
+		c.Transactions = 100
+	}
+	if c.Scale.Branches == 0 {
+		c.Scale = tpcb.DefaultScale()
+	}
+	if c.QuantumInstr == 0 {
+		c.QuantumInstr = 200_000
+	}
+	if c.TimerIntervalInstr == 0 {
+		c.TimerIntervalInstr = 1_000_000
+	}
+	if c.LogWriteDelayInstr == 0 {
+		c.LogWriteDelayInstr = 120_000
+	}
+	if c.PreadDelayInstr == 0 {
+		c.PreadDelayInstr = 250_000
+	}
+	if c.BufferPoolPages == 0 {
+		pages := c.Scale.Branches*c.Scale.AccountsPerBranch/70 +
+			c.Scale.Branches*c.Scale.TellersPerBranch/70 + 4096
+		c.BufferPoolPages = pages
+	}
+	return c
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	Committed      uint64
+	AppInstrs      uint64
+	KernelInstrs   uint64
+	IdleInstrs     uint64
+	BusyInstrs     uint64 // app + kernel, summed over CPUs
+	GroupedCommits uint64
+	LogFlushes     uint64
+	LockConflicts  uint64
+	BufMisses      uint64
+}
+
+// KernelFrac returns the kernel share of busy instructions.
+func (r Result) KernelFrac() float64 {
+	if r.BusyInstrs == 0 {
+		return 0
+	}
+	return float64(r.KernelInstrs) / float64(r.BusyInstrs)
+}
+
+type procState int
+
+const (
+	stRunnable procState = iota
+	stRunning
+	stBlockedIO
+	stBlockedWait
+	stDead
+)
+
+type cmd int
+
+const (
+	cmdRun cmd = iota
+	cmdKill
+)
+
+type yieldKind int
+
+const (
+	yTxnDone yieldKind = iota
+	yQuantum
+	yBlockIO
+	yWait
+	yDead
+)
+
+type yieldMsg struct {
+	kind     yieldKind
+	ioDelay  uint64
+	panicMsg string
+}
+
+type killSentinelType struct{}
+
+type proc struct {
+	id     int
+	cpu    *cpu
+	sess   *db.Session
+	emit   *codegen.Emitter
+	client *rand.Rand
+	state  procState
+	wakeAt uint64
+	budget int64
+	resume chan cmd
+	yield  chan yieldMsg
+}
+
+type cpu struct {
+	id        int
+	clock     uint64
+	idle      uint64
+	runq      []*proc
+	kern      *codegen.Emitter
+	nextTimer uint64
+	current   *proc
+	// blocked-IO procs pinned here, for wake scanning.
+	blocked []*proc
+}
+
+// Machine is one configured simulation.
+type Machine struct {
+	cfg   Config
+	eng   *db.Engine
+	bench *tpcb.Bench
+	cpus  []*cpu
+	procs []*proc
+
+	measuring     bool
+	warmCommitted int
+	committed     int
+	res           Result
+	failure       error
+}
+
+// New builds the machine: engine, loaded TPC-B database, processes bound to
+// emitters over the configured layouts.
+func New(cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.AppImage == nil || cfg.AppLayout == nil || cfg.KernImage == nil || cfg.KernLayout == nil {
+		return nil, fmt.Errorf("machine: images and layouts are required")
+	}
+	m := &Machine{cfg: cfg}
+	m.eng = db.NewEngine(db.Config{BufferPoolPages: cfg.BufferPoolPages, Env: (*machineEnv)(m)})
+	bench, err := tpcb.Load(m.eng, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	m.bench = bench
+
+	for c := 0; c < cfg.CPUs; c++ {
+		cp := &cpu{id: c, nextTimer: cfg.TimerIntervalInstr}
+		cp.kern = codegen.NewEmitter(cfg.KernImage, cfg.KernLayout, cfg.Seed*7919+int64(c))
+		kcpu := cp
+		cp.kern.Sink = func(addr uint64, words int32) { m.kernelFetch(kcpu, addr, words) }
+		if cfg.KernCollector != nil {
+			cp.kern.Collector = &gatedCollector{m: m, next: cfg.KernCollector}
+		}
+		m.cpus = append(m.cpus, cp)
+	}
+
+	pid := 0
+	for c := 0; c < cfg.CPUs; c++ {
+		for i := 0; i < cfg.ProcsPerCPU; i++ {
+			pid++
+			p := &proc{
+				id:     pid,
+				cpu:    m.cpus[c],
+				client: rand.New(rand.NewSource(cfg.Seed*31 + int64(pid))),
+				resume: make(chan cmd),
+				yield:  make(chan yieldMsg),
+				state:  stRunnable,
+			}
+			p.emit = codegen.NewEmitter(cfg.AppImage, cfg.AppLayout, cfg.Seed*17+int64(pid))
+			pp := p
+			p.emit.Sink = func(addr uint64, words int32) { m.appFetch(pp, addr, words) }
+			p.emit.OnData = func(addr uint64, bytes int, write bool) { m.data(pp, addr, bytes, write) }
+			p.emit.OnSyscall = func(name string) { m.syscall(pp, name) }
+			if cfg.AppCollector != nil {
+				p.emit.Collector = &gatedCollector{m: m, next: cfg.AppCollector}
+			}
+			p.sess = m.eng.NewSession(p.id, p.emit)
+			m.cpus[c].runq = append(m.cpus[c].runq, p)
+			m.procs = append(m.procs, p)
+		}
+	}
+	return m, nil
+}
+
+// Bench exposes the loaded database (tests and verification).
+func (m *Machine) Bench() *tpcb.Bench { return m.bench }
+
+// gatedCollector forwards block events only during the measured phase.
+type gatedCollector struct {
+	m    *Machine
+	next codegen.Collector
+}
+
+func (g *gatedCollector) Block(prev, cur program.BlockID) {
+	if g.m.measuring {
+		g.next.Block(prev, cur)
+	}
+}
+
+// ---- Emitter hooks (run on the current process's goroutine) ----
+
+func (m *Machine) appFetch(p *proc, addr uint64, words int32) {
+	c := p.cpu
+	c.clock += uint64(words)
+	p.budget -= int64(words)
+	if m.measuring {
+		m.res.AppInstrs += uint64(words)
+		r := trace.FetchRun{Addr: addr, Words: words, CPU: uint8(c.id), PID: uint16(p.id)}
+		for _, s := range m.cfg.Sinks {
+			s.Fetch(r)
+		}
+	}
+	if c.clock >= c.nextTimer {
+		c.nextTimer += m.cfg.TimerIntervalInstr
+		c.kern.RunAuto(kernel.SvcTimer)
+	}
+	if p.budget <= 0 {
+		p.doYield(yieldMsg{kind: yQuantum})
+	}
+}
+
+func (m *Machine) kernelFetch(c *cpu, addr uint64, words int32) {
+	c.clock += uint64(words)
+	if m.measuring {
+		m.res.KernelInstrs += uint64(words)
+		pid := uint16(0)
+		if c.current != nil {
+			pid = uint16(c.current.id)
+		}
+		r := trace.FetchRun{Addr: addr, Words: words, CPU: uint8(c.id), PID: pid, Kernel: true}
+		for _, s := range m.cfg.Sinks {
+			s.Fetch(r)
+		}
+	}
+}
+
+func (m *Machine) data(p *proc, addr uint64, bytes int, write bool) {
+	if !m.measuring {
+		return
+	}
+	d := trace.DataRef{Addr: addr, Bytes: int32(bytes), CPU: uint8(p.cpu.id), PID: uint16(p.id), Write: write}
+	for _, s := range m.cfg.DataSinks {
+		s.Data(d)
+	}
+}
+
+func (m *Machine) syscall(p *proc, name string) {
+	svc, err := kernel.ServiceFor(name)
+	if err != nil {
+		panic(err)
+	}
+	p.cpu.kern.RunAuto(svc)
+	switch name {
+	case "log_write":
+		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.LogWriteDelayInstr})
+	case "pread":
+		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.PreadDelayInstr})
+		// log_wait and lock_sleep park via Env.Wait right after.
+	}
+}
+
+// machineEnv implements db.Env on top of the scheduler.
+type machineEnv Machine
+
+type waitList struct {
+	procs []*proc
+}
+
+// Wait implements db.Env.
+func (e *machineEnv) Wait(q *db.WaitQueue) {
+	m := (*Machine)(e)
+	p := m.currentProc()
+	if q.Tag == nil {
+		q.Tag = &waitList{}
+	}
+	wl := q.Tag.(*waitList)
+	wl.procs = append(wl.procs, p)
+	p.doYield(yieldMsg{kind: yWait})
+}
+
+// Wake implements db.Env.
+func (e *machineEnv) Wake(q *db.WaitQueue) {
+	if q.Tag == nil {
+		return
+	}
+	wl := q.Tag.(*waitList)
+	for _, p := range wl.procs {
+		if p.state == stBlockedWait {
+			p.state = stRunnable
+			p.cpu.runq = append(p.cpu.runq, p)
+		}
+	}
+	wl.procs = wl.procs[:0]
+}
+
+func (m *Machine) currentProc() *proc {
+	for _, c := range m.cpus {
+		if c.current != nil && c.current.state == stRunning {
+			return c.current
+		}
+	}
+	panic("machine: no running process")
+}
+
+// ---- Process goroutine ----
+
+func (p *proc) run(m *Machine) {
+	defer func() {
+		msg := yieldMsg{kind: yDead}
+		if r := recover(); r != nil {
+			if _, kill := r.(killSentinelType); !kill {
+				msg.panicMsg = fmt.Sprint(r)
+			}
+		}
+		p.yield <- msg
+	}()
+	p.waitRun()
+	for {
+		in := m.bench.GenInput(p.client)
+		m.bench.RunTxn(p.sess, in)
+		p.doYield(yieldMsg{kind: yTxnDone})
+	}
+}
+
+func (p *proc) waitRun() {
+	if c := <-p.resume; c == cmdKill {
+		panic(killSentinelType{})
+	}
+}
+
+func (p *proc) doYield(msg yieldMsg) {
+	p.yield <- msg
+	p.waitRun()
+}

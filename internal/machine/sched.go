@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/kernel"
+	"codelayout/internal/trace"
+)
+
+// maxSchedulerSteps is a failsafe against livelock in buggy configurations.
+const maxSchedulerSteps = 200_000_000
+
+// Run executes the configured warmup and measured transactions and returns
+// the result. It is single-use: create a new Machine per run.
+func (m *Machine) Run() (Result, error) {
+	for _, p := range m.procs {
+		go p.run(m)
+	}
+	defer m.killAll()
+
+	if m.cfg.WarmupTxns == 0 {
+		m.measuring = true
+	}
+	steps := 0
+	for m.committed < m.cfg.Transactions {
+		steps++
+		if steps > maxSchedulerSteps {
+			return m.res, fmt.Errorf("machine: scheduler step limit exceeded")
+		}
+		c := m.pickCPU()
+		if c == nil {
+			return m.res, fmt.Errorf("machine: deadlock — no runnable or waking process")
+		}
+		m.wakeExpired(c)
+		if len(c.runq) == 0 {
+			// Idle until this CPU's next IO completion.
+			next := c.earliestWake()
+			if next <= c.clock {
+				continue
+			}
+			if m.measuring {
+				m.res.IdleInstrs += next - c.clock
+			}
+			c.idle += next - c.clock
+			c.clock = next
+			continue
+		}
+		p := c.runq[0]
+		c.runq = c.runq[1:]
+		p.state = stRunning
+		p.budget = int64(m.cfg.QuantumInstr)
+		c.current = p
+		p.resume <- cmdRun
+		msg := <-p.yield
+		c.current = nil
+		if msg.kind == yDead {
+			p.state = stDead
+			if msg.panicMsg != "" {
+				return m.res, fmt.Errorf("machine: process %d panicked: %s", p.id, msg.panicMsg)
+			}
+			return m.res, fmt.Errorf("machine: process %d exited unexpectedly", p.id)
+		}
+		switch msg.kind {
+		case yTxnDone:
+			if m.measuring {
+				m.committed++
+			} else {
+				m.warmCommitted++
+				if m.warmCommitted >= m.cfg.WarmupTxns {
+					m.measuring = true
+				}
+			}
+			p.state = stRunnable
+			// Processes continue until they block; front of queue keeps the
+			// cache-warm process running, as a real scheduler would.
+			c.runq = append([]*proc{p}, c.runq...)
+		case yQuantum:
+			c.kern.RunAuto(kernel.SvcSwitch)
+			p.state = stRunnable
+			c.runq = append(c.runq, p)
+		case yBlockIO:
+			p.state = stBlockedIO
+			p.wakeAt = c.clock + msg.ioDelay
+			c.blocked = append(c.blocked, p)
+			c.kern.RunAuto(kernel.SvcSwitch)
+		case yWait:
+			p.state = stBlockedWait
+			c.kern.RunAuto(kernel.SvcSwitch)
+		}
+	}
+
+	m.res.Committed = uint64(m.committed)
+	m.res.GroupedCommits = m.eng.WAL.GroupedCommits
+	m.res.LogFlushes = m.eng.WAL.Flushes
+	m.res.LockConflicts = m.eng.Locks.Conflicts
+	m.res.BufMisses = m.eng.Pool.Misses
+	m.res.BusyInstrs = m.res.AppInstrs + m.res.KernelInstrs
+	for _, s := range m.cfg.Sinks {
+		if f, ok := s.(trace.Flusher); ok {
+			f.Flush()
+		}
+	}
+	return m.res, nil
+}
+
+// pickCPU returns the CPU with the earliest next event (runnable process or
+// IO completion); nil when nothing can ever run again.
+func (m *Machine) pickCPU() *cpu {
+	var best *cpu
+	var bestAt uint64
+	for _, c := range m.cpus {
+		var at uint64
+		switch {
+		case len(c.runq) > 0:
+			at = c.clock
+		case len(c.blocked) > 0:
+			at = c.earliestWake()
+		default:
+			continue
+		}
+		if best == nil || at < bestAt || (at == bestAt && c.id < best.id) {
+			best, bestAt = c, at
+		}
+	}
+	return best
+}
+
+func (c *cpu) earliestWake() uint64 {
+	var at uint64 = ^uint64(0)
+	for _, p := range c.blocked {
+		if p.wakeAt < at {
+			at = p.wakeAt
+		}
+	}
+	return at
+}
+
+// wakeExpired moves IO-blocked processes whose deadline passed onto the run
+// queue, in deterministic (wakeAt, pid) order.
+func (m *Machine) wakeExpired(c *cpu) {
+	if len(c.blocked) == 0 {
+		return
+	}
+	var woken []*proc
+	rest := c.blocked[:0]
+	for _, p := range c.blocked {
+		if p.wakeAt <= c.clock {
+			woken = append(woken, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	c.blocked = rest
+	sort.Slice(woken, func(i, j int) bool {
+		if woken[i].wakeAt != woken[j].wakeAt {
+			return woken[i].wakeAt < woken[j].wakeAt
+		}
+		return woken[i].id < woken[j].id
+	})
+	for _, p := range woken {
+		p.state = stRunnable
+		c.runq = append(c.runq, p)
+	}
+}
+
+// killAll terminates every surviving process goroutine.
+func (m *Machine) killAll() {
+	for _, p := range m.procs {
+		if p.state == stDead {
+			continue
+		}
+		// Every non-dead process is parked on resume.
+		p.resume <- cmdKill
+		<-p.yield
+		p.state = stDead
+	}
+}

@@ -1,0 +1,86 @@
+// Package mem models the memory system below the L1 instruction cache: the
+// per-CPU data cache, the unified second-level cache (instructions + data,
+// the subject of Figure 14), and a minimal invalidation-based sharing model
+// that produces the data communication misses which dilute code-layout gains
+// on multiprocessor runs (Section 5).
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// assoc is a set-associative LRU cache core at line granularity with a small
+// per-frame metadata byte.
+type assoc struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	tags      []uint64 // line+1; 0 invalid
+	lastUse   []uint64
+	meta      []uint8
+	clock     uint64
+}
+
+func newAssoc(sizeBytes, lineBytes, ways int) *assoc {
+	if sizeBytes%(lineBytes*ways) != 0 {
+		panic(fmt.Sprintf("mem: size %d not divisible by line*ways", sizeBytes))
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: set count %d not a power of two", sets))
+	}
+	return &assoc{
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		lastUse:   make([]uint64, sets*ways),
+		meta:      make([]uint8, sets*ways),
+	}
+}
+
+// access looks up a line; on a miss it fills with the given metadata and
+// reports the victim's metadata (ok=false if the fill used an invalid way).
+func (a *assoc) access(line uint64, fillMeta uint8) (hit bool, victimMeta uint8, hadVictim bool) {
+	a.clock++
+	set := int(line & a.setMask)
+	base := set * a.ways
+	tag := line + 1
+	victim := base
+	for w := 0; w < a.ways; w++ {
+		f := base + w
+		switch {
+		case a.tags[f] == tag:
+			a.lastUse[f] = a.clock
+			return true, a.meta[f], false
+		case a.tags[f] == 0:
+			victim = f
+		case a.tags[victim] != 0 && a.lastUse[f] < a.lastUse[victim]:
+			victim = f
+		}
+	}
+	hadVictim = a.tags[victim] != 0
+	victimMeta = a.meta[victim]
+	a.tags[victim] = tag
+	a.lastUse[victim] = a.clock
+	a.meta[victim] = fillMeta
+	return false, victimMeta, hadVictim
+}
+
+// invalidate removes the line if present.
+func (a *assoc) invalidate(line uint64) bool {
+	set := int(line & a.setMask)
+	base := set * a.ways
+	tag := line + 1
+	for w := 0; w < a.ways; w++ {
+		if a.tags[base+w] == tag {
+			a.tags[base+w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// lineOf maps an address to its line number.
+func (a *assoc) lineOf(addr uint64) uint64 { return addr >> a.lineShift }

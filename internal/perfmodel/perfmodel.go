@@ -1,0 +1,93 @@
+// Package perfmodel converts instruction and miss counts into non-idle
+// execution cycles for the paper's hardware platforms. The paper's metric
+// is non-idle cycles (elapsed time comparisons are meaningless once the
+// optimized workload becomes more I/O bound), and its result is *relative*
+// execution time per optimization combination (Figure 15), which this model
+// reproduces; absolute cycle counts are not meaningful.
+package perfmodel
+
+// Platform describes one machine's memory-system cost structure, all in CPU
+// cycles.
+type Platform struct {
+	Name     string
+	ClockMHz int
+
+	// L1IMissCycles is charged per L1 instruction-cache miss that hits the
+	// next level.
+	L1IMissCycles uint64
+	// L1DMissCycles is charged per L1 data-cache miss that hits the next
+	// level.
+	L1DMissCycles uint64
+	// L2MissCycles is the additional charge when the unified cache misses
+	// to memory.
+	L2MissCycles uint64
+	// CommMissCycles is the additional charge for dirty remote (2–3 hop)
+	// transfers.
+	CommMissCycles uint64
+	// ITLBMissCycles is the software refill cost.
+	ITLBMissCycles uint64
+}
+
+// The three platforms of the paper's evaluation.
+var (
+	// Alpha21264 models the AlphaServer DS20 (600 MHz, 64KB 2-way L1s,
+	// board cache).
+	Alpha21264 = Platform{
+		Name: "21264 (64KB, 2-way)", ClockMHz: 600,
+		L1IMissCycles: 14, L1DMissCycles: 14, L2MissCycles: 90,
+		CommMissCycles: 110, ITLBMissCycles: 40,
+	}
+	// Alpha21164 models the AlphaServer 4100 (300 MHz, 8KB direct-mapped
+	// L1s, 2MB board cache).
+	Alpha21164 = Platform{
+		Name: "21164 (8KB, 1-way)", ClockMHz: 300,
+		L1IMissCycles: 8, L1DMissCycles: 8, L2MissCycles: 50,
+		CommMissCycles: 60, ITLBMissCycles: 30,
+	}
+	// Alpha21364Sim models the SimOS configuration: 1 GHz single-issue,
+	// 64KB 2-way L1s, 1.5MB 6-way L2, 12ns L2 hit, 80ns local memory.
+	Alpha21364Sim = Platform{
+		Name: "21364-sim (1GHz)", ClockMHz: 1000,
+		L1IMissCycles: 12, L1DMissCycles: 12, L2MissCycles: 80,
+		CommMissCycles: 175, ITLBMissCycles: 40,
+	}
+)
+
+// Counts aggregates one run's events.
+type Counts struct {
+	Instructions uint64
+	L1IMisses    uint64
+	L1DMisses    uint64
+	L2Misses     uint64 // unified cache misses (instruction + data)
+	CommMisses   uint64 // remote dirty transfers
+	ITLBMisses   uint64
+}
+
+// Cycles returns the modeled non-idle cycle count: single-issue base CPI of
+// 1 plus stall components.
+func Cycles(p Platform, c Counts) uint64 {
+	return c.Instructions +
+		c.L1IMisses*p.L1IMissCycles +
+		c.L1DMisses*p.L1DMissCycles +
+		c.L2Misses*p.L2MissCycles +
+		c.CommMisses*p.CommMissCycles +
+		c.ITLBMisses*p.ITLBMissCycles
+}
+
+// CPI returns cycles per instruction.
+func CPI(p Platform, c Counts) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(Cycles(p, c)) / float64(c.Instructions)
+}
+
+// Relative returns cycles(c) / cycles(base) — the Figure 15 y-axis
+// (relative execution time in non-idle cycles, as a fraction).
+func Relative(p Platform, c, base Counts) float64 {
+	b := Cycles(p, base)
+	if b == 0 {
+		return 0
+	}
+	return float64(Cycles(p, c)) / float64(b)
+}

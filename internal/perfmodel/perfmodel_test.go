@@ -1,0 +1,50 @@
+package perfmodel_test
+
+import (
+	"testing"
+
+	"codelayout/internal/perfmodel"
+)
+
+func TestCyclesMonotonicInMisses(t *testing.T) {
+	base := perfmodel.Counts{Instructions: 1_000_000, L1IMisses: 10_000}
+	more := base
+	more.L1IMisses *= 2
+	p := perfmodel.Alpha21264
+	if perfmodel.Cycles(p, more) <= perfmodel.Cycles(p, base) {
+		t.Fatal("more misses must cost more cycles")
+	}
+}
+
+func TestCPIFloorIsOne(t *testing.T) {
+	c := perfmodel.Counts{Instructions: 5000}
+	for _, p := range []perfmodel.Platform{perfmodel.Alpha21264, perfmodel.Alpha21164, perfmodel.Alpha21364Sim} {
+		if got := perfmodel.CPI(p, c); got != 1.0 {
+			t.Fatalf("%s: CPI with no misses = %f", p.Name, got)
+		}
+	}
+}
+
+func TestRelative(t *testing.T) {
+	base := perfmodel.Counts{Instructions: 1_000_000, L1IMisses: 100_000}
+	opt := perfmodel.Counts{Instructions: 950_000, L1IMisses: 40_000}
+	rel := perfmodel.Relative(perfmodel.Alpha21364Sim, opt, base)
+	if rel >= 1 {
+		t.Fatalf("relative = %f, optimization should speed up", rel)
+	}
+	if rel <= 0.3 {
+		t.Fatalf("relative = %f, implausibly fast", rel)
+	}
+	if perfmodel.Relative(perfmodel.Alpha21364Sim, base, base) != 1.0 {
+		t.Fatal("self-relative must be 1")
+	}
+}
+
+func TestZeroBase(t *testing.T) {
+	if perfmodel.Relative(perfmodel.Alpha21164, perfmodel.Counts{}, perfmodel.Counts{}) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+	if perfmodel.CPI(perfmodel.Alpha21164, perfmodel.Counts{}) != 0 {
+		t.Fatal("zero instructions should yield 0 CPI")
+	}
+}

@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"sort"
+
+	"codelayout/internal/program"
+	"codelayout/internal/trace"
+)
+
+// Pixie is the instrumentation-based collector: the emitter reports every
+// block execution and edge traversal exactly, as a pixified binary would.
+type Pixie struct {
+	Profile *Profile
+}
+
+// NewPixie creates an exact collector for the program.
+func NewPixie(p *program.Program, name string) *Pixie {
+	return &Pixie{Profile: New(name, p)}
+}
+
+// Block records one execution of b preceded by src (NoBlock at procedure
+// entries reached by call, where the call edge is recorded separately).
+func (px *Pixie) Block(src, b program.BlockID) {
+	px.Profile.BlockCount[b]++
+	if src != program.NoBlock {
+		px.Profile.EdgeCount[program.EdgeKey(src, b)]++
+	}
+}
+
+// DCPI is the sampling collector: it watches the fetch stream and samples
+// one PC every Period instructions, attributing the sample to the block
+// containing that address under the layout the workload ran with. The
+// resulting profile has block counts only (scaled by the period) and no edge
+// counts, like a DCPI/PC-sampling profile.
+type DCPI struct {
+	Period  uint64
+	layout  *program.Layout
+	starts  []uint64          // sorted block start addresses
+	blocks  []program.BlockID // parallel to starts
+	skip    uint64
+	Samples uint64
+	counts  []uint64
+}
+
+// NewDCPI creates a sampling collector over the given layout.
+func NewDCPI(l *program.Layout, period uint64) *DCPI {
+	d := &DCPI{Period: period, layout: l, counts: make([]uint64, l.Prog.NumBlocks())}
+	type ba struct {
+		addr uint64
+		id   program.BlockID
+	}
+	all := make([]ba, 0, l.Prog.NumBlocks())
+	for id := range l.Prog.Blocks {
+		all = append(all, ba{l.Addr[id], program.BlockID(id)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].addr < all[j].addr })
+	for _, e := range all {
+		d.starts = append(d.starts, e.addr)
+		d.blocks = append(d.blocks, e.id)
+	}
+	d.skip = period
+	return d
+}
+
+// Fetch implements trace.Sink.
+func (d *DCPI) Fetch(r trace.FetchRun) {
+	words := uint64(r.Words)
+	for words >= d.skip {
+		sampleAddr := r.End() - words*4 + (d.skip-1)*4
+		d.sample(sampleAddr)
+		words -= d.skip
+		d.skip = d.Period
+	}
+	d.skip -= words
+}
+
+func (d *DCPI) sample(addr uint64) {
+	d.Samples++
+	i := sort.Search(len(d.starts), func(i int) bool { return d.starts[i] > addr }) - 1
+	if i < 0 {
+		return
+	}
+	d.counts[d.blocks[i]]++
+}
+
+// Finish scales samples by the period into a block-count profile.
+func (d *DCPI) Finish(name string) *Profile {
+	pf := &Profile{Name: name, BlockCount: make([]uint64, len(d.counts))}
+	for b, n := range d.counts {
+		blk := d.layout.Prog.Blocks[b]
+		words := uint64(blk.Body) + 1
+		// A block receives samples in proportion to its dynamic words;
+		// dividing by its static length recovers an execution-count
+		// estimate.
+		pf.BlockCount[b] = n * d.Period / words
+	}
+	return pf
+}

@@ -1,0 +1,165 @@
+package profile_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/core"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/progtest"
+	"codelayout/internal/trace"
+)
+
+func TestPixieCountsBlocksAndEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := progtest.RandProgram(r, 3)
+	px := profile.NewPixie(p, "test")
+	progtest.Walk(r, p, 500, func(prev, cur program.BlockID) { px.Block(prev, cur) })
+	pf := px.Profile
+	if pf.TotalBlocks() == 0 {
+		t.Fatal("no blocks recorded")
+	}
+	if !pf.HasEdges() {
+		t.Fatal("no edges recorded")
+	}
+	// Edge counts into a block cannot exceed its block count.
+	into := make(map[program.BlockID]uint64)
+	for k, n := range pf.EdgeCount {
+		_, dst := program.SplitEdgeKey(k)
+		into[dst] += n
+	}
+	for b, n := range into {
+		if n > pf.Count(b) {
+			t.Fatalf("block %d: inflow %d > count %d", b, n, pf.Count(b))
+		}
+	}
+}
+
+func TestMergeAndScale(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := progtest.RandProgram(r, 2)
+	a := progtest.RandProfile(r, p, 5, 100)
+	b := progtest.RandProfile(r, p, 5, 100)
+	totA, totB := a.TotalBlocks(), b.TotalBlocks()
+	a.Merge(b)
+	if a.TotalBlocks() != totA+totB {
+		t.Fatalf("merged total = %d, want %d", a.TotalBlocks(), totA+totB)
+	}
+}
+
+func TestEnsureEdgesEstimates(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := progtest.RandProgram(r, 3)
+	exact := progtest.RandProfile(r, p, 20, 300)
+	// Strip the edges to simulate a sampling profile.
+	sampled := &profile.Profile{Name: "sampled", BlockCount: exact.BlockCount}
+	sampled.EnsureEdges(p)
+	if !sampled.HasEdges() {
+		t.Fatal("EnsureEdges produced nothing")
+	}
+	// Estimated out-flow of a conditional must not exceed its count.
+	for _, b := range p.Blocks {
+		var out uint64
+		p.SuccEdges(b, func(e program.Edge) { out += sampled.Edge(e.Src, e.Dst) })
+		if b.Kind == 1 /* cond */ && out > sampled.Count(b.ID) {
+			t.Fatalf("block %d: estimated outflow %d > count %d", b.ID, out, sampled.Count(b.ID))
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	p := progtest.RandProgram(r, 3)
+	pf := progtest.RandProfile(r, p, 10, 200)
+	var buf bytes.Buffer
+	if err := pf.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := profile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalBlocks() != pf.TotalBlocks() || len(got.EdgeCount) != len(pf.EdgeCount) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestHottestBlocksSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := progtest.RandProgram(r, 4)
+	pf := progtest.RandProfile(r, p, 20, 300)
+	ids := pf.HottestBlocks()
+	for i := 1; i < len(ids); i++ {
+		if pf.Count(ids[i]) > pf.Count(ids[i-1]) {
+			t.Fatal("not sorted by descending count")
+		}
+	}
+	for _, id := range ids {
+		if pf.Count(id) == 0 {
+			t.Fatal("zero-count block included")
+		}
+	}
+}
+
+// TestDCPISamplingApproximatesPixie replays a synthetic fetch stream through
+// the sampling collector and checks the recovered counts are within a factor
+// of the exact ones for hot blocks.
+func TestDCPISamplingApproximatesPixie(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	p := progtest.RandProgram(r, 4)
+	exact := progtest.RandProfile(r, p, 50, 400)
+	layout, err := program.BaselineLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := profile.NewDCPI(layout, 16)
+	// Synthesize the fetch stream from the same walks the exact profile
+	// counted (fresh rand with same construction is not identical; instead
+	// drive runs straight from the exact profile's block counts).
+	for b, n := range exact.BlockCount {
+		blk := p.Blocks[b]
+		for i := uint64(0); i < n; i++ {
+			d.Fetch(trace.FetchRun{Addr: layout.Addr[b], Words: blk.Body + 1})
+		}
+	}
+	got := d.Finish("sampled")
+	if d.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	// Hot blocks (top decile) should be recovered within 3x.
+	hot := exact.HottestBlocks()
+	if len(hot) == 0 {
+		t.Skip("degenerate profile")
+	}
+	checked := 0
+	for _, b := range hot[:1+len(hot)/10] {
+		e := exact.Count(b)
+		g := got.Count(b)
+		if e < 100 {
+			continue
+		}
+		checked++
+		if g < e/3 || g > e*3 {
+			t.Fatalf("block %d: sampled %d vs exact %d", b, g, e)
+		}
+	}
+	_ = checked
+}
+
+// TestOptimizeWithSamplingProfile checks the whole pipeline accepts a
+// block-counts-only profile (edge estimation path).
+func TestOptimizeWithSamplingProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := progtest.RandProgram(r, 4)
+	exact := progtest.RandProfile(r, p, 20, 300)
+	sampled := &profile.Profile{Name: "s", BlockCount: exact.BlockCount}
+	l, _, err := core.Optimize(p, sampled, core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package program
+
+import (
+	"fmt"
+
+	"codelayout/internal/isa"
+)
+
+// Layout is a placement of every block of a program at concrete addresses,
+// together with the terminator materialization the placement implies:
+//
+//   - an unconditional branch (or fall-through continuation) to the
+//     physically next block is elided;
+//   - a conditional branch whose hot arm is adjacent flips polarity so the
+//     adjacent arm falls through, costing one word;
+//   - a conditional branch with neither arm adjacent needs a branch pair
+//     (conditional + unconditional), costing two words;
+//   - a call whose continuation is not adjacent needs a landing branch after
+//     the call word, because the return address is the next word.
+//
+// These rules reproduce, at the address-stream level, what Spike's rewriter
+// does to an Alpha executable.
+type Layout struct {
+	Prog *Program
+
+	// Order is the placement order of every block.
+	Order []BlockID
+
+	// Addr[b] is the virtual address of block b's first word.
+	Addr []uint64
+
+	// Occ[b] is the number of words block b occupies, including materialized
+	// terminator words but excluding alignment padding.
+	Occ []int32
+
+	// Adj[b] is the successor of b reached by pure fall-through under this
+	// layout (the physically next block when the terminator allows the
+	// transfer to be elided or flipped onto it), or NoBlock.
+	Adj []BlockID
+
+	// Landing[b] reports whether call block b needed a landing branch
+	// because its continuation is not adjacent.
+	Landing []bool
+
+	// CondFirst[b], for a conditional block with no adjacent arm, names the
+	// successor tested by the first branch of the branch pair (the cheaper
+	// exit). NoBlock elsewhere.
+	CondFirst []BlockID
+
+	// AlignAt marks blocks that begin an alignment unit (procedure or
+	// segment starts).
+	AlignAt map[BlockID]bool
+
+	// GapBefore records explicit gaps inserted before blocks (CFA).
+	GapBefore map[BlockID]uint64
+
+	// PadWords is the total alignment padding inserted.
+	PadWords int64
+
+	// LongBranches counts direct control transfers whose displacement
+	// exceeds the ISA branch reach and would need a long-branch sequence.
+	LongBranches int
+}
+
+// MaterializeOptions configures layout materialization.
+type MaterializeOptions struct {
+	// AlignWords pads the start of each alignment unit to a multiple of this
+	// many words. Zero disables alignment.
+	AlignWords int
+	// AlignAt marks the blocks that begin alignment units. If nil, every
+	// procedure's first block in placement order begins a unit.
+	AlignAt map[BlockID]bool
+	// Hotness, if non-nil, returns the execution count of a block; it is
+	// used to pick the cheap exit of a branch pair. If nil the taken arm is
+	// tested first.
+	Hotness func(BlockID) uint64
+	// GapBefore inserts an explicit gap of the given number of bytes before
+	// a block, on top of any alignment. The CFA optimization uses gaps to
+	// keep ordinary code out of the reserved conflict-free cache region.
+	GapBefore map[BlockID]uint64
+}
+
+// Materialize derives a Layout from a placement order. The order must contain
+// every block of the program exactly once.
+func Materialize(p *Program, order []BlockID, opts MaterializeOptions) (*Layout, error) {
+	if len(order) != len(p.Blocks) {
+		return nil, fmt.Errorf("layout: order has %d blocks, program has %d", len(order), len(p.Blocks))
+	}
+	n := len(p.Blocks)
+	l := &Layout{
+		Prog:      p,
+		Order:     order,
+		Addr:      make([]uint64, n),
+		Occ:       make([]int32, n),
+		Adj:       make([]BlockID, n),
+		Landing:   make([]bool, n),
+		CondFirst: make([]BlockID, n),
+	}
+	for i := range l.Adj {
+		l.Adj[i] = NoBlock
+		l.CondFirst[i] = NoBlock
+	}
+
+	alignAt := opts.AlignAt
+	if alignAt == nil {
+		alignAt = make(map[BlockID]bool)
+		seenProc := make([]bool, len(p.Procs))
+		for _, id := range order {
+			pr := p.Blocks[id].Proc
+			if !seenProc[pr] {
+				seenProc[pr] = true
+				alignAt[id] = true
+			}
+		}
+	}
+	l.AlignAt = alignAt
+
+	pos := make([]int, n) // placement index per block
+	seen := make([]bool, n)
+	for i, id := range order {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("layout: bad block id %d at position %d", id, i)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("layout: block %d placed twice", id)
+		}
+		seen[id] = true
+		pos[id] = i
+	}
+
+	// Decide terminator materialization from adjacency.
+	for i, id := range order {
+		b := p.Blocks[id]
+		var next BlockID = NoBlock
+		if i+1 < len(order) && !alignAt[order[i+1]] {
+			// A block at an alignment boundary may still be a fall-through
+			// target; padding would break contiguity, so treat unit starts
+			// as non-adjacent. (Units begin procedures/segments, which are
+			// entered by explicit transfers anyway.)
+			next = order[i+1]
+		}
+		term := int32(0)
+		switch b.Kind {
+		case isa.TermFallThrough:
+			if b.Fall == next {
+				l.Adj[id] = next
+			} else {
+				term = 1
+			}
+		case isa.TermCond:
+			term = 1
+			switch {
+			case b.Fall == next:
+				l.Adj[id] = next
+			case b.Taken == next:
+				// Polarity flip: the original taken arm falls through.
+				l.Adj[id] = next
+			default:
+				term = 2
+				first := b.Taken
+				if opts.Hotness != nil && opts.Hotness(b.Fall) > opts.Hotness(b.Taken) {
+					first = b.Fall
+				}
+				l.CondFirst[id] = first
+			}
+		case isa.TermBranch:
+			if b.Taken == next {
+				l.Adj[id] = next
+			} else {
+				term = 1
+			}
+		case isa.TermCall:
+			term = 1
+			if b.Fall == next {
+				l.Adj[id] = next
+			} else {
+				term = 2
+				l.Landing[id] = true
+			}
+		case isa.TermRet, isa.TermIndirect, isa.TermHalt:
+			term = 1
+		}
+		l.Occ[id] = b.Body + term
+	}
+
+	// Assign addresses.
+	addr := p.TextBase
+	align := uint64(opts.AlignWords) * isa.WordBytes
+	l.GapBefore = opts.GapBefore
+	for _, id := range order {
+		if gap := opts.GapBefore[id]; gap > 0 {
+			l.PadWords += int64(gap / isa.WordBytes)
+			addr += gap
+		}
+		if align > 0 && alignAt[id] {
+			if rem := addr % align; rem != 0 {
+				pad := align - rem
+				l.PadWords += int64(pad / isa.WordBytes)
+				addr += pad
+			}
+		}
+		l.Addr[id] = addr
+		addr += uint64(l.Occ[id]) * isa.WordBytes
+	}
+
+	// Count long branches (direct transfers beyond ISA reach).
+	for _, b := range p.Blocks {
+		p.SuccEdges(b, func(e Edge) {
+			if e.Kind == EdgeIndirect {
+				return // indirect jumps have full reach
+			}
+			if l.Adj[b.ID] == e.Dst {
+				return // elided or fall-through
+			}
+			src := int64(l.Addr[b.ID]) + int64(b.Body)*isa.WordBytes
+			d := int64(l.Addr[e.Dst]) - src
+			if d < 0 {
+				d = -d
+			}
+			if d > isa.BranchDisplacementBytes {
+				l.LongBranches++
+			}
+		})
+	}
+	return l, nil
+}
+
+// End returns the address one past the last word of block b.
+func (l *Layout) End(b BlockID) uint64 {
+	return l.Addr[b] + uint64(l.Occ[b])*isa.WordBytes
+}
+
+// TotalWords returns the total size of the laid-out text in words, including
+// padding.
+func (l *Layout) TotalWords() int64 {
+	var w int64 = l.PadWords
+	for _, occ := range l.Occ {
+		w += int64(occ)
+	}
+	return w
+}
+
+// TotalBytes returns the total size of the laid-out text in bytes.
+func (l *Layout) TotalBytes() int64 { return l.TotalWords() * isa.WordBytes }
+
+// ExecWords returns the number of words fetched when block b executes and
+// leaves via the edge to succ (NoBlock for Ret/Halt, the chosen target for
+// indirect jumps). Landing-branch words of calls are not included here; the
+// emitter accounts for them at return time via LandingRun.
+func (l *Layout) ExecWords(b *Block, succ BlockID) int32 {
+	switch b.Kind {
+	case isa.TermFallThrough, isa.TermBranch:
+		if l.Adj[b.ID] == succ {
+			return b.Body
+		}
+		return b.Body + 1
+	case isa.TermCond:
+		if l.Adj[b.ID] != NoBlock {
+			return b.Body + 1
+		}
+		if succ == l.CondFirst[b.ID] {
+			return b.Body + 1
+		}
+		return b.Body + 2
+	case isa.TermCall:
+		return b.Body + 1
+	default: // Ret, Indirect, Halt
+		return b.Body + 1
+	}
+}
+
+// LandingRun returns the address and length (in words) of the landing branch
+// executed when control returns to call block b's continuation, or ok=false
+// when the continuation is adjacent and no landing branch exists.
+func (l *Layout) LandingRun(b BlockID) (addr uint64, words int32, ok bool) {
+	if !l.Landing[b] {
+		return 0, 0, false
+	}
+	// Block layout: [body][call][landing branch].
+	return l.Addr[b] + uint64(l.Prog.Blocks[b].Body+1)*isa.WordBytes, 1, true
+}
+
+// Validate checks layout invariants: every block placed once, addresses
+// consistent with occupancy and padding, adjacency claims physically true,
+// and occupancy consistent with terminator rules. Intended for tests.
+func (l *Layout) Validate() error {
+	p := l.Prog
+	if len(l.Order) != len(p.Blocks) {
+		return fmt.Errorf("layout: order size %d != %d blocks", len(l.Order), len(p.Blocks))
+	}
+	seen := make([]bool, len(p.Blocks))
+	var prev BlockID = NoBlock
+	for _, id := range l.Order {
+		if seen[id] {
+			return fmt.Errorf("layout: block %d placed twice", id)
+		}
+		seen[id] = true
+		if prev != NoBlock {
+			gap := int64(l.Addr[id]) - int64(l.End(prev))
+			if gap < 0 {
+				return fmt.Errorf("layout: block %d overlaps predecessor %d", id, prev)
+			}
+			if gap > 0 && !l.AlignAt[id] && l.GapBefore[id] == 0 {
+				return fmt.Errorf("layout: unexpected gap %d before block %d", gap, id)
+			}
+		}
+		prev = id
+	}
+	for _, b := range p.Blocks {
+		adj := l.Adj[b.ID]
+		if adj != NoBlock {
+			if l.Addr[adj] != l.End(b.ID) {
+				return fmt.Errorf("layout: block %d claims adjacency to %d but addresses disagree", b.ID, adj)
+			}
+			switch b.Kind {
+			case isa.TermFallThrough:
+				if adj != b.Fall {
+					return fmt.Errorf("layout: fall block %d adjacent to non-successor %d", b.ID, adj)
+				}
+			case isa.TermCond:
+				if adj != b.Fall && adj != b.Taken {
+					return fmt.Errorf("layout: cond block %d adjacent to non-successor %d", b.ID, adj)
+				}
+			case isa.TermBranch:
+				if adj != b.Taken {
+					return fmt.Errorf("layout: branch block %d adjacent to non-target %d", b.ID, adj)
+				}
+			case isa.TermCall:
+				if adj != b.Fall {
+					return fmt.Errorf("layout: call block %d adjacent to non-continuation %d", b.ID, adj)
+				}
+			default:
+				return fmt.Errorf("layout: %v block %d cannot have adjacency", b.Kind, b.ID)
+			}
+		}
+		want := b.Body
+		switch b.Kind {
+		case isa.TermFallThrough, isa.TermBranch:
+			if adj == NoBlock {
+				want++
+			}
+		case isa.TermCond:
+			if adj == NoBlock {
+				want += 2
+			} else {
+				want++
+			}
+		case isa.TermCall:
+			want++
+			if adj == NoBlock {
+				want++
+				if !l.Landing[b.ID] {
+					return fmt.Errorf("layout: call block %d missing landing flag", b.ID)
+				}
+			} else if l.Landing[b.ID] {
+				return fmt.Errorf("layout: call block %d has landing flag with adjacent continuation", b.ID)
+			}
+		case isa.TermRet, isa.TermIndirect, isa.TermHalt:
+			want++
+		}
+		if l.Occ[b.ID] != want {
+			return fmt.Errorf("layout: block %d occupancy %d, want %d", b.ID, l.Occ[b.ID], want)
+		}
+	}
+	return nil
+}
+
+// SourceOrder returns the baseline placement: procedures in link order, each
+// procedure's blocks in source order. This models the original unoptimized
+// binary.
+func SourceOrder(p *Program) []BlockID {
+	order := make([]BlockID, 0, len(p.Blocks))
+	for _, pr := range p.Procs {
+		order = append(order, pr.Blocks...)
+	}
+	return order
+}
+
+// BaselineLayout materializes the source-order layout with standard
+// procedure alignment.
+func BaselineLayout(p *Program) (*Layout, error) {
+	return Materialize(p, SourceOrder(p), MaterializeOptions{AlignWords: 4})
+}

@@ -1,0 +1,93 @@
+package program
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LayoutFile is the serializable form of a layout: the placement decisions,
+// not the derived addresses (which Materialize recomputes). This is what
+// cmd/spike writes and the simulators load.
+type LayoutFile struct {
+	ProgramName string
+	Order       []BlockID
+	AlignAt     []BlockID
+	AlignWords  int
+	GapBefore   map[BlockID]uint64
+}
+
+// ToFile extracts the serializable placement from a layout.
+func (l *Layout) ToFile(alignWords int) *LayoutFile {
+	f := &LayoutFile{
+		ProgramName: l.Prog.Name,
+		Order:       l.Order,
+		AlignWords:  alignWords,
+		GapBefore:   l.GapBefore,
+	}
+	for b, on := range l.AlignAt {
+		if on {
+			f.AlignAt = append(f.AlignAt, b)
+		}
+	}
+	return f
+}
+
+// SaveLayout writes the placement with encoding/gob.
+func SaveLayout(w io.Writer, l *Layout, alignWords int) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(l.ToFile(alignWords)); err != nil {
+		return fmt.Errorf("layout: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadLayout reads a placement and re-materializes it over the program.
+func LoadLayout(r io.Reader, p *Program, hotness func(BlockID) uint64) (*Layout, error) {
+	var f LayoutFile
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("layout: decode: %w", err)
+	}
+	if f.ProgramName != p.Name {
+		return nil, fmt.Errorf("layout: for program %q, not %q", f.ProgramName, p.Name)
+	}
+	alignAt := make(map[BlockID]bool, len(f.AlignAt))
+	for _, b := range f.AlignAt {
+		alignAt[b] = true
+	}
+	align := f.AlignWords
+	if align == 0 {
+		align = 4
+	}
+	return Materialize(p, f.Order, MaterializeOptions{
+		AlignWords: align,
+		AlignAt:    alignAt,
+		GapBefore:  f.GapBefore,
+		Hotness:    hotness,
+	})
+}
+
+// SaveLayoutFile writes the placement to a file.
+func SaveLayoutFile(path string, l *Layout, alignWords int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveLayout(f, l, alignWords); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLayoutFile reads a placement file and materializes it.
+func LoadLayoutFile(path string, p *Program) (*Layout, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadLayout(f, p, nil)
+}

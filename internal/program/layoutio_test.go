@@ -1,0 +1,63 @@
+package program_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/program"
+	"codelayout/internal/progtest"
+)
+
+func TestLayoutSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	p := progtest.RandProgram(r, 6)
+	order := program.SourceOrder(p)
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	alignAt := map[program.BlockID]bool{order[0]: true, order[len(order)/2]: true}
+	l, err := program.Materialize(p, order, program.MaterializeOptions{
+		AlignWords: 4,
+		AlignAt:    alignAt,
+		GapBefore:  map[program.BlockID]uint64{order[len(order)/2]: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := program.SaveLayout(&buf, l, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := program.LoadLayout(&buf, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for id := range p.Blocks {
+		if got.Addr[id] != l.Addr[id] || got.Occ[id] != l.Occ[id] {
+			t.Fatalf("block %d: addr/occ differ after roundtrip", id)
+		}
+	}
+	if got.TotalWords() != l.TotalWords() {
+		t.Fatalf("total words %d != %d", got.TotalWords(), l.TotalWords())
+	}
+}
+
+func TestLoadLayoutRejectsWrongProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	p := progtest.RandProgram(r, 3)
+	l, err := program.BaselineLayout(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := program.SaveLayout(&buf, l, 4); err != nil {
+		t.Fatal(err)
+	}
+	other := progtest.RandProgram(rand.New(rand.NewSource(14)), 3)
+	other.Name = "different"
+	if _, err := program.LoadLayout(&buf, other, nil); err == nil {
+		t.Fatal("expected program-name mismatch error")
+	}
+}

@@ -1,0 +1,115 @@
+package tlb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/isa"
+	"codelayout/internal/tlb"
+	"codelayout/internal/trace"
+)
+
+func pageRun(page uint64, cpu uint8) trace.FetchRun {
+	return trace.FetchRun{Addr: page * isa.PageBytes, Words: 4, CPU: cpu}
+}
+
+func TestTLBHitsAndMisses(t *testing.T) {
+	tb := tlb.New(4)
+	for p := uint64(0); p < 4; p++ {
+		tb.Fetch(pageRun(p, 0))
+	}
+	if tb.Misses != 4 {
+		t.Fatalf("cold misses = %d", tb.Misses)
+	}
+	for p := uint64(0); p < 4; p++ {
+		tb.Fetch(pageRun(p, 0))
+	}
+	if tb.Misses != 4 {
+		t.Fatalf("warm misses = %d", tb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tb := tlb.New(2)
+	tb.Fetch(pageRun(1, 0))
+	tb.Fetch(pageRun(2, 0))
+	tb.Fetch(pageRun(1, 0)) // 1 most recent
+	tb.Fetch(pageRun(3, 0)) // evicts 2
+	m := tb.Misses
+	tb.Fetch(pageRun(1, 0))
+	if tb.Misses != m {
+		t.Fatal("page 1 evicted, LRU broken")
+	}
+	tb.Fetch(pageRun(2, 0))
+	if tb.Misses != m+1 {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestTLBRunCrossingPages(t *testing.T) {
+	tb := tlb.New(8)
+	r := trace.FetchRun{Addr: isa.PageBytes - 8, Words: 4, CPU: 0}
+	tb.Fetch(r) // crosses from page 0 into page 1
+	if tb.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", tb.Misses)
+	}
+}
+
+func TestTLBFastPathExactness(t *testing.T) {
+	// The per-CPU last-page fast path must not change miss counts compared
+	// to a reference simulation without it. Compare against a simple map
+	// LRU reimplementation.
+	r := rand.New(rand.NewSource(5))
+	tb := tlb.New(8)
+
+	type ref struct {
+		pages map[uint64]int
+		tick  int
+	}
+	rf := ref{pages: make(map[uint64]int)}
+	refMisses := 0
+	translate := func(pg uint64) {
+		rf.tick++
+		if _, ok := rf.pages[pg]; ok {
+			rf.pages[pg] = rf.tick
+			return
+		}
+		refMisses++
+		if len(rf.pages) >= 8 {
+			var lruPg uint64
+			lru := 1 << 60
+			for p, at := range rf.pages {
+				if at < lru {
+					lru = at
+					lruPg = p
+				}
+			}
+			delete(rf.pages, lruPg)
+		}
+		rf.pages[pg] = rf.tick
+	}
+
+	for i := 0; i < 5000; i++ {
+		pg := uint64(r.Intn(12))
+		words := int32(1 + r.Intn(8))
+		fr := trace.FetchRun{Addr: pg*isa.PageBytes + uint64(r.Intn(1024)*4), Words: words, CPU: 0}
+		tb.Fetch(fr)
+		first := fr.Addr / isa.PageBytes
+		last := (fr.End() - 1) / isa.PageBytes
+		for p := first; p <= last; p++ {
+			translate(p)
+		}
+	}
+	if int(tb.Misses) != refMisses {
+		t.Fatalf("tlb misses %d != reference %d", tb.Misses, refMisses)
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	tb := tlb.New(2)
+	tb.Fetch(pageRun(0, 0))
+	tb.Fetch(pageRun(0, 0))
+	if got := tb.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %f", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package tpcb implements the OLTP workload of the paper: a TPC-B-style
+// banking benchmark over the internal/db storage engine. Each transaction
+// updates a random account, its teller and branch balances, and appends a
+// history record, then commits (forcing the log with group commit).
+//
+// The database is scaled the way the paper's validated setup scales Oracle:
+// 40 branches by default, with the per-branch account count reduced for
+// simulation tractability (the paper itself uses a scaled-down 900 MB
+// TPC-B database).
+package tpcb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/db"
+)
+
+// Scale configures database size.
+type Scale struct {
+	Branches          int
+	TellersPerBranch  int
+	AccountsPerBranch int
+}
+
+// DefaultScale mirrors the paper's 40-branch database, scaled down in
+// accounts per branch to keep simulations fast.
+func DefaultScale() Scale {
+	return Scale{Branches: 40, TellersPerBranch: 10, AccountsPerBranch: 2500}
+}
+
+// Lock key spaces.
+const (
+	lockSpaceAccount = 1
+	lockSpaceTeller  = 2
+	lockSpaceBranch  = 3
+)
+
+// Record sizes per the TPC-B specification: 100-byte account/teller/branch
+// rows, 50-byte history rows.
+const (
+	rowBytes     = 100
+	historyBytes = 50
+)
+
+// Bench is a loaded TPC-B database.
+type Bench struct {
+	Eng   *db.Engine
+	Scale Scale
+
+	Accounts *db.BTree
+	Tellers  *db.BTree
+
+	AcctTable   *db.Table
+	TellerTable *db.Table
+	BranchTable *db.Table
+	HistTable   *db.Table
+
+	branchRID []db.RID
+	tellerRID []db.RID
+}
+
+// Load creates and populates the database through an uninstrumented session
+// (the paper starts profiling only after setup and warmup). It checkpoints
+// the loaded pages and marks the log flushed, so measured runs start clean.
+func Load(eng *db.Engine, sc Scale) (*Bench, error) {
+	if sc.Branches <= 0 || sc.TellersPerBranch <= 0 || sc.AccountsPerBranch <= 0 {
+		return nil, fmt.Errorf("tpcb: bad scale %+v", sc)
+	}
+	b := &Bench{Eng: eng, Scale: sc}
+	s := eng.NewSession(0, nil)
+
+	b.AcctTable = eng.CreateTable("account")
+	b.TellerTable = eng.CreateTable("teller")
+	b.BranchTable = eng.CreateTable("branch")
+	b.HistTable = eng.CreateTable("history")
+	b.Accounts = eng.CreateBTree("account_pk")
+	b.Tellers = eng.CreateBTree("teller_pk")
+
+	for br := 0; br < sc.Branches; br++ {
+		rid := b.BranchTable.Insert(s, encodeRow(uint64(br), uint64(br), 0))
+		b.branchRID = append(b.branchRID, rid)
+	}
+	for t := 0; t < sc.Branches*sc.TellersPerBranch; t++ {
+		branch := uint64(t / sc.TellersPerBranch)
+		rid := b.TellerTable.Insert(s, encodeRow(uint64(t), branch, 0))
+		b.tellerRID = append(b.tellerRID, rid)
+		if err := b.Tellers.Insert(s, uint64(t), rid.Pack()); err != nil {
+			return nil, err
+		}
+	}
+	for a := 0; a < sc.Branches*sc.AccountsPerBranch; a++ {
+		branch := uint64(a / sc.AccountsPerBranch)
+		rid := b.AcctTable.Insert(s, encodeRow(uint64(a), branch, 0))
+		if err := b.Accounts.Insert(s, uint64(a), rid.Pack()); err != nil {
+			return nil, err
+		}
+	}
+	eng.Pool.FlushAll()
+	eng.WAL.MarkFlushed(eng.WAL.CurrentLSN())
+	return b, nil
+}
+
+// NumAccounts returns the total account count.
+func (b *Bench) NumAccounts() int { return b.Scale.Branches * b.Scale.AccountsPerBranch }
+
+// NumTellers returns the total teller count.
+func (b *Bench) NumTellers() int { return b.Scale.Branches * b.Scale.TellersPerBranch }
+
+// encodeRow packs a fixed 100-byte row: id, branch, balance, filler.
+func encodeRow(id, branch uint64, balance int64) []byte {
+	row := make([]byte, rowBytes)
+	binary.LittleEndian.PutUint64(row[0:], id)
+	binary.LittleEndian.PutUint64(row[8:], branch)
+	binary.LittleEndian.PutUint64(row[16:], uint64(balance))
+	return row
+}
+
+// rowBalance reads the balance field.
+func rowBalance(row []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(row[16:]))
+}
+
+// rowSetBalance writes the balance field.
+func rowSetBalance(row []byte, v int64) {
+	binary.LittleEndian.PutUint64(row[16:], uint64(v))
+}
+
+// Input is one transaction request from a client.
+type Input struct {
+	Account uint64
+	Teller  uint64
+	Branch  uint64
+	Delta   int64
+}
+
+// GenInput draws a TPC-B request: uniform teller, uniform account, delta in
+// [-999999, +999999]. The branch is the teller's branch.
+func (b *Bench) GenInput(r *rand.Rand) Input {
+	teller := uint64(r.Intn(b.NumTellers()))
+	return Input{
+		Account: uint64(r.Intn(b.NumAccounts())),
+		Teller:  teller,
+		Branch:  teller / uint64(b.Scale.TellersPerBranch),
+		Delta:   r.Int63n(1_999_999) - 999_999,
+	}
+}
+
+// RunTxn executes one TPC-B transaction on the session and returns the new
+// account balance. This is the instrumented top-level entry whose model is
+// the root of the application's call graph.
+func (b *Bench) RunTxn(s *db.Session, in Input) int64 {
+	s.PB.Enter("tpcb_txn")
+	defer s.PB.Leave("tpcb_txn")
+	s.PB.Data(s.ScratchAddr(1024), 256, true) // parsed request / session state
+	s.Begin()
+	bal := b.updAccount(s, in.Account, in.Delta)
+	b.updTeller(s, in.Teller, in.Delta)
+	b.updBranch(s, in.Branch, in.Delta)
+	b.insHistory(s, in)
+	s.Commit()
+	return bal
+}
+
+func (b *Bench) updAccount(s *db.Session, acct uint64, delta int64) int64 {
+	s.PB.Enter("upd_account")
+	defer s.PB.Leave("upd_account")
+	s.PB.Data(s.ScratchAddr(0), 192, true) // cursor/bind state
+	packed, ok := b.Accounts.Search(s, acct)
+	if !ok {
+		panic(fmt.Sprintf("tpcb: account %d missing", acct))
+	}
+	rid := db.UnpackRID(packed)
+	s.LockX(db.LockKey(lockSpaceAccount, acct))
+	row := b.AcctTable.Fetch(s, rid)
+	bal := rowBalance(row) + delta
+	rowSetBalance(row, bal)
+	s.PB.Data(s.ScratchAddr(256), 128, true) // row image in private buffer
+	b.AcctTable.Update(s, rid, row)
+	return bal
+}
+
+func (b *Bench) updTeller(s *db.Session, teller uint64, delta int64) {
+	s.PB.Enter("upd_teller")
+	defer s.PB.Leave("upd_teller")
+	packed, ok := b.Tellers.Search(s, teller)
+	if !ok {
+		panic(fmt.Sprintf("tpcb: teller %d missing", teller))
+	}
+	rid := db.UnpackRID(packed)
+	s.LockX(db.LockKey(lockSpaceTeller, teller))
+	row := b.TellerTable.Fetch(s, rid)
+	rowSetBalance(row, rowBalance(row)+delta)
+	s.PB.Data(s.ScratchAddr(512), 128, true)
+	b.TellerTable.Update(s, rid, row)
+}
+
+func (b *Bench) updBranch(s *db.Session, branch uint64, delta int64) {
+	s.PB.Enter("upd_branch")
+	defer s.PB.Leave("upd_branch")
+	rid := b.branchRID[branch]
+	s.LockX(db.LockKey(lockSpaceBranch, branch))
+	row := b.BranchTable.Fetch(s, rid)
+	rowSetBalance(row, rowBalance(row)+delta)
+	s.PB.Data(s.ScratchAddr(768), 128, true)
+	b.BranchTable.Update(s, rid, row)
+}
+
+func (b *Bench) insHistory(s *db.Session, in Input) {
+	s.PB.Enter("ins_history")
+	defer s.PB.Leave("ins_history")
+	rec := make([]byte, historyBytes)
+	binary.LittleEndian.PutUint64(rec[0:], in.Account)
+	binary.LittleEndian.PutUint64(rec[8:], in.Teller)
+	binary.LittleEndian.PutUint64(rec[16:], in.Branch)
+	binary.LittleEndian.PutUint64(rec[24:], uint64(in.Delta))
+	binary.LittleEndian.PutUint64(rec[32:], s.Txn().ID) // timestamp stand-in
+	b.HistTable.Insert(s, rec)
+}
+
+// AccountBalance reads an account balance outside any transaction (tests
+// and verification).
+func (b *Bench) AccountBalance(s *db.Session, acct uint64) int64 {
+	packed, ok := b.Accounts.Search(s, acct)
+	if !ok {
+		panic(fmt.Sprintf("tpcb: account %d missing", acct))
+	}
+	row := b.AcctTable.Fetch(s, db.UnpackRID(packed))
+	return rowBalance(row)
+}
+
+// BranchBalance reads a branch balance (verification).
+func (b *Bench) BranchBalance(s *db.Session, branch uint64) int64 {
+	row := b.BranchTable.Fetch(s, b.branchRID[branch])
+	return rowBalance(row)
+}
+
+// TellerBalance reads a teller balance (verification).
+func (b *Bench) TellerBalance(s *db.Session, teller uint64) int64 {
+	row := b.TellerTable.Fetch(s, b.tellerRID[teller])
+	return rowBalance(row)
+}

@@ -1,0 +1,156 @@
+package tpcb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/db"
+	"codelayout/internal/tpcb"
+)
+
+func load(t *testing.T, sc tpcb.Scale) (*tpcb.Bench, *db.Session) {
+	t.Helper()
+	eng := db.NewEngine(db.Config{BufferPoolPages: 8192})
+	b, err := tpcb.Load(eng, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, eng.NewSession(1, nil)
+}
+
+func smallScale() tpcb.Scale {
+	return tpcb.Scale{Branches: 4, TellersPerBranch: 5, AccountsPerBranch: 100}
+}
+
+func TestLoadPopulates(t *testing.T) {
+	b, s := load(t, smallScale())
+	if got := b.Accounts.Count(s); got != 400 {
+		t.Fatalf("accounts = %d", got)
+	}
+	if got := b.Tellers.Count(s); got != 20 {
+		t.Fatalf("tellers = %d", got)
+	}
+	if b.AccountBalance(s, 0) != 0 {
+		t.Fatal("nonzero initial balance")
+	}
+}
+
+func TestTransactionsBalance(t *testing.T) {
+	b, s := load(t, smallScale())
+	r := rand.New(rand.NewSource(1))
+	var total int64
+	perBranch := make(map[uint64]int64)
+	perTeller := make(map[uint64]int64)
+	perAccount := make(map[uint64]int64)
+	for i := 0; i < 300; i++ {
+		in := b.GenInput(r)
+		b.RunTxn(s, in)
+		total += in.Delta
+		perBranch[in.Branch] += in.Delta
+		perTeller[in.Teller] += in.Delta
+		perAccount[in.Account] += in.Delta
+	}
+	// TPC-B consistency: balances reflect the sum of applied deltas.
+	var sumBranches int64
+	for br, want := range perBranch {
+		got := b.BranchBalance(s, br)
+		if got != want {
+			t.Fatalf("branch %d balance %d, want %d", br, got, want)
+		}
+		sumBranches += got
+	}
+	if sumBranches != total {
+		t.Fatalf("branch sum %d != total %d", sumBranches, total)
+	}
+	for tl, want := range perTeller {
+		if got := b.TellerBalance(s, tl); got != want {
+			t.Fatalf("teller %d balance %d, want %d", tl, got, want)
+		}
+	}
+	for ac, want := range perAccount {
+		if got := b.AccountBalance(s, ac); got != want {
+			t.Fatalf("account %d balance %d, want %d", ac, got, want)
+		}
+	}
+	if b.Eng.Committed != 300 {
+		t.Fatalf("committed = %d", b.Eng.Committed)
+	}
+}
+
+func TestHistoryGrows(t *testing.T) {
+	b, s := load(t, smallScale())
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		b.RunTxn(s, b.GenInput(r))
+	}
+	if len(b.HistTable.Pages) == 0 {
+		t.Fatal("no history pages")
+	}
+	// Each committed transaction forces the log.
+	if b.Eng.WAL.Flushes < 50 {
+		t.Fatalf("flushes = %d", b.Eng.WAL.Flushes)
+	}
+}
+
+func TestRecoveryAfterWorkload(t *testing.T) {
+	b, s := load(t, smallScale())
+	r := rand.New(rand.NewSource(3))
+	want := make(map[uint64]int64)
+	for i := 0; i < 100; i++ {
+		in := b.GenInput(r)
+		b.RunTxn(s, in)
+		want[in.Account] += in.Delta
+	}
+	// Crash without checkpointing; recover from load-time disk + log.
+	if _, err := db.Recover(b.Eng.Disk, b.Eng.WAL); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild a fresh engine over the recovered disk is beyond this test's
+	// scope; instead verify recovered page images contain the right
+	// balances by reading through a scratch page for a few accounts.
+	for acct, delta := range want {
+		packed, ok := b.Accounts.Search(s, acct)
+		if !ok {
+			t.Fatalf("account %d missing", acct)
+		}
+		rid := db.UnpackRID(packed)
+		img := b.Eng.Disk.Read(rid.Page)
+		pg := &db.Page{ID: rid.Page, Data: img}
+		rec, err := pg.Record(int(rid.Slot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(uint64le(rec[16:])); got != delta {
+			t.Fatalf("recovered account %d balance %d, want %d", acct, got, delta)
+		}
+		break // one account suffices with map iteration randomized
+	}
+}
+
+func uint64le(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func TestGenInputRanges(t *testing.T) {
+	b, _ := load(t, smallScale())
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		in := b.GenInput(r)
+		if in.Account >= uint64(b.NumAccounts()) {
+			t.Fatalf("account %d out of range", in.Account)
+		}
+		if in.Teller >= uint64(b.NumTellers()) {
+			t.Fatalf("teller %d out of range", in.Teller)
+		}
+		if in.Branch != in.Teller/uint64(b.Scale.TellersPerBranch) {
+			t.Fatalf("branch %d not teller's", in.Branch)
+		}
+		if in.Delta < -999_999 || in.Delta > 999_999 {
+			t.Fatalf("delta %d out of range", in.Delta)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"codelayout/internal/isa"
+	"codelayout/internal/stats"
+)
+
+// MaxCPUs bounds the number of processors per-CPU sinks track.
+const MaxCPUs = 64
+
+// SeqLen measures the number of sequentially executed instructions between
+// control breaks (Figure 8 of the paper). A sequence continues as long as
+// fetch runs on the same CPU are address-contiguous; any discontinuity —
+// taken branch, call, return, or a transfer to kernel code — ends it.
+type SeqLen struct {
+	// Hist buckets sequence lengths; the paper plots 1..33 with overflow.
+	Hist *stats.Hist
+	// cur tracks the open sequence per CPU.
+	curEnd [MaxCPUs]uint64
+	curLen [MaxCPUs]int32
+	open   [MaxCPUs]bool
+}
+
+// NewSeqLen creates a sequence-length sink with the paper's bucket range.
+func NewSeqLen() *SeqLen {
+	return &SeqLen{Hist: stats.NewHist(1, 33)}
+}
+
+// Fetch implements Sink.
+func (s *SeqLen) Fetch(r FetchRun) {
+	c := r.CPU
+	if s.open[c] && r.Addr == s.curEnd[c] {
+		s.curLen[c] += r.Words
+		s.curEnd[c] = r.End()
+		return
+	}
+	if s.open[c] {
+		s.Hist.Add(int(s.curLen[c]))
+	}
+	s.open[c] = true
+	s.curLen[c] = r.Words
+	s.curEnd[c] = r.End()
+}
+
+// Flush closes all open sequences.
+func (s *SeqLen) Flush() {
+	for c := range s.open {
+		if s.open[c] {
+			s.Hist.Add(int(s.curLen[c]))
+			s.open[c] = false
+		}
+	}
+}
+
+// Footprint counts unique cache lines (and pages) touched by the stream, the
+// measure the paper uses for "footprint in number of unique cache lines
+// touched during execution".
+type Footprint struct {
+	LineBytes int
+	lines     map[uint64]struct{}
+	pages     map[uint64]struct{}
+}
+
+// NewFootprint creates a footprint sink for the given line size.
+func NewFootprint(lineBytes int) *Footprint {
+	return &Footprint{
+		LineBytes: lineBytes,
+		lines:     make(map[uint64]struct{}, 1<<12),
+		pages:     make(map[uint64]struct{}, 1<<8),
+	}
+}
+
+// Fetch implements Sink.
+func (f *Footprint) Fetch(r FetchRun) {
+	lb := uint64(f.LineBytes)
+	first := r.Addr / lb
+	last := (r.End() - 1) / lb
+	for ln := first; ln <= last; ln++ {
+		f.lines[ln] = struct{}{}
+	}
+	pFirst := r.Addr / isa.PageBytes
+	pLast := (r.End() - 1) / isa.PageBytes
+	for pg := pFirst; pg <= pLast; pg++ {
+		f.pages[pg] = struct{}{}
+	}
+}
+
+// Lines returns the number of unique cache lines touched.
+func (f *Footprint) Lines() int { return len(f.lines) }
+
+// Bytes returns the touched footprint in bytes (lines × line size).
+func (f *Footprint) Bytes() int64 { return int64(len(f.lines)) * int64(f.LineBytes) }
+
+// Pages returns the number of unique pages touched.
+func (f *Footprint) Pages() int { return len(f.pages) }
+
+// DataTee fans a data-reference stream out to several sinks.
+type DataTee []DataSink
+
+// Data implements DataSink.
+func (t DataTee) Data(r DataRef) {
+	for _, s := range t {
+		s.Data(r)
+	}
+}
