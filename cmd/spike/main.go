@@ -2,7 +2,11 @@
 // profile, like the Spike executable optimizer: basic block chaining,
 // fine-grain procedure splitting, and Pettis–Hansen procedure ordering.
 //
+// The optimizer is a pass pipeline; a combo name resolves to a pass list,
+// and -passes runs an arbitrary pipeline spec instead:
+//
 //	spike -prog images/app.prog -profile oltp.prof -combo all -out app.layout
+//	spike -prog images/app.prog -profile oltp.prof -passes chain,split:fine,porder:ph
 package main
 
 import (
@@ -20,7 +24,8 @@ func main() {
 	var (
 		progPath = flag.String("prog", "", "program file (from oltpgen)")
 		profPath = flag.String("profile", "", "profile file (from pixie)")
-		combo    = flag.String("combo", "all", "optimization combo: base|porder|chain|chain+split|chain+porder|all")
+		combo    = flag.String("combo", "all", "optimization combo: base|porder|chain|chain+split|chain+porder|all|hotcold|cfa|ipchain")
+		passes   = flag.String("passes", "", "comma-separated pass pipeline (overrides -combo), e.g. chain,split:fine,porder:ph")
 		out      = flag.String("out", "", "layout output file (optional)")
 		dump     = flag.Bool("dump", false, "dump the laid-out program (small programs only)")
 	)
@@ -36,20 +41,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	c, err := core.ComboByName(*combo)
-	if err != nil {
-		fatal(err)
+
+	name := *combo
+	var pl core.Pipeline
+	if *passes != "" {
+		name = "custom"
+		pl, err = core.ParsePipeline(*passes)
+		if err != nil {
+			// The core error already lists the registered passes.
+			fatal(fmt.Errorf("bad -passes spec %q: %w", *passes, err))
+		}
+	} else {
+		pl, err = core.ComboPipeline(name)
+		if err != nil {
+			fatal(err)
+		}
 	}
+
 	base, err := program.BaselineLayout(p)
 	if err != nil {
 		fatal(err)
 	}
-	l, rep, err := core.Optimize(p, pf, c.Opts)
+	l, rep, err := pl.Run(p, pf)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("combo %s: %d chains, %d units (%d hot), hot text %.1f KB\n",
-		c.Name, rep.Chains, rep.Units, rep.HotUnits,
+	fmt.Printf("%s: passes %s\n", name, pl)
+	fmt.Printf("%s: %d chains, %d units (%d hot), hot text %.1f KB\n",
+		name, rep.Chains, rep.Units, rep.HotUnits,
 		float64(rep.HotWords*isa.WordBytes)/1024)
 	fmt.Printf("image: %.2f MB -> %.2f MB (padding %.1f KB, %d long branches)\n",
 		float64(base.TotalBytes())/(1<<20), float64(l.TotalBytes())/(1<<20),

@@ -63,6 +63,16 @@ type (
 	SplitMode = core.SplitMode
 	// OrderMode selects procedure ordering (original or Pettis–Hansen).
 	OrderMode = core.OrderMode
+	// Pass is one stage of a layout pipeline.
+	Pass = core.Pass
+	// PassFactory builds a pass from its spec argument.
+	PassFactory = core.PassFactory
+	// Pipeline is an ordered list of layout passes.
+	Pipeline = core.Pipeline
+	// LayoutState is the shared state a pipeline threads through its passes.
+	LayoutState = core.LayoutState
+	// Unit is a placement unit: a run of blocks kept contiguous by ordering.
+	Unit = core.Unit
 )
 
 // Splitting and ordering modes.
@@ -89,6 +99,26 @@ func OptAll() OptimizeOptions {
 // Combos returns the paper's six optimization combinations in order
 // (base, porder, chain, chain+split, chain+porder, all).
 func Combos() []core.Combo { return core.Combos() }
+
+// RegisterPass adds a custom layout pass to the pipeline registry under the
+// given base name; pipeline specs may then reference it as "name" or
+// "name:arg".
+func RegisterPass(name string, f PassFactory) error { return core.RegisterPass(name, f) }
+
+// RegisteredPasses lists the registered pass names, sorted.
+func RegisteredPasses() []string { return core.RegisteredPasses() }
+
+// ParsePipeline parses a comma-separated pass spec such as
+// "chain,split:fine,porder:ph" into a runnable pipeline (materialization
+// runs implicitly if the spec does not end in a materializing pass).
+func ParsePipeline(spec string) (Pipeline, error) { return core.ParsePipeline(spec) }
+
+// PipelineFor assembles the pass pipeline implementing the given options.
+func PipelineFor(o OptimizeOptions) (Pipeline, error) { return core.PipelineFor(o) }
+
+// ComboPipeline resolves a combo name (the paper's six plus "hotcold",
+// "cfa" and "ipchain") to its pass pipeline.
+func ComboPipeline(name string) (Pipeline, error) { return core.ComboPipeline(name) }
 
 // BaselineLayout materializes the original (source-order) binary layout.
 func BaselineLayout(p *Program) (*Layout, error) { return program.BaselineLayout(p) }

@@ -24,6 +24,43 @@ func TestFacadeOptimizePipeline(t *testing.T) {
 	}
 }
 
+func TestFacadePassPipeline(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := progtest.RandProgram(r, 6)
+	pf := progtest.RandProfile(r, p, 20, 300)
+	pl, err := codelayout.ParsePipeline("chain,split:fine,porder:ph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rep, err := pl.Run(p, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The same pipeline through the Options wrapper is identical.
+	want, _, err := codelayout.Optimize(p, pf, codelayout.OptAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range l.Addr {
+		if l.Addr[b] != want.Addr[b] {
+			t.Fatalf("pipeline and Optimize diverged at block %d", b)
+		}
+	}
+	if rep.Units == 0 {
+		t.Fatal("empty report")
+	}
+	if _, err := codelayout.ComboPipeline("ipchain"); err != nil {
+		t.Fatal(err)
+	}
+	names := codelayout.RegisteredPasses()
+	if len(names) < 7 {
+		t.Fatalf("registered passes = %v", names)
+	}
+}
+
 func TestFacadeCombosMatchPaper(t *testing.T) {
 	names := make([]string, 0, 6)
 	for _, c := range codelayout.Combos() {

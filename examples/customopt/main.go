@@ -1,11 +1,16 @@
 // Customopt: plugging a custom procedure-ordering pass into the pipeline.
-// The library's passes are composable: chaining and splitting produce
-// placement units, and any ordering of those units can be materialized into
-// a layout. Here a naive "sort units by hotness" ordering is compared with
+// The optimizer is a registry of named passes; RegisterPass adds a new one
+// and ParsePipeline assembles any sequence by name. Here a naive "sort units
+// by hotness" ordering pass is registered as "hotsort" and compared with
 // Pettis–Hansen, showing why call-graph affinity beats raw hotness.
+//
+// Run with -passes to try any other pipeline spec, e.g.:
+//
+//	customopt -passes chain,split:none,ipchain,porder:ph
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -14,16 +19,51 @@ import (
 	"codelayout/internal/appmodel"
 	"codelayout/internal/cache"
 	"codelayout/internal/codegen"
-	"codelayout/internal/core"
 	"codelayout/internal/db"
-	"codelayout/internal/program"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
 
 	"math/rand"
 )
 
+// hotSortPass orders hot units by raw execution count, cold units last in
+// their original relative order — the strawman Pettis–Hansen improves on.
+// Like the built-in ordering passes, it refuses to overwrite an ordering an
+// earlier pass already produced.
+type hotSortPass struct{}
+
+func (hotSortPass) Name() string { return "hotsort" }
+
+func (hotSortPass) Run(st *codelayout.LayoutState) error {
+	if st.UnitOrder != nil {
+		return fmt.Errorf("units already ordered")
+	}
+	st.EnsureUnits()
+	var hot, cold []int
+	for i, u := range st.Units {
+		if u.Hot {
+			hot = append(hot, i)
+		} else {
+			cold = append(cold, i)
+		}
+	}
+	sort.SliceStable(hot, func(a, b int) bool {
+		return st.Units[hot[a]].Count > st.Units[hot[b]].Count
+	})
+	st.UnitOrder = append(hot, cold...)
+	return nil
+}
+
 func main() {
+	custom := flag.String("passes", "", "extra pipeline spec to measure alongside the built-in comparison")
+	flag.Parse()
+
+	if err := codelayout.RegisterPass("hotsort", func(arg string) (codelayout.Pass, error) {
+		return hotSortPass{}, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	img, err := appmodel.Build(appmodel.Config{Seed: 3, LibScale: 0.5, ColdWords: 400_000})
 	if err != nil {
 		log.Fatal(err)
@@ -38,68 +78,35 @@ func main() {
 	train := newRun(img, base, 100)
 	train.em.Collector = px
 	train.txns(300)
-
 	prof := px.Profile
-	prof.EnsureEdges(img.Prog)
 
-	// Shared front half of the pipeline: chain, then split fine.
-	chains := make(map[program.ProcID][]core.Chain, len(img.Prog.Procs))
-	for _, pr := range img.Prog.Procs {
-		if pr.Cold {
-			chains[pr.ID] = core.SourceChains(pr)
-		} else {
-			chains[pr.ID] = core.ChainProc(img.Prog, pr, prof)
-		}
+	type candidate struct {
+		name string
+		l    *codelayout.Layout
 	}
-	units := core.BuildUnits(img.Prog, prof, chains, core.SplitFine)
-
-	materialize := func(order []int) *codelayout.Layout {
-		var blocks []program.BlockID
-		alignAt := make(map[program.BlockID]bool)
-		seen := make(map[int]bool)
-		place := func(i int) {
-			if seen[i] || len(units[i].Blocks) == 0 {
-				return
-			}
-			seen[i] = true
-			alignAt[units[i].Blocks[0]] = true
-			blocks = append(blocks, units[i].Blocks...)
+	candidates := []candidate{{"baseline", base}}
+	specs := []struct{ name, spec string }{
+		{"hotsort", "chain,split:fine,hotsort"},
+		{"pettis-hansen", "chain,split:fine,porder:ph"},
+	}
+	if *custom != "" {
+		specs = append(specs, struct{ name, spec string }{"custom", *custom})
+	}
+	for _, sp := range specs {
+		pl, err := codelayout.ParsePipeline(sp.spec)
+		if err != nil {
+			log.Fatalf("bad pipeline %q: %v", sp.spec, err)
 		}
-		for _, i := range order {
-			place(i)
-		}
-		for i := range units {
-			place(i)
-		}
-		l, err := program.Materialize(img.Prog, blocks, program.MaterializeOptions{
-			AlignWords: 4, AlignAt: alignAt, Hotness: prof.Count,
-		})
+		l, _, err := pl.Run(img.Prog, prof)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return l
+		fmt.Printf("%-15s -> %s\n", sp.name, pl)
+		candidates = append(candidates, candidate{sp.name, l})
 	}
 
-	// Custom ordering 1: raw hotness.
-	byHotness := make([]int, 0, len(units))
-	for i, u := range units {
-		if u.Hot {
-			byHotness = append(byHotness, i)
-		}
-	}
-	sort.SliceStable(byHotness, func(a, b int) bool {
-		return units[byHotness[a]].Count > units[byHotness[b]].Count
-	})
-	hotnessLayout := materialize(byHotness)
-
-	// Ordering 2: Pettis–Hansen (the paper's choice).
-	phLayout := materialize(core.PettisHansen(img.Prog, prof, units))
-
-	fmt.Println("custom ordering pass comparison (32KB direct-mapped, 128B lines):")
-	for _, c := range []struct {
-		name string
-		l    *codelayout.Layout
-	}{{"baseline", base}, {"hotness-sorted", hotnessLayout}, {"pettis-hansen", phLayout}} {
+	fmt.Println("\ncustom ordering pass comparison (32KB direct-mapped, 128B lines):")
+	for _, c := range candidates {
 		run := newRun(img, c.l, 2024)
 		ic := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Assoc: 1})
 		run.em.Sink = func(addr uint64, words int32) {

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/isa"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+// CallChainUnits merges placement units along hot call edges, Codestitcher
+// style: when a unit contains a call whose callee's entry starts another hot
+// unit, the two units are concatenated so the call chain lands on adjacent
+// cache lines. Pettis–Hansen ordering keeps caller and callee *near* each
+// other but still aligns every unit start and may orient a merge backwards;
+// call chaining guarantees the callee entry is placed contiguously after the
+// caller's unit, with no alignment padding in between.
+//
+// Candidate edges are processed heaviest first, and a merge is accepted when
+// the caller unit is still a chain tail, the callee unit is still a chain
+// head, and no cycle would form — the same greedy discipline basic-block
+// chaining applies within a procedure, lifted to inter-procedural placement
+// units. The returned slice preserves the original relative order of the
+// surviving units; absorbed units disappear into their chain head.
+func CallChainUnits(p *program.Program, pf *profile.Profile, units []Unit) []Unit {
+	// headOf maps a unit's first block to the unit index, so a call edge to a
+	// callee entry can find the unit that starts with that entry.
+	headOf := make(map[program.BlockID]int, len(units))
+	for i, u := range units {
+		if len(u.Blocks) > 0 {
+			headOf[u.Blocks[0]] = i
+		}
+	}
+
+	type callEdge struct {
+		w        uint64
+		from, to int
+	}
+	var edges []callEdge
+	for i, u := range units {
+		if !u.Hot {
+			continue
+		}
+		for _, bid := range u.Blocks {
+			b := p.Block(bid)
+			if b.Kind != isa.TermCall || b.Callee == program.NoProc {
+				continue
+			}
+			entry := p.Entry(b.Callee)
+			if entry == program.NoBlock {
+				continue
+			}
+			w := pf.Edge(bid, entry)
+			if w == 0 {
+				continue
+			}
+			j, ok := headOf[entry]
+			if !ok || j == i || !units[j].Hot {
+				continue
+			}
+			edges = append(edges, callEdge{w, i, j})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		x, y := edges[a], edges[b]
+		if x.w != y.w {
+			return x.w > y.w
+		}
+		if x.from != y.from {
+			return x.from < y.from
+		}
+		return x.to < y.to
+	})
+
+	next := make([]int, len(units))
+	prev := make([]int, len(units))
+	parent := make([]int, len(units))
+	for i := range units {
+		next[i], prev[i], parent[i] = -1, -1, i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		if next[e.from] != -1 || prev[e.to] != -1 {
+			continue
+		}
+		rf, rt := find(e.from), find(e.to)
+		if rf == rt {
+			continue // would close a cycle of units
+		}
+		next[e.from] = e.to
+		prev[e.to] = e.from
+		parent[rf] = rt
+	}
+
+	merged := make([]Unit, 0, len(units))
+	for i, u := range units {
+		if prev[i] != -1 {
+			continue // absorbed into an earlier chain
+		}
+		if next[i] == -1 {
+			merged = append(merged, u)
+			continue
+		}
+		blocks := append([]program.BlockID(nil), u.Blocks...)
+		for cur := next[i]; cur != -1; cur = next[cur] {
+			blocks = append(blocks, units[cur].Blocks...)
+		}
+		merged = append(merged, Unit{
+			Blocks: blocks,
+			Proc:   u.Proc,
+			Seq:    u.Seq,
+			Count:  u.Count,
+			Hot:    true,
+		})
+	}
+	return merged
+}
+
+// ipchainPass is the inter-procedural call-chaining pass: it rewrites the
+// unit list in place, so it must run after splitting and before ordering.
+type ipchainPass struct{}
+
+func (ipchainPass) Name() string { return "ipchain" }
+
+func (ipchainPass) Run(st *LayoutState) error {
+	if st.UnitOrder != nil {
+		return fmt.Errorf("ipchain must run before units are ordered")
+	}
+	st.EnsureUnits()
+	st.Units = CallChainUnits(st.Prog, st.Prof, st.Units)
+	st.countUnits()
+	return nil
+}

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+)
+
+// LayoutState is the shared state a pass pipeline threads through its passes.
+// Each pass reads what earlier passes produced and fills in the next stage:
+// chains feed unit splitting, units feed ordering, the order feeds
+// materialization. Fields a pass needs that no earlier pass produced are
+// filled with the baseline defaults (source chains, whole-procedure units,
+// original link order), so short pipelines like "chain,porder:ph" work
+// without spelling out every stage.
+type LayoutState struct {
+	Prog *program.Program
+	Prof *profile.Profile
+
+	// Chains are the per-procedure block chains (nil until a chaining pass or
+	// a consumer's EnsureChains installs the source-order chains).
+	Chains map[program.ProcID][]Chain
+
+	// Units are the placement units cut from the chains (nil until a split
+	// pass or EnsureUnits runs).
+	Units []Unit
+
+	// UnitOrder is the placement order of Units, as indexes into Units (nil
+	// until an ordering pass or EnsureOrder runs).
+	UnitOrder []int
+
+	// AlignWords pads unit starts at materialization; 0 means the default
+	// 4-word (16-byte) alignment.
+	AlignWords int
+
+	// GapBefore carries explicit address-space gaps for Materialize (the CFA
+	// pass plans these).
+	GapBefore map[program.BlockID]uint64
+
+	// Report accumulates the optimizer report across passes.
+	Report *Report
+
+	// Layout is the materialized result; set by the materialize pass.
+	Layout *program.Layout
+}
+
+// EnsureChains installs the source-order chains for every procedure if no
+// chaining pass has run yet.
+func (st *LayoutState) EnsureChains() {
+	if st.Chains != nil {
+		return
+	}
+	st.Chains = make(map[program.ProcID][]Chain, len(st.Prog.Procs))
+	for _, pr := range st.Prog.Procs {
+		st.Chains[pr.ID] = SourceChains(pr)
+	}
+}
+
+// EnsureUnits cuts chains into whole-procedure units (SplitNone) if no split
+// pass has run yet, and records the chain/unit tallies in the report.
+func (st *LayoutState) EnsureUnits() {
+	if st.Units != nil {
+		return
+	}
+	st.buildUnits(SplitNone)
+}
+
+func (st *LayoutState) buildUnits(mode SplitMode) {
+	st.EnsureChains()
+	for _, pr := range st.Prog.Procs {
+		st.Report.Chains += len(st.Chains[pr.ID])
+	}
+	st.Units = BuildUnits(st.Prog, st.Prof, st.Chains, mode)
+	st.countUnits()
+}
+
+// countUnits refreshes the unit tallies of the report from st.Units.
+func (st *LayoutState) countUnits() {
+	st.Report.Units = len(st.Units)
+	st.Report.HotUnits = 0
+	st.Report.HotWords = 0
+	for _, u := range st.Units {
+		if u.Hot {
+			st.Report.HotUnits++
+			st.Report.HotWords += unitWords(st.Prog, u)
+		}
+	}
+}
+
+// EnsureOrder installs the original link order (procedures in link order,
+// units in pre-ordering sequence) if no ordering pass has run yet.
+func (st *LayoutState) EnsureOrder() {
+	if st.UnitOrder != nil {
+		return
+	}
+	st.EnsureUnits()
+	st.UnitOrder = OriginalOrder(st.Units)
+}
+
+// OriginalOrder returns the permutation placing units in the original
+// binary's link order: by procedure, then by pre-ordering sequence.
+func OriginalOrder(units []Unit) []int {
+	order := make([]int, len(units))
+	for i := range units {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := units[order[a]], units[order[b]]
+		if ua.Proc != ub.Proc {
+			return ua.Proc < ub.Proc
+		}
+		return ua.Seq < ub.Seq
+	})
+	return order
+}
+
+// Pass is one stage of a layout pipeline. Name returns the canonical
+// "name" or "name:arg" spec that ParsePipeline maps back to this pass.
+type Pass interface {
+	Name() string
+	Run(*LayoutState) error
+}
+
+// PassFactory builds a pass from the argument following "name:" in a
+// pipeline spec (empty when the spec is the bare name).
+type PassFactory func(arg string) (Pass, error)
+
+var (
+	passMu       sync.RWMutex
+	passRegistry = map[string]PassFactory{}
+)
+
+// RegisterPass adds a pass factory to the registry under the given base name
+// (the part of a spec before the optional ":arg"). Registering a name twice
+// is an error, as is a name containing the spec separators.
+func RegisterPass(name string, f PassFactory) error {
+	if name == "" || strings.ContainsAny(name, ":,") || f == nil {
+		return fmt.Errorf("core: invalid pass registration %q", name)
+	}
+	passMu.Lock()
+	defer passMu.Unlock()
+	if _, dup := passRegistry[name]; dup {
+		return fmt.Errorf("core: pass %q already registered", name)
+	}
+	passRegistry[name] = f
+	return nil
+}
+
+// RegisteredPasses lists the registered base pass names, sorted.
+func RegisteredPasses() []string {
+	passMu.RLock()
+	defer passMu.RUnlock()
+	names := make([]string, 0, len(passRegistry))
+	for n := range passRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPass builds one pass from a "name" or "name:arg" spec.
+func NewPass(spec string) (Pass, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	name = strings.TrimSpace(name)
+	passMu.RLock()
+	f, ok := passRegistry[name]
+	passMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown pass %q (registered passes: %s)",
+			name, strings.Join(RegisteredPasses(), ", "))
+	}
+	p, err := f(strings.TrimSpace(arg))
+	if err != nil {
+		return nil, fmt.Errorf("core: pass %q: %w", spec, err)
+	}
+	return p, nil
+}
+
+// Pipeline is an ordered list of layout passes.
+type Pipeline []Pass
+
+// ParsePipeline parses a comma-separated pass spec such as
+// "chain,split:fine,porder:ph" into a pipeline. A spec need not end in
+// "materialize": Run materializes implicitly when the pipeline finishes
+// without producing a layout, so terse specs and custom materializing
+// passes both work.
+func ParsePipeline(spec string) (Pipeline, error) {
+	var pl Pipeline
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		p, err := NewPass(field)
+		if err != nil {
+			return nil, err
+		}
+		pl = append(pl, p)
+	}
+	if len(pl) == 0 {
+		return nil, fmt.Errorf("core: empty pipeline spec %q", spec)
+	}
+	return pl, nil
+}
+
+// String renders the pipeline as a spec that ParsePipeline accepts.
+func (pl Pipeline) String() string {
+	names := make([]string, len(pl))
+	for i, p := range pl {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// Run executes the pipeline over the program and profile and returns the
+// materialized layout and report. A materialize pass is run implicitly if
+// the pipeline ends without one. Edge weights are estimated first when the
+// profile is sampling-based, exactly as Optimize always did.
+func (pl Pipeline) Run(p *program.Program, pf *profile.Profile) (*program.Layout, *Report, error) {
+	pf.EnsureEdges(p)
+	st := &LayoutState{Prog: p, Prof: pf, Report: &Report{}}
+	for _, pass := range pl {
+		if err := pass.Run(st); err != nil {
+			return nil, nil, fmt.Errorf("core: pass %s: %w", pass.Name(), err)
+		}
+	}
+	if st.Layout == nil {
+		if err := (materializePass{}).Run(st); err != nil {
+			return nil, nil, fmt.Errorf("core: pass materialize: %w", err)
+		}
+	}
+	return st.Layout, st.Report, nil
+}
+
+// --- built-in passes -------------------------------------------------------
+
+// chainPass runs greedy basic-block chaining on every non-cold procedure.
+type chainPass struct{}
+
+func (chainPass) Name() string { return "chain" }
+
+func (chainPass) Run(st *LayoutState) error {
+	if st.Units != nil {
+		return fmt.Errorf("chain must run before units are split")
+	}
+	st.EnsureChains()
+	for _, pr := range st.Prog.Procs {
+		if !pr.Cold {
+			st.Chains[pr.ID] = ChainProc(st.Prog, pr, st.Prof)
+		}
+	}
+	return nil
+}
+
+// splitPass cuts chains into placement units.
+type splitPass struct{ mode SplitMode }
+
+func (p splitPass) Name() string { return "split:" + p.mode.String() }
+
+func (p splitPass) Run(st *LayoutState) error {
+	if st.Units != nil {
+		return fmt.Errorf("units already split")
+	}
+	st.buildUnits(p.mode)
+	return nil
+}
+
+// porderPass orders the placement units.
+type porderPass struct{ mode OrderMode }
+
+func (p porderPass) Name() string {
+	if p.mode == OrderPettisHansen {
+		return "porder:ph"
+	}
+	return "porder:orig"
+}
+
+func (p porderPass) Run(st *LayoutState) error {
+	if st.UnitOrder != nil {
+		return fmt.Errorf("units already ordered")
+	}
+	st.EnsureUnits()
+	switch p.mode {
+	case OrderOriginal:
+		st.UnitOrder = OriginalOrder(st.Units)
+	case OrderPettisHansen:
+		hot := PettisHansen(st.Prog, st.Prof, st.Units)
+		seen := make([]bool, len(st.Units))
+		for _, i := range hot {
+			seen[i] = true
+		}
+		order := append([]int(nil), hot...)
+		var cold []int
+		for i := range st.Units {
+			if !seen[i] {
+				cold = append(cold, i)
+			}
+		}
+		sort.SliceStable(cold, func(a, b int) bool {
+			ua, ub := st.Units[cold[a]], st.Units[cold[b]]
+			if ua.Proc != ub.Proc {
+				return ua.Proc < ub.Proc
+			}
+			return ua.Seq < ub.Seq
+		})
+		st.UnitOrder = append(order, cold...)
+	default:
+		return fmt.Errorf("unknown order mode %d", p.mode)
+	}
+	return nil
+}
+
+// cfaPass plans the conflict-free-area gaps over the ordered units.
+type cfaPass struct{ opts CFAOptions }
+
+func (p cfaPass) Name() string {
+	return fmt.Sprintf("cfa:%d/%d", p.opts.CacheBytes, p.opts.ReservedBytes)
+}
+
+func (p cfaPass) Run(st *LayoutState) error {
+	if st.Layout != nil {
+		return fmt.Errorf("cfa must run before materialize")
+	}
+	st.EnsureOrder()
+	gaps, reserved := planCFA(st.Prog, st.Units, st.UnitOrder, p.opts)
+	st.GapBefore = gaps
+	st.Report.CFAReservedWords = reserved
+	return nil
+}
+
+// alignPass sets the unit-start alignment used at materialization.
+type alignPass struct{ words int }
+
+func (p alignPass) Name() string { return "align:" + strconv.Itoa(p.words) }
+
+func (p alignPass) Run(st *LayoutState) error {
+	if st.Layout != nil {
+		return fmt.Errorf("align must run before materialize")
+	}
+	if p.words <= 0 {
+		return fmt.Errorf("alignment must be positive, got %d", p.words)
+	}
+	st.AlignWords = p.words
+	return nil
+}
+
+// materializePass flattens the ordered units into a block order and derives
+// addresses, branch materialization and padding.
+type materializePass struct{}
+
+func (materializePass) Name() string { return "materialize" }
+
+func (materializePass) Run(st *LayoutState) error {
+	if st.Layout != nil {
+		return fmt.Errorf("layout already materialized")
+	}
+	st.EnsureOrder()
+	order := make([]program.BlockID, 0, st.Prog.NumBlocks())
+	alignAt := make(map[program.BlockID]bool, len(st.Units))
+	for _, ui := range st.UnitOrder {
+		u := st.Units[ui]
+		if len(u.Blocks) == 0 {
+			continue
+		}
+		alignAt[u.Blocks[0]] = true
+		order = append(order, u.Blocks...)
+	}
+	align := st.AlignWords
+	if align == 0 {
+		align = 4
+	}
+	l, err := program.Materialize(st.Prog, order, program.MaterializeOptions{
+		AlignWords: align,
+		AlignAt:    alignAt,
+		Hotness:    st.Prof.Count,
+		GapBefore:  st.GapBefore,
+	})
+	if err != nil {
+		return err
+	}
+	st.Layout = l
+	st.Report.LongBranches = l.LongBranches
+	st.Report.PadWords = l.PadWords
+	return nil
+}
+
+func init() {
+	mustRegister := func(name string, f PassFactory) {
+		if err := RegisterPass(name, f); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister("chain", func(arg string) (Pass, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("takes no argument, got %q", arg)
+		}
+		return chainPass{}, nil
+	})
+	mustRegister("split", func(arg string) (Pass, error) {
+		switch arg {
+		case "", "none":
+			return splitPass{SplitNone}, nil
+		case "fine":
+			return splitPass{SplitFine}, nil
+		case "hotcold":
+			return splitPass{SplitHotCold}, nil
+		}
+		return nil, fmt.Errorf("unknown split mode %q (none|fine|hotcold)", arg)
+	})
+	mustRegister("porder", func(arg string) (Pass, error) {
+		switch arg {
+		case "", "ph":
+			return porderPass{OrderPettisHansen}, nil
+		case "orig", "original":
+			return porderPass{OrderOriginal}, nil
+		}
+		return nil, fmt.Errorf("unknown order mode %q (ph|orig)", arg)
+	})
+	mustRegister("cfa", func(arg string) (Pass, error) {
+		o := CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}
+		if arg != "" {
+			if _, err := fmt.Sscanf(arg, "%d/%d", &o.CacheBytes, &o.ReservedBytes); err != nil {
+				return nil, fmt.Errorf("want cachebytes/reservedbytes, got %q", arg)
+			}
+		}
+		if o.CacheBytes <= 0 || o.ReservedBytes <= 0 || o.ReservedBytes >= o.CacheBytes {
+			return nil, fmt.Errorf("reserved area %d must be positive and smaller than the cache %d",
+				o.ReservedBytes, o.CacheBytes)
+		}
+		return cfaPass{o}, nil
+	})
+	mustRegister("align", func(arg string) (Pass, error) {
+		words := 4
+		if arg != "" {
+			var err error
+			if words, err = strconv.Atoi(arg); err != nil {
+				return nil, fmt.Errorf("want a word count, got %q", arg)
+			}
+		}
+		if words <= 0 {
+			return nil, fmt.Errorf("alignment must be positive, got %d", words)
+		}
+		return alignPass{words}, nil
+	})
+	mustRegister("materialize", func(arg string) (Pass, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("takes no argument, got %q", arg)
+		}
+		return materializePass{}, nil
+	})
+	mustRegister("ipchain", func(arg string) (Pass, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("takes no argument, got %q", arg)
+		}
+		return ipchainPass{}, nil
+	})
+}

@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"codelayout/internal/core"
+	"codelayout/internal/program"
+	"codelayout/internal/progtest"
+)
+
+func TestUnknownPassListsRegistry(t *testing.T) {
+	_, err := core.ParsePipeline("chain,bogus,porder:ph")
+	if err == nil {
+		t.Fatal("expected error for unknown pass")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown pass "bogus"`) {
+		t.Fatalf("error does not name the pass: %v", err)
+	}
+	for _, want := range []string{"chain", "split", "porder", "cfa", "align", "materialize", "ipchain"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error does not list registered pass %q: %v", want, err)
+		}
+	}
+}
+
+func TestParsePipelineRoundTrip(t *testing.T) {
+	canonical := []string{
+		"split:none,porder:orig,materialize",
+		"chain,split:fine,porder:ph,materialize",
+		"chain,split:hotcold,porder:ph,align:8,materialize",
+		"chain,split:fine,porder:ph,cfa:4096/1024,materialize",
+		core.IPChainSpec,
+	}
+	for _, spec := range canonical {
+		pl, err := core.ParsePipeline(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if got := pl.String(); got != spec {
+			t.Fatalf("round trip %q -> %q", spec, got)
+		}
+	}
+	// Terse specs normalize to a canonical form that re-parses to itself.
+	terse := map[string]string{
+		"chain,porder":        "chain,porder:ph",
+		"split":               "split:none",
+		"chain , split:fine ": "chain,split:fine",
+		"cfa":                 "cfa:65536/16384",
+	}
+	for spec, want := range terse {
+		pl, err := core.ParsePipeline(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if got := pl.String(); got != want {
+			t.Fatalf("normalize %q -> %q, want %q", spec, got, want)
+		}
+		again, err := core.ParsePipeline(pl.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", pl.String(), err)
+		}
+		if again.String() != pl.String() {
+			t.Fatalf("canonical form not stable: %q -> %q", pl.String(), again.String())
+		}
+	}
+}
+
+func TestParsePipelineBadArgs(t *testing.T) {
+	for _, spec := range []string{
+		"", "split:coarse", "porder:random", "align:0", "align:x",
+		"cfa:1024/4096", "chain:x", "materialize:x", "ipchain:x",
+	} {
+		if _, err := core.ParsePipeline(spec); err == nil {
+			t.Fatalf("expected error for spec %q", spec)
+		}
+	}
+}
+
+func TestPipelineStageOrderEnforced(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := progtest.RandProgram(r, 4)
+	pf := progtest.RandProfile(r, p, 10, 200)
+	for _, spec := range []string{
+		"split:fine,chain",          // chaining after splitting
+		"porder:ph,split:fine",      // splitting after ordering
+		"porder:ph,porder:orig",     // double ordering
+		"split:fine,split:none",     // double splitting
+		"porder:ph,ipchain",         // call chaining after ordering
+		"materialize,materialize",   // double materialization
+		"materialize,cfa:4096/1024", // CFA after materialization
+		"materialize,align:8",       // alignment after materialization
+	} {
+		pl, err := core.ParsePipeline(spec)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", spec, err)
+		}
+		if _, _, err := pl.Run(p, pf); err == nil {
+			t.Fatalf("expected stage-order error running %q", spec)
+		}
+	}
+}
+
+func TestComboPipelinesMatchOptimize(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	p := progtest.RandProgram(r, 7)
+	pf := progtest.RandProfile(r, p, 20, 300)
+	for _, c := range core.Combos() {
+		pl, err := core.ComboPipeline(c.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantRep, err := core.Optimize(p, pf, c.Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotRep, err := pl.Run(p, pf)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !reflect.DeepEqual(got.Addr, want.Addr) || !reflect.DeepEqual(got.Order, want.Order) {
+			t.Fatalf("%s: combo pipeline diverged from Optimize", c.Name)
+		}
+		if !reflect.DeepEqual(gotRep, wantRep) {
+			t.Fatalf("%s: reports diverged: %+v != %+v", c.Name, *gotRep, *wantRep)
+		}
+	}
+	if _, err := core.ComboPipeline("nope"); err == nil {
+		t.Fatal("expected error for unknown combo")
+	}
+	for _, name := range []string{"hotcold", "cfa", "ipchain"} {
+		pl, err := core.ComboPipeline(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l, _, err := pl.Run(p, pf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// hotFirstPass is a custom ordering pass used to exercise registration.
+type hotFirstPass struct{}
+
+func (hotFirstPass) Name() string { return "test-hotfirst" }
+
+func (hotFirstPass) Run(st *core.LayoutState) error {
+	if st.UnitOrder != nil {
+		return errors.New("units already ordered")
+	}
+	st.EnsureUnits()
+	order := core.OriginalOrder(st.Units)
+	var hot, cold []int
+	for _, i := range order {
+		if st.Units[i].Hot {
+			hot = append(hot, i)
+		} else {
+			cold = append(cold, i)
+		}
+	}
+	st.UnitOrder = append(hot, cold...)
+	return nil
+}
+
+// baselineMatPass is a custom materializing pass: a pipeline ending in it
+// must not have a second materialization forced on it.
+type baselineMatPass struct{}
+
+func (baselineMatPass) Name() string { return "test-basemat" }
+
+func (baselineMatPass) Run(st *core.LayoutState) error {
+	l, err := program.BaselineLayout(st.Prog)
+	if err != nil {
+		return err
+	}
+	st.Layout = l
+	return nil
+}
+
+func TestCustomMaterializingPass(t *testing.T) {
+	if err := core.RegisterPass("test-basemat", func(arg string) (core.Pass, error) {
+		return baselineMatPass{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(13))
+	p := progtest.RandProgram(r, 5)
+	pf := progtest.RandProfile(r, p, 10, 200)
+	pl, err := core.ParsePipeline("test-basemat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := pl.Run(p, pf)
+	if err != nil {
+		t.Fatalf("pipeline ending in a custom materializer failed: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterCustomPass(t *testing.T) {
+	err := core.RegisterPass("test-hotfirst", func(arg string) (core.Pass, error) {
+		return hotFirstPass{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.RegisterPass("test-hotfirst", func(string) (core.Pass, error) { return nil, nil }); err == nil {
+		t.Fatal("expected duplicate-registration error")
+	}
+	if err := core.RegisterPass("bad:name", func(string) (core.Pass, error) { return nil, nil }); err == nil {
+		t.Fatal("expected invalid-name error")
+	}
+	pl, err := core.ParsePipeline("chain,split:fine,test-hotfirst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	p := progtest.RandProgram(r, 6)
+	pf := progtest.RandProfile(r, p, 20, 300)
+	l, rep, err := pl.Run(p, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Units == 0 {
+		t.Fatal("empty report")
+	}
+	found := false
+	for _, n := range core.RegisteredPasses() {
+		if n == "test-hotfirst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom pass not listed in RegisteredPasses")
+	}
+}

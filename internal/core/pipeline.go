@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
@@ -82,105 +81,68 @@ type Report struct {
 	CFAReservedWords int64
 }
 
+// PipelineFor assembles the pass pipeline implementing the given options:
+// chaining (if enabled), splitting, ordering, CFA planning (if configured),
+// alignment and materialization, in the fixed Spike stage order.
+func PipelineFor(o Options) (Pipeline, error) {
+	var pl Pipeline
+	if o.Chain {
+		pl = append(pl, chainPass{})
+	}
+	pl = append(pl, splitPass{o.Split})
+	switch o.Order {
+	case OrderOriginal, OrderPettisHansen:
+		pl = append(pl, porderPass{o.Order})
+	default:
+		return nil, fmt.Errorf("core: unknown order mode %d", o.Order)
+	}
+	if o.CFA != nil {
+		pl = append(pl, cfaPass{*o.CFA})
+	}
+	if o.AlignWords != 0 {
+		pl = append(pl, alignPass{o.AlignWords})
+	}
+	return append(pl, materializePass{}), nil
+}
+
+// ComboPipeline resolves a combo name to its pass pipeline. It knows the
+// paper's six combinations (ComboByName) plus the extensions measurable next
+// to them: "hotcold" (Spike-distribution splitting), "cfa" (the reserved
+// conflict-free area), and "ipchain" (inter-procedural call chaining).
+func ComboPipeline(name string) (Pipeline, error) {
+	switch name {
+	case "hotcold":
+		return PipelineFor(Options{Chain: true, Split: SplitHotCold, Order: OrderPettisHansen})
+	case "cfa":
+		return PipelineFor(Options{Chain: true, Split: SplitFine, Order: OrderPettisHansen,
+			CFA: &CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}})
+	case "ipchain":
+		return ParsePipeline(IPChainSpec)
+	}
+	c, err := ComboByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return PipelineFor(c.Opts)
+}
+
+// IPChainSpec is the pipeline spec of the "ipchain" combo: chain+porder with
+// the inter-procedural call-chaining pass merging caller/callee units along
+// hot call edges before Pettis–Hansen ordering.
+const IPChainSpec = "chain,split:none,ipchain,porder:ph,materialize"
+
 // Optimize produces a layout of the program under the given options. The
 // profile may be sampling-based (block counts only); edge weights are then
 // estimated the way Spike does. The base combination (zero Options with no
 // chaining) reproduces the original binary's layout modulo alignment.
+//
+// Optimize is a compatibility wrapper: it assembles the pass pipeline with
+// PipelineFor and runs it. Custom stage sequences go through ParsePipeline
+// or a hand-built Pipeline instead.
 func Optimize(p *program.Program, pf *profile.Profile, o Options) (*program.Layout, *Report, error) {
-	pf.EnsureEdges(p)
-	rep := &Report{}
-
-	// 1. Chain blocks within each procedure.
-	chains := make(map[program.ProcID][]Chain, len(p.Procs))
-	for _, pr := range p.Procs {
-		if o.Chain && !pr.Cold {
-			chains[pr.ID] = ChainProc(p, pr, pf)
-		} else {
-			chains[pr.ID] = SourceChains(pr)
-		}
-		rep.Chains += len(chains[pr.ID])
-	}
-
-	// 2. Cut into placement units.
-	units := BuildUnits(p, pf, chains, o.Split)
-	rep.Units = len(units)
-	for _, u := range units {
-		if u.Hot {
-			rep.HotUnits++
-			rep.HotWords += unitWords(p, u)
-		}
-	}
-
-	// 3. Order units.
-	var unitOrder []int
-	switch o.Order {
-	case OrderOriginal:
-		unitOrder = make([]int, len(units))
-		for i := range units {
-			unitOrder[i] = i
-		}
-		sort.SliceStable(unitOrder, func(a, b int) bool {
-			ua, ub := units[unitOrder[a]], units[unitOrder[b]]
-			if ua.Proc != ub.Proc {
-				return ua.Proc < ub.Proc
-			}
-			return ua.Seq < ub.Seq
-		})
-	case OrderPettisHansen:
-		hot := PettisHansen(p, pf, units)
-		seen := make([]bool, len(units))
-		for _, i := range hot {
-			seen[i] = true
-		}
-		unitOrder = append(unitOrder, hot...)
-		var cold []int
-		for i := range units {
-			if !seen[i] {
-				cold = append(cold, i)
-			}
-		}
-		sort.SliceStable(cold, func(a, b int) bool {
-			ua, ub := units[cold[a]], units[cold[b]]
-			if ua.Proc != ub.Proc {
-				return ua.Proc < ub.Proc
-			}
-			return ua.Seq < ub.Seq
-		})
-		unitOrder = append(unitOrder, cold...)
-	default:
-		return nil, nil, fmt.Errorf("core: unknown order mode %d", o.Order)
-	}
-
-	// 4. Flatten and materialize.
-	order := make([]program.BlockID, 0, p.NumBlocks())
-	alignAt := make(map[program.BlockID]bool, len(units))
-	for _, ui := range unitOrder {
-		u := units[ui]
-		if len(u.Blocks) == 0 {
-			continue
-		}
-		alignAt[u.Blocks[0]] = true
-		order = append(order, u.Blocks...)
-	}
-	align := o.AlignWords
-	if align == 0 {
-		align = 4
-	}
-	mopts := program.MaterializeOptions{
-		AlignWords: align,
-		AlignAt:    alignAt,
-		Hotness:    pf.Count,
-	}
-	if o.CFA != nil {
-		gaps, reserved := planCFA(p, units, unitOrder, *o.CFA)
-		mopts.GapBefore = gaps
-		rep.CFAReservedWords = reserved
-	}
-	l, err := program.Materialize(p, order, mopts)
+	pl, err := PipelineFor(o)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.LongBranches = l.LongBranches
-	rep.PadWords = l.PadWords
-	return l, rep, nil
+	return pl.Run(p, pf)
 }

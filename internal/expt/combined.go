@@ -38,7 +38,14 @@ func fig12(s *Session) ([]*stats.Table, error) {
 		}
 		out = append(out, t)
 	}
-	base, opt := s.measures[measKey{"base", "kbase", s.Opt.CPUs}], s.measures[measKey{"all", "kbase", s.Opt.CPUs}]
+	base, err := s.Measure("base", s.Opt.CPUs)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := s.Measure("all", s.Opt.CPUs)
+	if err != nil {
+		return nil, err
+	}
 	cmp := stats.NewTable("Figure 12 summary: combined-miss reduction", "size", "combined opt/base", "isolated app opt/base")
 	for _, size := range CacheSizesKB {
 		cmp.AddRow(fmt.Sprintf("%dKB", size),
@@ -133,7 +140,10 @@ func fig15(s *Session) ([]*stats.Table, error) {
 		return nil, err
 	}
 	b264, b164 := counts21264(base), counts21164(base)
-	for _, name := range comboNames {
+	if err := s.MeasureBatch(comboNamesExt, 1, 0); err != nil {
+		return nil, err
+	}
+	for _, name := range comboNamesExt {
 		m, err := s.Measure(name, 1)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package expt_test
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"codelayout/internal/expt"
@@ -78,6 +79,92 @@ func TestEveryExperimentRuns(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestIPChainLayoutRuns checks that the extension combo resolves through the
+// session's pass-pipeline specs and produces a distinct, valid layout.
+func TestIPChainLayoutRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	s := session(t)
+	spec, err := s.PipelineSpec("ipchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spec, "ipchain") {
+		t.Fatalf("ipchain spec = %q", spec)
+	}
+	if _, err := s.PipelineSpec("ipchian"); err == nil {
+		t.Fatal("expected error for misspelled layout name")
+	}
+	if spec, err := s.PipelineSpec("base"); err != nil || spec != "" {
+		t.Fatalf("base spec = %q, %v", spec, err)
+	}
+	l, err := s.Layout("ipchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ph, err := s.Layout("chain+porder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for b := range l.Addr {
+		if l.Addr[b] != ph.Addr[b] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ipchain layout identical to chain+porder")
+	}
+	if ipc, php := s.Report("ipchain"), s.Report("chain+porder"); ipc.HotUnits >= php.HotUnits {
+		t.Fatalf("ipchain did not merge hot units: %d vs %d", ipc.HotUnits, php.HotUnits)
+	}
+}
+
+// TestMeasureBatchParallel checks that the bounded worker pool produces the
+// same memoized measurements a serial loop would, and that concurrent
+// Measure calls for one key share a single run.
+func TestMeasureBatchParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	s := session(t)
+	names := []string{"base", "chain", "porder"}
+	if err := s.MeasureBatch(names, s.Opt.CPUs, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Serial calls must now be memo hits returning the identical objects.
+	var serial []*expt.Measure
+	for _, n := range names {
+		m, err := s.Measure(n, s.Opt.CPUs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, m)
+	}
+	// Hammer the same keys concurrently; every result must alias the memo.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := s.Measure(names[i%len(names)], s.Opt.CPUs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m != serial[i%len(names)] {
+				t.Errorf("concurrent Measure(%s) returned a different object", names[i%len(names)])
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 // TestHeadlineShapes asserts the paper's qualitative results hold in the

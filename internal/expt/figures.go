@@ -12,6 +12,10 @@ import (
 // order.
 var comboNames = []string{"base", "porder", "chain", "chain+split", "chain+porder", "all"}
 
+// comboNamesExt appends the combinations this reproduction measures next to
+// the paper's six; today that is the inter-procedural call-chaining pass.
+var comboNamesExt = append(append([]string(nil), comboNames...), "ipchain")
+
 func pctOf(opt, base uint64) string {
 	if base == 0 {
 		return "-"
@@ -131,7 +135,10 @@ func fig06(s *Session) ([]*stats.Table, error) {
 func fig07(s *Session) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 7: application icache misses per optimization (128B lines, 4-way)",
 		append([]string{"combo"}, sizeCols()...)...)
-	for _, name := range comboNames {
+	if err := s.MeasureBatch(comboNamesExt, s.Opt.CPUs, 0); err != nil {
+		return nil, err
+	}
+	for _, name := range comboNamesExt {
 		m, err := s.Measure(name, s.Opt.CPUs)
 		if err != nil {
 			return nil, err

@@ -7,6 +7,8 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"codelayout/internal/appmodel"
 	"codelayout/internal/codegen"
@@ -75,20 +77,29 @@ func QuickOptions() Options {
 	return o
 }
 
-// Session owns built images, layouts and memoized measurements.
+// Session owns built images, layouts and memoized measurements. All methods
+// are safe for concurrent use: the memo maps are mutex-guarded and in-flight
+// measurement runs are deduplicated, so MeasureBatch can fan measurement
+// runs out across a worker pool.
 type Session struct {
 	Opt Options
 
 	appImg  *codegen.Image
 	kernImg *codegen.Image
 
+	mu       sync.Mutex // guards the maps below
 	layouts  map[string]*program.Layout
 	reports  map[string]*core.Report
 	kernLay  map[string]*program.Layout
-	train    *profile.Profile // Pixie profile of the app under base layout
-	trainK   *profile.Profile // kernel profile
-	trainDC  *profile.Profile // DCPI sampling profile
 	measures map[measKey]*Measure
+	measErr  map[measKey]error
+	inflight map[measKey]chan struct{}
+
+	trainOnce sync.Once
+	trainErr  error
+	train     *profile.Profile // Pixie profile of the app under base layout
+	trainK    *profile.Profile // kernel profile
+	trainDC   *profile.Profile // DCPI sampling profile
 }
 
 type measKey struct {
@@ -105,6 +116,8 @@ func NewSession(o Options) (*Session, error) {
 		reports:  make(map[string]*core.Report),
 		kernLay:  make(map[string]*program.Layout),
 		measures: make(map[measKey]*Measure),
+		measErr:  make(map[measKey]error),
+		inflight: make(map[measKey]chan struct{}),
 	}
 	var err error
 	s.appImg, err = appmodel.Build(appmodel.Config{Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords})
@@ -135,11 +148,14 @@ func (s *Session) AppImage() *codegen.Image { return s.appImg }
 func (s *Session) KernelImage() *codegen.Image { return s.kernImg }
 
 // Train runs the profiling workload once (Pixie instrumentation plus a
-// DCPI-style sampler over the same run) and caches the profiles.
+// DCPI-style sampler over the same run) and caches the profiles. Concurrent
+// callers block until the single training run finishes.
 func (s *Session) Train() error {
-	if s.train != nil {
-		return nil
-	}
+	s.trainOnce.Do(func() { s.trainErr = s.doTrain() })
+	return s.trainErr
+}
+
+func (s *Session) doTrain() error {
 	px := profile.NewPixie(s.appImg.Prog, "pixie-train")
 	kx := profile.NewPixie(s.kernImg.Prog, "kprofile")
 	dcpi := profile.NewDCPI(s.layouts["base"], s.Opt.DCPIPeriod)
@@ -171,54 +187,88 @@ func (s *Session) Profile() (*profile.Profile, error) {
 	return s.train, nil
 }
 
-// layoutSpecs names every layout the experiments use.
-func (s *Session) layoutSpec(name string) (core.Options, *profile.Profile, error) {
+// layoutSpec resolves a layout name to the pass pipeline implementing it and
+// the profile it trains on. The paper's combinations assemble their pipeline
+// through core.PipelineFor; the extensions name their pass lists directly.
+func (s *Session) layoutSpec(name string) (core.Pipeline, *profile.Profile, error) {
 	if err := s.Train(); err != nil {
-		return core.Options{}, nil, err
+		return nil, nil, err
 	}
+	var o core.Options
+	prof := s.train
 	switch name {
 	case "porder":
-		return core.Options{Order: core.OrderPettisHansen}, s.train, nil
+		o = core.Options{Order: core.OrderPettisHansen}
 	case "chain":
-		return core.Options{Chain: true}, s.train, nil
+		o = core.Options{Chain: true}
 	case "chain+split":
-		return core.Options{Chain: true, Split: core.SplitFine}, s.train, nil
+		o = core.Options{Chain: true, Split: core.SplitFine}
 	case "chain+porder":
-		return core.Options{Chain: true, Order: core.OrderPettisHansen}, s.train, nil
+		o = core.Options{Chain: true, Order: core.OrderPettisHansen}
 	case "all":
-		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}, s.train, nil
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
 	case "hotcold":
-		return core.Options{Chain: true, Split: core.SplitHotCold, Order: core.OrderPettisHansen}, s.train, nil
+		o = core.Options{Chain: true, Split: core.SplitHotCold, Order: core.OrderPettisHansen}
 	case "cfa":
-		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
-			CFA: &core.CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}}, s.train, nil
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+			CFA: &core.CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}}
 	case "dcpi-all":
-		return core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}, s.trainDC, nil
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
+		prof = s.trainDC
+	case "ipchain":
+		pl, err := core.ComboPipeline("ipchain")
+		return pl, s.train, err
 	default:
-		return core.Options{}, nil, fmt.Errorf("expt: unknown layout %q", name)
+		return nil, nil, fmt.Errorf("expt: unknown layout %q", name)
 	}
+	pl, err := core.PipelineFor(o)
+	return pl, prof, err
+}
+
+// PipelineSpec returns the resolved pass list of a named layout (for
+// reports). "base" has no pipeline and resolves to the empty spec.
+func (s *Session) PipelineSpec(name string) (string, error) {
+	if name == "base" {
+		return "", nil
+	}
+	pl, _, err := s.layoutSpec(name)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
 }
 
 // Layout returns (building if needed) a named app layout. Known names:
 // base, porder, chain, chain+split, chain+porder, all, hotcold, cfa,
-// dcpi-all.
+// dcpi-all, ipchain.
 func (s *Session) Layout(name string) (*program.Layout, error) {
-	if l, ok := s.layouts[name]; ok {
+	s.mu.Lock()
+	l, ok := s.layouts[name]
+	s.mu.Unlock()
+	if ok {
 		return l, nil
 	}
-	opts, prof, err := s.layoutSpec(name)
+	pl, prof, err := s.layoutSpec(name)
 	if err != nil {
 		return nil, err
 	}
 	// Copy the profile so EnsureEdges on a sampled profile does not
-	// contaminate the shared instance.
+	// contaminate the shared instance. When the source carries no measured
+	// edges (sampling profiles, or a degenerate training run), drop the
+	// shared empty map too: concurrent layout builds would otherwise
+	// estimate edges into the same map without a lock.
 	pf := &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount, EdgeCount: prof.EdgeCount}
-	if name == "dcpi-all" {
+	if name == "dcpi-all" || !prof.HasEdges() {
 		pf = &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount}
 	}
-	l, rep, err := core.Optimize(s.appImg.Prog, pf, opts)
+	l, rep, err := pl.Run(s.appImg.Prog, pf)
 	if err != nil {
 		return nil, fmt.Errorf("expt: layout %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.layouts[name]; ok {
+		return prev, nil // another goroutine built it concurrently
 	}
 	s.layouts[name] = l
 	s.reports[name] = rep
@@ -226,12 +276,19 @@ func (s *Session) Layout(name string) (*program.Layout, error) {
 }
 
 // Report returns the optimizer report for a built layout.
-func (s *Session) Report(name string) *core.Report { return s.reports[name] }
+func (s *Session) Report(name string) *core.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reports[name]
+}
 
 // KernLayout returns a kernel layout: "kbase" or "kopt" (kernel code laid
 // out with the full optimization pipeline over the kernel profile).
 func (s *Session) KernLayout(name string) (*program.Layout, error) {
-	if l, ok := s.kernLay[name]; ok {
+	s.mu.Lock()
+	l, ok := s.kernLay[name]
+	s.mu.Unlock()
+	if ok {
 		return l, nil
 	}
 	if name != "kopt" {
@@ -246,11 +303,19 @@ func (s *Session) KernLayout(name string) (*program.Layout, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.kernLay["kopt"]; ok {
+		return prev, nil
+	}
 	s.kernLay["kopt"] = l
 	return l, nil
 }
 
 func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
+	s.mu.Lock()
+	appL, kernL := s.layouts[layout], s.kernLay[kern]
+	s.mu.Unlock()
 	return machine.Config{
 		CPUs:         cpus,
 		ProcsPerCPU:  s.Opt.ProcsPerCPU,
@@ -259,9 +324,9 @@ func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
 		Transactions: s.Opt.Transactions,
 		Scale:        s.Opt.Scale,
 		AppImage:     s.appImg,
-		AppLayout:    s.layouts[layout],
+		AppLayout:    appL,
 		KernImage:    s.kernImg,
-		KernLayout:   s.kernLay[kern],
+		KernLayout:   kernL,
 	}
 }
 
@@ -271,12 +336,46 @@ func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
 	return s.MeasureKern(layout, "kbase", cpus)
 }
 
-// MeasureKern is Measure with an explicit kernel layout.
+// MeasureKern is Measure with an explicit kernel layout. Concurrent calls
+// for the same (layout, kernel, cpus) key share one simulation run: the
+// first caller runs it, later callers block until the result (or error) is
+// memoized.
 func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
 	key := measKey{layout, kern, cpus}
-	if m, ok := s.measures[key]; ok {
-		return m, nil
+	for {
+		s.mu.Lock()
+		if m, ok := s.measures[key]; ok {
+			s.mu.Unlock()
+			return m, nil
+		}
+		if err, ok := s.measErr[key]; ok {
+			s.mu.Unlock()
+			return nil, err
+		}
+		if ch, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-ch // someone else is running this measurement
+			continue
+		}
+		ch := make(chan struct{})
+		s.inflight[key] = ch
+		s.mu.Unlock()
+
+		meas, err := s.measure(layout, kern, cpus)
+		s.mu.Lock()
+		if err != nil {
+			s.measErr[key] = err
+		} else {
+			s.measures[key] = meas
+		}
+		delete(s.inflight, key)
+		close(ch)
+		s.mu.Unlock()
+		return meas, err
 	}
+}
+
+func (s *Session) measure(layout, kern string, cpus int) (*Measure, error) {
 	if _, err := s.Layout(layout); err != nil && layout != "base" {
 		return nil, err
 	}
@@ -295,7 +394,52 @@ func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
 	if err != nil {
 		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu: %w", layout, kern, cpus, err)
 	}
-	meas := bat.finish(res)
-	s.measures[key] = meas
-	return meas, nil
+	return bat.finish(res), nil
+}
+
+// MeasureBatch measures every named layout concurrently with a bounded
+// worker pool (workers <= 0 picks min(GOMAXPROCS, len(layouts))). Each
+// result lands in the memo, so subsequent serial Measure calls are hits. The
+// first error is returned after all workers drain.
+func (s *Session) MeasureBatch(layouts []string, cpus, workers int) error {
+	if len(layouts) == 0 {
+		return nil
+	}
+	// The training run is a shared dependency of every layout build; do it
+	// before fanning out so workers start from the same memoized profiles
+	// instead of queueing behind the sync.Once.
+	if err := s.Train(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(layouts) {
+		workers = len(layouts)
+	}
+	jobs := make(chan string)
+	errs := make(chan error, len(layouts))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				_, err := s.Measure(name, cpus)
+				errs <- err
+			}
+		}()
+	}
+	for _, name := range layouts {
+		jobs <- name
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
