@@ -17,16 +17,19 @@ import (
 	"testing"
 
 	"codelayout"
+	"codelayout/internal/appmodel"
 	"codelayout/internal/cache"
 	"codelayout/internal/codegen"
 	"codelayout/internal/core"
 	"codelayout/internal/expt"
 	"codelayout/internal/machine"
+	"codelayout/internal/ordere"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/progtest"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
+	"codelayout/internal/workload"
 )
 
 var (
@@ -169,34 +172,143 @@ func BenchmarkEmitterWalk(b *testing.B) {
 	b.ReportMetric(float64(instr)/float64(b.N), "instr/op")
 }
 
+// benchWorkloads names the tiny per-workload setups the cross-workload
+// benchmarks run against.
+func benchWorkloads() map[string]workload.Workload {
+	return map[string]workload.Workload{
+		"tpcb":   tpcb.NewScaled(tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 100}),
+		"ordere": ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 30, Items: 100}),
+	}
+}
+
+var (
+	benchImgOnce sync.Once
+	benchImgs    map[string]*codegen.Image
+	benchImgErr  error
+)
+
+// benchImages builds one small app image per workload, shared across
+// benchmark iterations.
+func benchImages(b *testing.B) map[string]*codegen.Image {
+	b.Helper()
+	benchImgOnce.Do(func() {
+		benchImgs = make(map[string]*codegen.Image)
+		for name, wl := range benchWorkloads() {
+			img, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 0.25, ColdWords: 200_000, Workload: wl})
+			if err != nil {
+				benchImgErr = err
+				return
+			}
+			benchImgs[name] = img
+		}
+	})
+	if benchImgErr != nil {
+		b.Fatal(benchImgErr)
+	}
+	return benchImgs
+}
+
 // BenchmarkMachineTxns measures full-system simulation throughput in
-// transactions per benchmark op (10 txns per iteration).
+// transactions per benchmark op (10 txns per iteration), one row per
+// workload.
 func BenchmarkMachineTxns(b *testing.B) {
 	s := session(b)
-	img := s.AppImage()
 	kimg := s.KernelImage()
-	appL, err := codelayout.BaselineLayout(img.Prog)
-	if err != nil {
-		b.Fatal(err)
-	}
 	kernL, err := codelayout.BaselineLayout(kimg.Prog)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m, err := machine.New(machine.Config{
-			CPUs: 1, ProcsPerCPU: 4, Seed: int64(i),
-			WarmupTxns: 2, Transactions: 10,
-			Scale:    tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 100},
-			AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
-		})
+	imgs := benchImages(b)
+	for name, wl := range benchWorkloads() {
+		img := imgs[name]
+		appL, err := codelayout.BaselineLayout(img.Prog)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := m.Run(); err != nil {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{
+					CPUs: 1, ProcsPerCPU: 4, Seed: int64(i),
+					WarmupTxns: 2, Transactions: 10,
+					Workload: wl,
+					AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossWorkloadOptimize measures the full optimization pipeline on
+// each workload's image (profile collection + optimize + optimized re-run),
+// printing the per-workload miss reduction once.
+func BenchmarkCrossWorkloadOptimize(b *testing.B) {
+	s := session(b)
+	kimg := s.KernelImage()
+	kernL, err := codelayout.BaselineLayout(kimg.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgs := benchImages(b)
+	for name, wl := range benchWorkloads() {
+		img := imgs[name]
+		appL, err := codelayout.BaselineLayout(img.Prog)
+		if err != nil {
 			b.Fatal(err)
 		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				px := profile.NewPixie(img.Prog, "train")
+				cfg := machine.Config{
+					CPUs: 1, ProcsPerCPU: 4, Seed: 100,
+					WarmupTxns: 2, Transactions: 30,
+					Workload: wl,
+					AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+					AppCollector: px,
+				}
+				m, err := machine.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				optL, _, err := core.Optimize(img.Prog, px.Profile, core.Options{
+					Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				measure := func(l *program.Layout) uint64 {
+					ic := cache.New(cache.Config{SizeBytes: 32 << 10, LineBytes: 128, Assoc: 2})
+					cfg := cfg
+					cfg.AppLayout = l
+					cfg.AppCollector = nil
+					cfg.Seed = 7
+					cfg.Sinks = []trace.Sink{trace.AppOnly(ic)}
+					m, err := machine.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := m.Run(); err != nil {
+						b.Fatal(err)
+					}
+					return ic.Stats().Misses
+				}
+				base, opt := measure(appL), measure(optL)
+				if key := "xwl-" + name; i == 0 {
+					if _, done := printed.LoadOrStore(key, true); !done {
+						fmt.Fprintf(os.Stdout, "%s: app misses base=%d opt=%d (%.1f%% reduction)\n",
+							name, base, opt, 100*(1-float64(opt)/float64(base)))
+					}
+				}
+			}
+		})
 	}
 }
 

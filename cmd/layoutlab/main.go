@@ -15,6 +15,10 @@ import (
 
 	"codelayout/internal/expt"
 	"codelayout/internal/stats"
+	"codelayout/internal/workload"
+
+	_ "codelayout/internal/ordere" // register the order-entry workload
+	_ "codelayout/internal/tpcb"   // register the TPC-B workload
 )
 
 func main() {
@@ -25,6 +29,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override workload seed")
 		txns   = flag.Int("txns", 0, "override measured transactions")
 		cpus   = flag.Int("cpus", 0, "override processor count")
+		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 	)
 	flag.Parse()
@@ -36,10 +41,17 @@ func main() {
 		return
 	}
 
+	wl, err := workload.New(*wlName)
+	if err != nil {
+		fatal(err)
+	}
 	opts := expt.QuickOptions()
 	if *full {
 		opts = expt.DefaultOptions()
+	} else {
+		wl = wl.QuickScale()
 	}
+	opts.Workload = wl
 	if *seed != 0 {
 		opts.Seed = *seed
 		opts.TrainSeed = *seed + 7

@@ -1,8 +1,9 @@
-// oltpbench runs the OLTP workload on the simulated multiprocessor and
+// oltpbench runs an OLTP workload on the simulated multiprocessor and
 // reports throughput and memory-system behavior, optionally recording the
 // instruction/data trace for offline replay with cmd/icachesim.
 //
-//	oltpbench -txns 500 -cpus 4 -layout app.layout -trace run.trace
+//	oltpbench -workload tpcb -txns 500 -cpus 4 -layout app.layout -trace run.trace
+//	oltpbench -workload ordere -quick
 package main
 
 import (
@@ -15,8 +16,11 @@ import (
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/program"
-	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
+	"codelayout/internal/workload"
+
+	_ "codelayout/internal/ordere" // register the order-entry workload
+	_ "codelayout/internal/tpcb"   // register the TPC-B workload
 )
 
 func main() {
@@ -29,12 +33,24 @@ func main() {
 		procs     = flag.Int("procs", 8, "server processes per CPU")
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
+		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
+		quick     = flag.Bool("quick", false, "use the workload's quick scale")
 		layoutIn  = flag.String("layout", "", "optimized layout file (from spike); default baseline")
 		tracePath = flag.String("trace", "", "write the measured trace to this file")
 	)
 	flag.Parse()
 
-	app, err := appmodel.Build(appmodel.Config{Seed: *seed, LibScale: *libScale, ColdWords: *cold})
+	wl, err := workload.New(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		wl = wl.QuickScale()
+	}
+
+	app, err := appmodel.Build(appmodel.Config{
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +95,7 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
 		WarmupTxns: *warmup, Transactions: *txns,
-		Scale:    tpcb.DefaultScale(),
+		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		Sinks: sinks, DataSinks: dataSinks,
 	}
@@ -98,6 +114,7 @@ func main() {
 		fmt.Printf("trace written to %s\n", *tracePath)
 	}
 
+	fmt.Printf("workload:         %s\n", wl.Name())
 	fmt.Printf("committed:        %d transactions\n", res.Committed)
 	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",
 		res.AppInstrs, res.KernelInstrs, res.KernelFrac()*100)
@@ -108,6 +125,10 @@ func main() {
 	fmt.Printf("mean fetch sequence:    %.2f instructions\n", seq.Hist.Mean())
 	fmt.Printf("log: %d flushes, %d grouped commits; %d lock conflicts; idle %d\n",
 		res.LogFlushes, res.GroupedCommits, res.LockConflicts, res.IdleInstrs)
+	if err := m.CheckInvariants(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("invariants:       ok")
 }
 
 func fatal(err error) {

@@ -2,7 +2,7 @@
 // them to disk, the inputs of the cmd/pixie → cmd/spike → cmd/oltpbench
 // pipeline.
 //
-//	oltpgen -out ./images -seed 2001 -libscale 1.0
+//	oltpgen -out ./images -seed 2001 -libscale 1.0 -workload ordere
 package main
 
 import (
@@ -13,6 +13,10 @@ import (
 
 	"codelayout/internal/appmodel"
 	"codelayout/internal/kernel"
+	"codelayout/internal/workload"
+
+	_ "codelayout/internal/ordere" // register the order-entry workload
+	_ "codelayout/internal/tpcb"   // register the TPC-B workload
 )
 
 func main() {
@@ -22,13 +26,20 @@ func main() {
 		libScale = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold     = flag.Int("cold", 6_400_000, "cold code words in the app image")
 		kcold    = flag.Int("kcold", 1_400_000, "cold code words in the kernel image")
+		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("workload whose models root the app image %v", workload.Names()))
 	)
 	flag.Parse()
 
+	wl, err := workload.New(*wlName)
+	if err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	app, err := appmodel.Build(appmodel.Config{Seed: *seed, LibScale: *libScale, ColdWords: *cold})
+	app, err := appmodel.Build(appmodel.Config{
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -37,8 +48,8 @@ func main() {
 		fatal(err)
 	}
 	st := app.Prog.ComputeStats()
-	fmt.Printf("wrote %s: %d procs (%d cold), %d blocks, %.1f MB static\n",
-		appPath, st.Procs, st.ColdProcs, st.Blocks, float64(st.BodyWords*4)/(1<<20))
+	fmt.Printf("wrote %s (%s workload): %d procs (%d cold), %d blocks, %.1f MB static\n",
+		appPath, wl.Name(), st.Procs, st.ColdProcs, st.Blocks, float64(st.BodyWords*4)/(1<<20))
 
 	kern, err := kernel.Build(kernel.Config{Seed: *seed + 1, ColdWords: *kcold})
 	if err != nil {

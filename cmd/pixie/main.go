@@ -1,9 +1,9 @@
-// pixie collects a basic-block execution profile of the OLTP workload, the
+// pixie collects a basic-block execution profile of an OLTP workload, the
 // way the paper profiles the pixified Oracle server processes: the image is
 // rebuilt from its seed, the workload runs under the baseline layout, and
 // exact block/edge counts are written to a profile file.
 //
-//	pixie -seed 2001 -txns 2000 -out oltp.prof
+//	pixie -workload tpcb -seed 2001 -txns 2000 -out oltp.prof
 package main
 
 import (
@@ -16,7 +16,10 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
-	"codelayout/internal/tpcb"
+	"codelayout/internal/workload"
+
+	_ "codelayout/internal/ordere" // register the order-entry workload
+	_ "codelayout/internal/tpcb"   // register the TPC-B workload
 )
 
 func main() {
@@ -28,12 +31,24 @@ func main() {
 		cpus     = flag.Int("cpus", 4, "processors")
 		libScale = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold     = flag.Int("cold", 6_400_000, "app cold words")
+		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("workload to profile %v", workload.Names()))
+		quick    = flag.Bool("quick", false, "use the workload's quick scale")
 		out      = flag.String("out", "oltp.prof", "profile output file")
 		kout     = flag.String("kout", "", "optional kernel profile output file")
 	)
 	flag.Parse()
 
-	app, err := appmodel.Build(appmodel.Config{Seed: *seed, LibScale: *libScale, ColdWords: *cold})
+	wl, err := workload.New(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	if *quick {
+		wl = wl.QuickScale()
+	}
+
+	app, err := appmodel.Build(appmodel.Config{
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -55,7 +70,7 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, Seed: *runSeed,
 		WarmupTxns: *warmup, Transactions: *txns,
-		Scale:    tpcb.DefaultScale(),
+		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		AppCollector: px, KernCollector: kx,
 	}
@@ -70,8 +85,8 @@ func main() {
 	if err := px.Profile.SaveFile(*out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("profiled %d txns (%d app + %d kernel instructions), wrote %s\n",
-		res.Committed, res.AppInstrs, res.KernelInstrs, *out)
+	fmt.Printf("profiled %d %s txns (%d app + %d kernel instructions), wrote %s\n",
+		res.Committed, wl.Name(), res.AppInstrs, res.KernelInstrs, *out)
 	if *kout != "" {
 		if err := kx.Profile.SaveFile(*kout); err != nil {
 			fatal(err)

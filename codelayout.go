@@ -33,6 +33,9 @@ import (
 	"codelayout/internal/program"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
+	"codelayout/internal/workload"
+
+	_ "codelayout/internal/ordere" // register the order-entry workload
 )
 
 // Core program representation.
@@ -123,11 +126,32 @@ func ComboPipeline(name string) (Pipeline, error) { return core.ComboPipeline(na
 // BaselineLayout materializes the original (source-order) binary layout.
 func BaselineLayout(p *Program) (*Layout, error) { return program.BaselineLayout(p) }
 
+// Workload surface.
+type (
+	// Workload describes one OLTP benchmark at a specific scale.
+	Workload = workload.Workload
+	// WorkloadInstance is a workload loaded into an engine.
+	WorkloadInstance = workload.Instance
+)
+
+// Workloads lists the registered workload names ("tpcb", "ordere", ...).
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload returns the named workload at its default (paper) scale.
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// TPCB returns the paper's TPC-B workload at default scale.
+func TPCB() Workload { return tpcb.New() }
+
+// TPCBScaled returns the TPC-B workload at an explicit scale.
+func TPCBScaled(sc Scale) Workload { return tpcb.NewScaled(sc) }
+
 // ImageConfig shapes the OLTP application image.
 type ImageConfig = appmodel.Config
 
-// DefaultImageConfig returns the paper-calibrated image shape.
-func DefaultImageConfig(seed int64) ImageConfig { return appmodel.DefaultConfig(seed) }
+// DefaultImageConfig returns the paper-calibrated image shape for the TPC-B
+// workload; set ImageConfig.Workload to model a different mix.
+func DefaultImageConfig(seed int64) ImageConfig { return appmodel.DefaultConfig(seed, tpcb.New()) }
 
 // BuildOLTPImage assembles the modeled database-engine binary.
 func BuildOLTPImage(cfg ImageConfig) (*Image, error) { return appmodel.Build(cfg) }
@@ -153,7 +177,7 @@ type (
 	Scale = tpcb.Scale
 )
 
-// NewMachine builds a full-system simulation (engine, loaded TPC-B
+// NewMachine builds a full-system simulation (engine, loaded workload
 // database, server processes).
 func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
 

@@ -122,7 +122,7 @@ func TestFacadeMachineRun(t *testing.T) {
 	m, err := codelayout.NewMachine(codelayout.MachineConfig{
 		CPUs: 1, ProcsPerCPU: 2, Seed: 3,
 		WarmupTxns: 2, Transactions: 20,
-		Scale:    codelayout.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 100},
+		Workload: codelayout.TPCBScaled(codelayout.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 100}),
 		AppImage: img, AppLayout: appL,
 		KernImage: kern, KernLayout: kernL,
 		AppCollector: px,
@@ -151,5 +151,26 @@ func TestFacadeExperimentIDs(t *testing.T) {
 	ids := codelayout.ExperimentIDs()
 	if len(ids) != 20 {
 		t.Fatalf("experiments = %d", len(ids))
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	names := codelayout.Workloads()
+	want := map[string]bool{"tpcb": false, "ordere": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("workload %q not registered (have %v)", n, names)
+		}
+	}
+	if codelayout.TPCB().Name() != "tpcb" {
+		t.Fatal("TPCB() helper broken")
+	}
+	if _, err := codelayout.NewWorkload("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
 	}
 }

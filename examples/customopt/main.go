@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	img, err := appmodel.Build(appmodel.Config{Seed: 3, LibScale: 0.5, ColdWords: 400_000})
+	img, err := appmodel.Build(appmodel.Config{Seed: 3, LibScale: 0.5, ColdWords: 400_000, Workload: tpcb.New()})
 	if err != nil {
 		log.Fatal(err)
 	}

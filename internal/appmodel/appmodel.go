@@ -1,7 +1,8 @@
 // Package appmodel assembles the modeled application binary: one code model
 // per instrumented engine routine (the models mirror, site for site, the
-// probe calls in internal/db and internal/tpcb), a deep library of auto
-// helper functions that gives the image its OLTP-sized flat footprint, and a
+// probe calls in internal/db), the configured workload's transaction models
+// (contributed through the workload seam), a deep library of auto helper
+// functions that gives the image its OLTP-sized flat footprint, and a
 // cold-code complement that brings the static image to database-binary
 // proportions (the paper's Oracle binary is 27 MB with a ~260 KB hot
 // footprint).
@@ -17,6 +18,7 @@ import (
 
 	"codelayout/internal/codegen"
 	"codelayout/internal/isa"
+	"codelayout/internal/workload"
 )
 
 // Config shapes the generated image.
@@ -29,11 +31,14 @@ type Config struct {
 	// ColdWords is the cold-code complement in instruction words.
 	// The default models a 27 MB binary.
 	ColdWords int
+	// Workload contributes the transaction models rooted in the engine
+	// models; required.
+	Workload workload.Workload
 }
 
-// DefaultConfig returns the paper-calibrated image shape.
-func DefaultConfig(seed int64) Config {
-	return Config{Seed: seed, LibScale: 1.0, ColdWords: 6_400_000}
+// DefaultConfig returns the paper-calibrated image shape for a workload.
+func DefaultConfig(seed int64, w workload.Workload) Config {
+	return Config{Seed: seed, LibScale: 1.0, ColdWords: 6_400_000, Workload: w}
 }
 
 // families describes the library layers, bottom (leaf) first.
@@ -66,8 +71,11 @@ func libraryPlan(scale float64) []familySpec {
 	}
 }
 
-// Build assembles the application image.
+// Build assembles the application image for the configured workload.
 func Build(cfg Config) (*codegen.Image, error) {
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("appmodel: Config.Workload is required")
+	}
 	if cfg.LibScale == 0 {
 		cfg.LibScale = 1.0
 	}
@@ -114,7 +122,7 @@ func Build(cfg Config) (*codegen.Image, error) {
 	errPath := func() codegen.Frag { return codegen.ErrPath(r) }
 
 	// 2. Engine routine models. Each mirrors the probe sequence of the
-	// matching internal/db / internal/tpcb routine.
+	// matching internal/db routine.
 	engine := []codegen.FnSpec{
 		{Name: "buf_get", Body: []codegen.Frag{
 			codegen.Seq(6), errPath(), pick("lat", 4),
@@ -208,63 +216,44 @@ func Build(cfg Config) (*codegen.Image, error) {
 			codegen.If{Site: "bt_grow", Then: []codegen.Frag{codegen.Seq(12)}},
 			codegen.Seq(3),
 		}},
-		{Name: "upd_account", Body: []codegen.Frag{
-			codegen.Seq(7), pick("sql", 6),
-			codegen.Call{Fn: "bt_search"},
-			codegen.Call{Fn: "lock_acquire"},
-			codegen.Call{Fn: "heap_fetch"},
-			codegen.Seq(5), pick("row", 4),
-			codegen.Call{Fn: "heap_update"},
+		{Name: "bt_range", Body: []codegen.Frag{
+			codegen.Seq(6), errPath(), pick("cmp", 4),
+			codegen.Loop{Site: "btr_descend", Head: 3, Body: []codegen.Frag{
+				codegen.Call{Fn: "buf_get"},
+				codegen.Seq(4),
+				codegen.Loop{Site: "bt_scan", Head: 2, Body: []codegen.Frag{codegen.Seq(5)}},
+				codegen.Seq(3),
+			}},
+			codegen.Call{Fn: "buf_get"},
 			codegen.Seq(3),
-		}},
-		{Name: "upd_teller", Body: []codegen.Frag{
-			codegen.Seq(6), pick("sql", 6),
-			codegen.Call{Fn: "bt_search"},
-			codegen.Call{Fn: "lock_acquire"},
-			codegen.Call{Fn: "heap_fetch"},
-			codegen.Seq(4), pick("row", 4),
-			codegen.Call{Fn: "heap_update"},
-			codegen.Seq(3),
-		}},
-		{Name: "upd_branch", Body: []codegen.Frag{
-			codegen.Seq(6), pick("sql", 5),
-			codegen.Call{Fn: "lock_acquire"},
-			codegen.Call{Fn: "heap_fetch"},
+			codegen.Loop{Site: "bt_leaf", Head: 2, Body: []codegen.Frag{codegen.Seq(5)}},
+			codegen.Loop{Site: "btr_iter", Head: 3, Body: []codegen.Frag{
+				codegen.If{Site: "btr_hop",
+					Then: []codegen.Frag{codegen.Call{Fn: "buf_get"}, codegen.Seq(4)},
+					Else: []codegen.Frag{codegen.Seq(6)}},
+			}},
 			codegen.Seq(4),
-			codegen.Call{Fn: "heap_update"},
-			codegen.Seq(3),
-		}},
-		{Name: "ins_history", Body: []codegen.Frag{
-			codegen.Seq(5), pick("sql", 5),
-			codegen.Call{Fn: "heap_insert"},
-			codegen.Seq(3),
-		}},
-		{Name: "tpcb_txn", Body: []codegen.Frag{
-			codegen.Seq(9), errPath(), pick("sql", 8),
-			codegen.Call{Fn: "txn_begin"},
-			codegen.Call{Fn: "upd_account"},
-			codegen.Call{Fn: "upd_teller"},
-			codegen.Call{Fn: "upd_branch"},
-			codegen.Call{Fn: "ins_history"},
-			codegen.Call{Fn: "txn_commit"},
-			codegen.Seq(6), pick("rt", 4),
 		}},
 	}
 
-	// 3. Cold complement.
+	// 3. Workload transaction models, rooted in the engine models.
+	env := &workload.ModelEnv{Pick: pick, ErrPath: errPath}
+	wlSpecs := cfg.Workload.Models(env)
+
+	// 4. Cold complement.
 	var cold []codegen.FnSpec
 	if cfg.ColdWords > 0 {
 		cold = codegen.GenCold(r, "cold", cfg.ColdWords, 1200)
 	}
 
-	// 4. Link order. Real binaries are linked object file by object file: a
+	// 5. Link order. Real binaries are linked object file by object file: a
 	// module's handful of exercised functions sit together, followed by
 	// that module's unexercised code. The hot footprint therefore spreads
 	// across the whole image (bad iTLB/page locality, as the paper's
 	// baseline shows) while related hot functions still share lines and
 	// pages (so whole-procedure reordering alone wins little, also as the
 	// paper shows).
-	hot := append(append([]codegen.FnSpec{}, engine...), libSpecs...)
+	hot := append(append(append([]codegen.FnSpec{}, engine...), wlSpecs...), libSpecs...)
 	var modules [][]codegen.FnSpec
 	for len(hot) > 0 {
 		n := 3 + r.Intn(6)
@@ -289,7 +278,7 @@ func Build(cfg Config) (*codegen.Image, error) {
 	fns = append(fns, cold[ci:]...)
 
 	return codegen.Build(codegen.ImageSpec{
-		Name:     "oracle-like-oltp",
+		Name:     "oracle-like-oltp-" + cfg.Workload.Name(),
 		TextBase: isa.AppTextBase,
 		Fns:      fns,
 	})

@@ -1,20 +1,20 @@
 package appmodel_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
 	"codelayout/internal/db"
+	"codelayout/internal/ordere"
 	"codelayout/internal/program"
 	"codelayout/internal/tpcb"
-
-	"math/rand"
-
-	"codelayout/internal/codegen"
+	"codelayout/internal/workload"
 )
 
 func TestBuildDefaultShape(t *testing.T) {
-	img, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 1.0, ColdWords: 6_400_000})
+	img, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 1.0, ColdWords: 6_400_000, Workload: tpcb.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,12 +40,45 @@ func TestBuildDefaultShape(t *testing.T) {
 	}
 }
 
-func TestBuildDeterministic(t *testing.T) {
-	a, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000})
+func TestBuildRequiresWorkload(t *testing.T) {
+	if _, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 0.2, ColdWords: 50_000}); err == nil {
+		t.Fatal("expected error for missing workload")
+	}
+}
+
+// TestBuildPerWorkloadRoots checks that the image carries exactly the
+// configured workload's transaction roots.
+func TestBuildPerWorkloadRoots(t *testing.T) {
+	tb, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 0.2, ColdWords: 50_000, Workload: tpcb.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000})
+	if tb.Prog.FindProc("tpcb_txn") == nil {
+		t.Fatal("tpcb image missing tpcb_txn")
+	}
+	if tb.Prog.FindProc("neworder_txn") != nil {
+		t.Fatal("tpcb image contains order-entry models")
+	}
+	oe, err := appmodel.Build(appmodel.Config{Seed: 1, LibScale: 0.2, ColdWords: 50_000, Workload: ordere.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"neworder_txn", "payment_txn", "bt_range", "no_total"} {
+		if oe.Prog.FindProc(fn) == nil {
+			t.Fatalf("ordere image missing %s", fn)
+		}
+	}
+	if oe.Prog.FindProc("tpcb_txn") != nil {
+		t.Fatal("ordere image contains TPC-B models")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000, Workload: tpcb.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appmodel.Build(appmodel.Config{Seed: 5, LibScale: 0.2, ColdWords: 100_000, Workload: tpcb.New()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,48 +92,66 @@ func TestBuildDeterministic(t *testing.T) {
 	}
 }
 
-// TestEngineModelConformance drives real transactions through an emitter
-// bound to the image; any probe/model mismatch panics inside the emitter.
-func TestEngineModelConformance(t *testing.T) {
-	img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000})
-	if err != nil {
-		t.Fatal(err)
+// conformanceWorkloads builds a tiny instance of each workload for emitter
+// conformance runs.
+func conformanceWorkloads() map[string]workload.Workload {
+	return map[string]workload.Workload{
+		"tpcb":   tpcb.NewScaled(tpcb.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 150}),
+		"ordere": ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 2, CustomersPerDistrict: 50, Items: 100}),
 	}
-	l, err := program.BaselineLayout(img.Prog)
-	if err != nil {
-		t.Fatal(err)
-	}
-	em := codegen.NewEmitter(img, l, 3)
-	em.Sink = func(uint64, int32) {}
+}
 
-	eng := db.NewEngine(db.Config{BufferPoolPages: 4096})
-	bench, err := tpcb.Load(eng, tpcb.Scale{Branches: 3, TellersPerBranch: 3, AccountsPerBranch: 150})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := eng.NewSession(1, em)
-	r := rand.New(rand.NewSource(4))
-	for i := 0; i < 100; i++ {
-		bench.RunTxn(s, bench.GenInput(r))
-		if !em.Idle() {
-			t.Fatalf("txn %d: emitter not idle after transaction", i)
-		}
-	}
-	if em.Instructions == 0 {
-		t.Fatal("no instructions emitted")
-	}
-	// Instrumented per-transaction instruction cost should be substantial
-	// (thousands of instructions), like a database transaction.
-	per := float64(em.Instructions) / 100
-	if per < 2000 {
-		t.Fatalf("only %.0f instructions per transaction", per)
+// TestEngineModelConformance drives real transactions through an emitter
+// bound to the image, for every workload; any probe/model mismatch panics
+// inside the emitter.
+func TestEngineModelConformance(t *testing.T) {
+	for name, wl := range conformanceWorkloads() {
+		t.Run(name, func(t *testing.T) {
+			img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000, Workload: wl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := program.BaselineLayout(img.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			em := codegen.NewEmitter(img, l, 3)
+			em.Sink = func(uint64, int32) {}
+
+			eng := db.NewEngine(db.Config{BufferPoolPages: 8192})
+			inst, err := wl.Load(eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := eng.NewSession(1, em)
+			r := rand.New(rand.NewSource(4))
+			for i := 0; i < 100; i++ {
+				inst.RunTxn(s, inst.GenInput(r))
+				if !em.Idle() {
+					t.Fatalf("txn %d: emitter not idle after transaction", i)
+				}
+			}
+			if em.Instructions == 0 {
+				t.Fatal("no instructions emitted")
+			}
+			// Instrumented per-transaction instruction cost should be
+			// substantial (thousands of instructions), like a database
+			// transaction.
+			per := float64(em.Instructions) / 100
+			if per < 2000 {
+				t.Fatalf("only %.0f instructions per transaction", per)
+			}
+			if err := inst.Check(eng.NewSession(2, nil)); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
 // TestAbortPathConformance exercises the txn_abort model, which normal
 // transactions never reach.
 func TestAbortPathConformance(t *testing.T) {
-	img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000})
+	img, err := appmodel.Build(appmodel.Config{Seed: 2, LibScale: 0.2, ColdWords: 50_000, Workload: tpcb.New()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,11 @@ func leafSet(p *Page, i int, k, v uint64) {
 	binary.LittleEndian.PutUint64(p.Data[btHdr+i*leafEntry+8:], v)
 }
 
+func leafSib(p *Page) PageID { return PageID(binary.LittleEndian.Uint32(p.Data[4:])) }
+func leafSetSib(p *Page, id PageID) {
+	binary.LittleEndian.PutUint32(p.Data[4:], uint32(id))
+}
+
 func innerChild(p *Page, i int) PageID {
 	if i == 0 {
 		return PageID(binary.LittleEndian.Uint32(p.Data[btHdr:]))
@@ -76,6 +81,7 @@ func (e *Engine) CreateBTree(name string) *BTree {
 	}
 	btSetKind(pg, nodeLeaf)
 	btSetN(pg, 0)
+	leafSetSib(pg, InvalidPage)
 	pg.Dirty = true
 	e.Pool.Unpin(pg)
 	t := &BTree{Name: name, eng: e, root: root, height: 1}
@@ -92,6 +98,8 @@ func (t *BTree) Height() int { return t.height }
 func (t *BTree) Search(s *Session, key uint64) (uint64, bool) {
 	s.PB.Enter("bt_search")
 	defer s.PB.Leave("bt_search")
+	s.BeginCritical()
+	defer s.EndCritical()
 	pgID := t.root
 	for lvl := t.height; lvl > 1; lvl-- {
 		s.PB.Branch("bt_descend", true)
@@ -111,6 +119,59 @@ func (t *BTree) Search(s *Session, key uint64) (uint64, bool) {
 	s.Unpin(leaf)
 	s.PB.Branch("bt_found", found)
 	return val, found
+}
+
+// ScanRange visits every key in [lo, hi] in ascending order, following the
+// leaf sibling chain, and calls fn for each entry; fn returning false stops
+// the scan. It returns the number of entries visited. Instrumented: the
+// descent, the per-leaf positioning and every iterate/leaf-hop step are
+// reported, so range scans contribute their real data-dependent work to the
+// emitted instruction stream.
+func (t *BTree) ScanRange(s *Session, lo, hi uint64, fn func(key, val uint64) bool) int {
+	s.PB.Enter("bt_range")
+	defer s.PB.Leave("bt_range")
+	s.BeginCritical()
+	defer s.EndCritical()
+	pgID := t.root
+	for lvl := t.height; lvl > 1; lvl-- {
+		s.PB.Branch("btr_descend", true)
+		node := s.BufGet(pgID)
+		idx := t.innerSearch(s, node, lo)
+		pgID = innerChild(node, idx)
+		s.Unpin(node)
+	}
+	s.PB.Branch("btr_descend", false)
+	leaf := s.BufGet(pgID)
+	idx, _ := t.leafSearch(s, leaf, lo)
+	n := 0
+	for {
+		if idx < btN(leaf) && leafKey(leaf, idx) <= hi {
+			s.PB.Branch("btr_iter", true)
+			s.PB.Branch("btr_hop", false)
+			s.PB.Data(PageAddr(leaf.ID)+uint64(btHdr+idx*leafEntry), leafEntry, false)
+			key, val := leafKey(leaf, idx), leafVal(leaf, idx)
+			idx++
+			n++
+			if !fn(key, val) {
+				break
+			}
+			continue
+		}
+		if idx >= btN(leaf) {
+			if sib := leafSib(leaf); sib != InvalidPage {
+				s.PB.Branch("btr_iter", true)
+				s.PB.Branch("btr_hop", true)
+				s.Unpin(leaf)
+				leaf = s.BufGet(sib)
+				idx = 0
+				continue
+			}
+		}
+		break
+	}
+	s.PB.Branch("btr_iter", false)
+	s.Unpin(leaf)
+	return n
 }
 
 // innerSearch returns the child index to descend into, reporting each
@@ -155,6 +216,8 @@ func (t *BTree) leafSearch(s *Session, leaf *Page, key uint64) (int, bool) {
 func (t *BTree) Insert(s *Session, key, val uint64) error {
 	s.PB.Enter("bt_insert")
 	defer s.PB.Leave("bt_insert")
+	s.BeginCritical()
+	defer s.EndCritical()
 	promoted, newChild, err := t.insertAt(s, t.root, t.height, key, val)
 	if err != nil {
 		return err
@@ -235,6 +298,8 @@ func (t *BTree) leafInsert(s *Session, leaf *Page, key, val uint64) (uint64, Pag
 	right := s.bufGetQuiet(rightID)
 	defer s.Unpin(right)
 	btSetKind(right, nodeLeaf)
+	leafSetSib(right, leafSib(leaf))
+	leafSetSib(leaf, rightID)
 	mid := n / 2
 	for i := mid; i < n; i++ {
 		leafSet(right, i-mid, leafKey(leaf, i), leafVal(leaf, i))
@@ -311,11 +376,45 @@ func (t *BTree) innerInsert(s *Session, node *Page, idx int, key uint64, child P
 }
 
 // Validate checks B+tree invariants (sorted keys, consistent heights,
-// children key ranges). Used by tests.
+// children key ranges, an intact leaf sibling chain). Used by tests.
 func (t *BTree) Validate(s *Session) error {
 	var minKey, maxKey uint64 = 0, ^uint64(0)
-	_, err := t.validateNode(s, t.root, t.height, minKey, maxKey)
-	return err
+	total, err := t.validateNode(s, t.root, t.height, minKey, maxKey)
+	if err != nil {
+		return err
+	}
+	return t.validateChain(s, total)
+}
+
+// validateChain walks the leaf sibling chain from the leftmost leaf and
+// checks that it visits every key, in ascending order.
+func (t *BTree) validateChain(s *Session, want int) error {
+	pgID := t.root
+	for lvl := t.height; lvl > 1; lvl-- {
+		node := s.bufGetQuiet(pgID)
+		pgID = innerChild(node, 0)
+		s.Unpin(node)
+	}
+	seen := 0
+	last, any := uint64(0), false
+	for pgID != InvalidPage {
+		leaf := s.bufGetQuiet(pgID)
+		for i := 0; i < btN(leaf); i++ {
+			k := leafKey(leaf, i)
+			if any && k <= last {
+				s.Unpin(leaf)
+				return fmt.Errorf("btree %s: sibling chain out of order at key %d", t.Name, k)
+			}
+			last, any = k, true
+			seen++
+		}
+		pgID = leafSib(leaf)
+		s.Unpin(leaf)
+	}
+	if seen != want {
+		return fmt.Errorf("btree %s: sibling chain sees %d keys, tree holds %d", t.Name, seen, want)
+	}
+	return nil
 }
 
 func (t *BTree) validateNode(s *Session, pgID PageID, lvl int, lo, hi uint64) (int, error) {

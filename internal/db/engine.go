@@ -95,7 +95,8 @@ type Session struct {
 	// PID identifies the server process (for diagnostics).
 	PID int
 
-	txn *Txn
+	txn  *Txn
+	crit int
 }
 
 // NewSession creates a session; pb may be probe.Nop{}.
@@ -105,6 +106,20 @@ func (e *Engine) NewSession(pid int, pb probe.Probe) *Session {
 	}
 	return &Session{Eng: e, PB: pb, PID: pid}
 }
+
+// BeginCritical brackets (with EndCritical) a short physical-structure
+// operation — a B-tree descent or structure modification — during which the
+// process must not lose the CPU, the stand-in for index latching (whose
+// instruction cost the code models charge as library code). The machine
+// defers preemption and performs page reads synchronously while a session
+// is critical, so concurrent processes never observe a half-modified tree.
+func (s *Session) BeginCritical() { s.crit++ }
+
+// EndCritical leaves the innermost critical section.
+func (s *Session) EndCritical() { s.crit-- }
+
+// InCritical reports whether the session is inside a critical section.
+func (s *Session) InCritical() bool { return s.crit > 0 }
 
 // BufGet pins a page through the instrumented buffer-manager path: the
 // hit/miss outcome is reported, and a miss crosses into the kernel for the

@@ -1,0 +1,65 @@
+package db_test
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScanRange checks the leaf-chain range scan against a brute-force
+// reference across random key sets and ranges, including scans that span
+// many leaf splits.
+func TestScanRange(t *testing.T) {
+	eng, s := newEngine(t)
+	bt := eng.CreateBTree("scan")
+	r := rand.New(rand.NewSource(7))
+	keys := make(map[uint64]uint64)
+	for i := 0; i < 3000; i++ {
+		k := uint64(r.Intn(10_000))
+		keys[k] = k * 3
+		if err := bt.Insert(s, k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := uint64(r.Intn(10_000))
+		hi := lo + uint64(r.Intn(4_000))
+		var want []uint64
+		for k := lo; k <= hi; k++ {
+			if _, ok := keys[k]; ok {
+				want = append(want, k)
+			}
+		}
+		var got []uint64
+		n := bt.ScanRange(s, lo, hi, func(k, v uint64) bool {
+			if v != k*3 {
+				t.Fatalf("key %d has value %d", k, v)
+			}
+			got = append(got, k)
+			return true
+		})
+		if n != len(want) || len(got) != len(want) {
+			t.Fatalf("[%d,%d]: scanned %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d]: got[%d]=%d want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	n := bt.ScanRange(s, 0, ^uint64(0), func(k, v uint64) bool {
+		count++
+		return count < 10
+	})
+	if n != 10 || count != 10 {
+		t.Fatalf("early stop visited %d/%d", count, n)
+	}
+	// Empty range.
+	if n := bt.ScanRange(s, 20_001, 30_000, func(uint64, uint64) bool { return true }); n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+}

@@ -110,10 +110,13 @@ func (s *Session) logForce(lsn uint64) {
 // ---- Heap table operations ----
 
 // Insert appends a record to the heap table, allocating a fresh page when
-// the tail page is full.
+// the tail page is full. The free-space check, page fetch and slot write
+// run under a latch (critical section): without it, a page read blocking
+// mid-insert would let a concurrent process fill the checked tail page.
 func (tb *Table) Insert(s *Session, rec []byte) RID {
 	s.PB.Enter("heap_insert")
 	defer s.PB.Leave("heap_insert")
+	s.BeginCritical()
 	needNew := len(tb.Pages) == 0
 	if !needNew {
 		tail := s.bufGetQuiet(tb.Pages[len(tb.Pages)-1])
@@ -128,6 +131,7 @@ func (tb *Table) Insert(s *Session, rec []byte) RID {
 	pg := s.BufGet(pgID)
 	defer s.Unpin(pg)
 	slot, err := pg.Insert(rec)
+	s.EndCritical()
 	if err != nil {
 		panic(fmt.Sprintf("db: heap insert: %v", err))
 	}

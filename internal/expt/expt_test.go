@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"codelayout/internal/expt"
+	"codelayout/internal/tpcb"
 )
 
 // sharedSession is built once; experiments memoize runs inside it.
@@ -23,8 +24,7 @@ func session(t *testing.T) *expt.Session {
 	o.TrainTxns = 150
 	o.CPUs = 2
 	o.ProcsPerCPU = 4
-	o.Scale.Branches = 6
-	o.Scale.AccountsPerBranch = 250
+	o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 5, AccountsPerBranch: 250})
 	o.LibScale = 0.3
 	o.ColdWords = 400_000
 	o.KernColdWords = 100_000

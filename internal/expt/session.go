@@ -19,6 +19,7 @@ import (
 	"codelayout/internal/program"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
+	"codelayout/internal/workload"
 )
 
 // Options configures a session.
@@ -33,7 +34,11 @@ type Options struct {
 	WarmupTxns   int
 	TrainTxns    int
 
-	Scale         tpcb.Scale
+	// Workload is the transaction mix every run in the session uses; nil
+	// defaults to TPC-B at paper scale. Callers replacing the workload
+	// choose its scale: QuickOptions quick-scales only its own default, so
+	// pass w.QuickScale() (or a custom small scale) for quick sessions.
+	Workload      workload.Workload
 	LibScale      float64
 	ColdWords     int
 	KernColdWords int
@@ -54,14 +59,15 @@ func DefaultOptions() Options {
 		Seed: 2001, TrainSeed: 1998,
 		CPUs: 4, ProcsPerCPU: 8,
 		Transactions: 500, WarmupTxns: 100, TrainTxns: 2000,
-		Scale:    tpcb.DefaultScale(),
+		Workload: tpcb.New(),
 		LibScale: 1.0, ColdWords: 6_400_000, KernColdWords: 1_400_000,
 		DCPIPeriod: 256,
 	}
 }
 
 // QuickOptions returns a shrunken configuration for tests and default
-// bench runs.
+// bench runs. The workload shrinks through its own QuickScale, so Quick
+// works for any workload.
 func QuickOptions() Options {
 	o := DefaultOptions()
 	o.Quick = true
@@ -70,7 +76,7 @@ func QuickOptions() Options {
 	o.Transactions = 150
 	o.WarmupTxns = 40
 	o.TrainTxns = 400
-	o.Scale = tpcb.Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400}
+	o.Workload = o.Workload.QuickScale()
 	o.LibScale = 0.4
 	o.ColdWords = 900_000
 	o.KernColdWords = 250_000
@@ -103,13 +109,17 @@ type Session struct {
 }
 
 type measKey struct {
-	layout string
-	kern   string
-	cpus   int
+	workload string
+	layout   string
+	kern     string
+	cpus     int
 }
 
 // NewSession builds the images and baseline layouts.
 func NewSession(o Options) (*Session, error) {
+	if o.Workload == nil {
+		o.Workload = tpcb.New()
+	}
 	s := &Session{
 		Opt:      o,
 		layouts:  make(map[string]*program.Layout),
@@ -120,7 +130,9 @@ func NewSession(o Options) (*Session, error) {
 		inflight: make(map[measKey]chan struct{}),
 	}
 	var err error
-	s.appImg, err = appmodel.Build(appmodel.Config{Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords})
+	s.appImg, err = appmodel.Build(appmodel.Config{
+		Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords, Workload: o.Workload,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("expt: app image: %w", err)
 	}
@@ -322,7 +334,7 @@ func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
 		Seed:         s.Opt.Seed,
 		WarmupTxns:   s.Opt.WarmupTxns,
 		Transactions: s.Opt.Transactions,
-		Scale:        s.Opt.Scale,
+		Workload:     s.Opt.Workload,
 		AppImage:     s.appImg,
 		AppLayout:    appL,
 		KernImage:    s.kernImg,
@@ -341,7 +353,7 @@ func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
 // first caller runs it, later callers block until the result (or error) is
 // memoized.
 func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
-	key := measKey{layout, kern, cpus}
+	key := measKey{s.Opt.Workload.Name(), layout, kern, cpus}
 	for {
 		s.mu.Lock()
 		if m, ok := s.measures[key]; ok {

@@ -18,8 +18,8 @@ import (
 	"codelayout/internal/db"
 	"codelayout/internal/kernel"
 	"codelayout/internal/program"
-	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
+	"codelayout/internal/workload"
 )
 
 // Config describes one simulated run.
@@ -34,7 +34,8 @@ type Config struct {
 	// Transactions is the measured committed-transaction count.
 	Transactions int
 
-	Scale tpcb.Scale
+	// Workload is the transaction mix to load and run; required.
+	Workload workload.Workload
 	// BufferPoolPages sizes the cache; 0 = large enough for everything.
 	BufferPoolPages int
 
@@ -75,9 +76,6 @@ func (c Config) withDefaults() Config {
 	if c.Transactions <= 0 {
 		c.Transactions = 100
 	}
-	if c.Scale.Branches == 0 {
-		c.Scale = tpcb.DefaultScale()
-	}
 	if c.QuantumInstr == 0 {
 		c.QuantumInstr = 200_000
 	}
@@ -91,9 +89,9 @@ func (c Config) withDefaults() Config {
 		c.PreadDelayInstr = 250_000
 	}
 	if c.BufferPoolPages == 0 {
-		pages := c.Scale.Branches*c.Scale.AccountsPerBranch/70 +
-			c.Scale.Branches*c.Scale.TellersPerBranch/70 + 4096
-		c.BufferPoolPages = pages
+		// Hold every loaded table plus headroom for tables that grow during
+		// the run (history, orders), reproducing the paper's cached setup.
+		c.BufferPoolPages = c.Workload.DataPages() + 4096
 	}
 	return c
 }
@@ -183,7 +181,7 @@ type cpu struct {
 type Machine struct {
 	cfg   Config
 	eng   *db.Engine
-	bench *tpcb.Bench
+	inst  workload.Instance
 	cpus  []*cpu
 	procs []*proc
 
@@ -194,20 +192,23 @@ type Machine struct {
 	failure       error
 }
 
-// New builds the machine: engine, loaded TPC-B database, processes bound to
-// emitters over the configured layouts.
+// New builds the machine: engine, loaded workload database, processes bound
+// to emitters over the configured layouts.
 func New(cfg Config) (*Machine, error) {
-	cfg = cfg.withDefaults()
 	if cfg.AppImage == nil || cfg.AppLayout == nil || cfg.KernImage == nil || cfg.KernLayout == nil {
 		return nil, fmt.Errorf("machine: images and layouts are required")
 	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("machine: a workload is required")
+	}
+	cfg = cfg.withDefaults()
 	m := &Machine{cfg: cfg}
 	m.eng = db.NewEngine(db.Config{BufferPoolPages: cfg.BufferPoolPages, Env: (*machineEnv)(m)})
-	bench, err := tpcb.Load(m.eng, cfg.Scale)
+	inst, err := cfg.Workload.Load(m.eng)
 	if err != nil {
 		return nil, err
 	}
-	m.bench = bench
+	m.inst = inst
 
 	for c := 0; c < cfg.CPUs; c++ {
 		cp := &cpu{id: c, nextTimer: cfg.TimerIntervalInstr}
@@ -248,8 +249,14 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// Bench exposes the loaded database (tests and verification).
-func (m *Machine) Bench() *tpcb.Bench { return m.bench }
+// Instance exposes the loaded workload (tests and verification).
+func (m *Machine) Instance() workload.Instance { return m.inst }
+
+// CheckInvariants verifies the workload's consistency invariants over the
+// engine through an uninstrumented session (tests, post-run verification).
+func (m *Machine) CheckInvariants() error {
+	return m.inst.Check(m.eng.NewSession(0, nil))
+}
 
 // gatedCollector forwards block events only during the measured phase.
 type gatedCollector struct {
@@ -280,7 +287,9 @@ func (m *Machine) appFetch(p *proc, addr uint64, words int32) {
 		c.nextTimer += m.cfg.TimerIntervalInstr
 		c.kern.RunAuto(kernel.SvcTimer)
 	}
-	if p.budget <= 0 {
+	// Preemption defers while the session holds an index latch (critical
+	// section); the process yields at the next fetch after releasing it.
+	if p.budget <= 0 && !p.sess.InCritical() {
 		p.doYield(yieldMsg{kind: yQuantum})
 	}
 }
@@ -320,7 +329,15 @@ func (m *Machine) syscall(p *proc, name string) {
 	case "log_write":
 		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.LogWriteDelayInstr})
 	case "pread":
-		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.PreadDelayInstr})
+		if p.sess.InCritical() {
+			// A read under an index latch completes synchronously: the
+			// process keeps the CPU (and the latch) while the read's
+			// latency is charged to the clock, so no other process can
+			// observe a half-modified tree.
+			p.cpu.clock += m.cfg.PreadDelayInstr
+		} else {
+			p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.PreadDelayInstr})
+		}
 		// log_wait and lock_sleep park via Env.Wait right after.
 	}
 }
@@ -382,8 +399,8 @@ func (p *proc) run(m *Machine) {
 	}()
 	p.waitRun()
 	for {
-		in := m.bench.GenInput(p.client)
-		m.bench.RunTxn(p.sess, in)
+		in := m.inst.GenInput(p.client)
+		m.inst.RunTxn(p.sess, in)
 		p.doYield(yieldMsg{kind: yTxnDone})
 	}
 }

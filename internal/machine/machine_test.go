@@ -9,16 +9,34 @@ import (
 	"codelayout/internal/core"
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
+	"codelayout/internal/ordere"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
+	"codelayout/internal/workload"
 )
 
-// testImages builds a small app+kernel image pair once per test run.
-func testImages(t *testing.T) (*codegen.Image, *program.Layout, *codegen.Image, *program.Layout) {
+// testWorkloads lists the workloads every machine-level test runs against.
+var testWorkloads = []string{"tpcb", "ordere"}
+
+// smallWorkload returns a tiny instance of the named workload.
+func smallWorkload(t *testing.T, name string) workload.Workload {
 	t.Helper()
-	app, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 0.25, ColdWords: 200_000})
+	switch name {
+	case "tpcb":
+		return tpcb.NewScaled(tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 200})
+	case "ordere":
+		return ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120})
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+// testImages builds a small app+kernel image pair for a workload.
+func testImages(t *testing.T, wl workload.Workload) (*codegen.Image, *program.Layout, *codegen.Image, *program.Layout) {
+	t.Helper()
+	app, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 0.25, ColdWords: 200_000, Workload: wl})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,155 +55,163 @@ func testImages(t *testing.T) (*codegen.Image, *program.Layout, *codegen.Image, 
 	return app, appL, kern, kernL
 }
 
-func smallScale() tpcb.Scale {
-	return tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 200}
-}
-
-func baseConfig(app *codegen.Image, appL *program.Layout, kern *codegen.Image, kernL *program.Layout) machine.Config {
+func configFor(wl workload.Workload, app *codegen.Image, appL *program.Layout, kern *codegen.Image, kernL *program.Layout) machine.Config {
 	return machine.Config{
 		CPUs: 1, ProcsPerCPU: 4, Seed: 7,
 		WarmupTxns: 5, Transactions: 40,
-		Scale:    smallScale(),
+		Workload: wl,
 		AppImage: app, AppLayout: appL,
 		KernImage: kern, KernLayout: kernL,
 	}
 }
 
+// testSetup builds images and a base config for the named workload.
+func testSetup(t *testing.T, name string) machine.Config {
+	t.Helper()
+	wl := smallWorkload(t, name)
+	app, appL, kern, kernL := testImages(t, wl)
+	return configFor(wl, app, appL, kern, kernL)
+}
+
 func TestEndToEndRuns(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	cfg := baseConfig(app, appL, kern, kernL)
-	var cnt trace.Counter
-	seq := trace.NewSeqLen()
-	cfg.Sinks = []trace.Sink{&cnt, seq}
-	m, err := machine.New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	for _, name := range testWorkloads {
+		t.Run(name, func(t *testing.T) {
+			cfg := testSetup(t, name)
+			var cnt trace.Counter
+			seq := trace.NewSeqLen()
+			cfg.Sinks = []trace.Sink{&cnt, seq}
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != 40 {
+				t.Fatalf("committed = %d", res.Committed)
+			}
+			if res.AppInstrs == 0 || res.KernelInstrs == 0 {
+				t.Fatalf("instrs app=%d kern=%d", res.AppInstrs, res.KernelInstrs)
+			}
+			if cnt.Instructions != res.AppInstrs+res.KernelInstrs {
+				t.Fatalf("sink saw %d, result says %d", cnt.Instructions, res.AppInstrs+res.KernelInstrs)
+			}
+			kf := res.KernelFrac()
+			if kf <= 0.02 || kf >= 0.80 {
+				t.Fatalf("kernel fraction = %f, implausible", kf)
+			}
+			if seq.Hist.N == 0 {
+				t.Fatal("no sequences measured")
+			}
+			mean := seq.Hist.Mean()
+			if mean < 3 || mean > 20 {
+				t.Fatalf("baseline mean sequence length = %f, outside plausible band", mean)
+			}
+			if res.LogFlushes == 0 {
+				t.Fatal("no log flushes")
+			}
+			t.Logf("app=%d kern=%d (%.1f%% kernel), seqlen=%.2f, flushes=%d grouped=%d conflicts=%d",
+				res.AppInstrs, res.KernelInstrs, kf*100, mean, res.LogFlushes, res.GroupedCommits, res.LockConflicts)
+		})
 	}
-	res, err := m.Run()
-	if err != nil {
-		t.Fatal(err)
+}
+
+// TestWorkloadInvariantsAfterRun checks each workload's own consistency
+// invariants (TPC-B balance conservation; order-entry order/order-line
+// totals and payment flows) after a full simulated multiprocessor run.
+func TestWorkloadInvariantsAfterRun(t *testing.T) {
+	for _, name := range testWorkloads {
+		t.Run(name, func(t *testing.T) {
+			cfg := testSetup(t, name)
+			cfg.CPUs = 2
+			cfg.ProcsPerCPU = 6
+			cfg.Transactions = 120
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
-	if res.Committed != 40 {
-		t.Fatalf("committed = %d", res.Committed)
-	}
-	if res.AppInstrs == 0 || res.KernelInstrs == 0 {
-		t.Fatalf("instrs app=%d kern=%d", res.AppInstrs, res.KernelInstrs)
-	}
-	if cnt.Instructions != res.AppInstrs+res.KernelInstrs {
-		t.Fatalf("sink saw %d, result says %d", cnt.Instructions, res.AppInstrs+res.KernelInstrs)
-	}
-	kf := res.KernelFrac()
-	if kf <= 0.02 || kf >= 0.80 {
-		t.Fatalf("kernel fraction = %f, implausible", kf)
-	}
-	if seq.Hist.N == 0 {
-		t.Fatal("no sequences measured")
-	}
-	mean := seq.Hist.Mean()
-	if mean < 3 || mean > 20 {
-		t.Fatalf("baseline mean sequence length = %f, outside plausible band", mean)
-	}
-	if res.LogFlushes == 0 {
-		t.Fatal("no log flushes")
-	}
-	t.Logf("app=%d kern=%d (%.1f%% kernel), seqlen=%.2f, flushes=%d grouped=%d conflicts=%d",
-		res.AppInstrs, res.KernelInstrs, kf*100, mean, res.LogFlushes, res.GroupedCommits, res.LockConflicts)
 }
 
 func TestDeterminism(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	run := func() (machine.Result, *cache.Stats) {
-		cfg := baseConfig(app, appL, kern, kernL)
-		ic := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 2})
-		cfg.Sinks = []trace.Sink{ic}
-		m, err := machine.New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := m.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res, ic.Stats()
-	}
-	r1, s1 := run()
-	r2, s2 := run()
-	if r1 != r2 {
-		t.Fatalf("results differ:\n%+v\n%+v", r1, r2)
-	}
-	if s1.Misses != s2.Misses || s1.Accesses != s2.Accesses {
-		t.Fatalf("cache stats differ: %d/%d vs %d/%d", s1.Misses, s1.Accesses, s2.Misses, s2.Accesses)
+	for _, name := range testWorkloads {
+		t.Run(name, func(t *testing.T) {
+			wl := smallWorkload(t, name)
+			app, appL, kern, kernL := testImages(t, wl)
+			run := func() (machine.Result, *cache.Stats) {
+				cfg := configFor(smallWorkload(t, name), app, appL, kern, kernL)
+				ic := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 2})
+				cfg.Sinks = []trace.Sink{ic}
+				m, err := machine.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, ic.Stats()
+			}
+			r1, s1 := run()
+			r2, s2 := run()
+			if r1 != r2 {
+				t.Fatalf("results differ:\n%+v\n%+v", r1, r2)
+			}
+			if s1.Misses != s2.Misses || s1.Accesses != s2.Accesses {
+				t.Fatalf("cache stats differ: %d/%d vs %d/%d", s1.Misses, s1.Accesses, s2.Misses, s2.Accesses)
+			}
+		})
 	}
 }
 
 func TestMultiCPUGroupCommitAndConflicts(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	cfg := baseConfig(app, appL, kern, kernL)
-	cfg.CPUs = 2
-	cfg.ProcsPerCPU = 8
-	cfg.Transactions = 150
-	m, err := machine.New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	for _, name := range testWorkloads {
+		t.Run(name, func(t *testing.T) {
+			cfg := testSetup(t, name)
+			cfg.CPUs = 2
+			cfg.ProcsPerCPU = 8
+			cfg.Transactions = 150
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != 150 {
+				t.Fatalf("committed = %d", res.Committed)
+			}
+			if res.GroupedCommits == 0 {
+				t.Fatal("no grouped commits with 16 processes — group commit broken")
+			}
+			if res.LogFlushes >= res.Committed {
+				t.Fatalf("flushes %d >= commits %d: grouping ineffective", res.LogFlushes, res.Committed)
+			}
+			t.Logf("flushes=%d grouped=%d conflicts=%d idle=%d",
+				res.LogFlushes, res.GroupedCommits, res.LockConflicts, res.IdleInstrs)
+		})
 	}
-	res, err := m.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Committed != 150 {
-		t.Fatalf("committed = %d", res.Committed)
-	}
-	if res.GroupedCommits == 0 {
-		t.Fatal("no grouped commits with 16 processes — group commit broken")
-	}
-	if res.LogFlushes >= res.Committed {
-		t.Fatalf("flushes %d >= commits %d: grouping ineffective", res.LogFlushes, res.Committed)
-	}
-	t.Logf("flushes=%d grouped=%d conflicts=%d idle=%d",
-		res.LogFlushes, res.GroupedCommits, res.LockConflicts, res.IdleInstrs)
 }
 
-// TestOptimizedLayoutRunsAndReducesMisses is the pipeline's headline sanity
-// check: profile → optimize("all") → re-run → database results unchanged,
-// instruction cache misses reduced.
-func TestOptimizedLayoutRunsAndReducesMisses(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-
-	// Profile run.
-	px := profile.NewPixie(app.Prog, "train")
-	cfg := baseConfig(app, appL, kern, kernL)
-	cfg.Seed = 100 // training seed differs from evaluation seed
-	cfg.AppCollector = px
-	m, err := machine.New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := m.Run(); err != nil {
-		t.Fatal(err)
-	}
-	if px.Profile.TotalBlocks() == 0 {
-		t.Fatal("empty profile")
-	}
-
-	// Optimize.
-	optL, rep, err := core.Optimize(app.Prog, px.Profile, core.Options{
-		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := optL.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	if rep.HotUnits == 0 {
-		t.Fatal("no hot units")
-	}
-
-	measure := func(l *program.Layout) (uint64, machine.Result) {
-		cfg := baseConfig(app, appL, kern, kernL)
-		cfg.AppLayout = l
-		ic := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Assoc: 1})
-		cfg.Sinks = []trace.Sink{trace.AppOnly(ic)}
+// TestOrderEntryRunsHotterLocks checks the design intent of the second
+// workload: with the same process count, the order-entry mix produces more
+// lock conflicts per committed transaction than TPC-B (it serializes on a
+// handful of warehouse/district rows).
+func TestOrderEntryRunsHotterLocks(t *testing.T) {
+	conflictRate := func(name string) float64 {
+		cfg := testSetup(t, name)
+		cfg.CPUs = 2
+		cfg.ProcsPerCPU = 8
+		cfg.Transactions = 150
 		m, err := machine.New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -194,29 +220,93 @@ func TestOptimizedLayoutRunsAndReducesMisses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return ic.Stats().Misses, res
+		return float64(res.LockConflicts) / float64(res.Committed)
 	}
-	baseMisses, baseRes := measure(appL)
-	optMisses, optRes := measure(optL)
-	if baseRes.Committed != optRes.Committed {
-		t.Fatalf("committed differ: %d vs %d", baseRes.Committed, optRes.Committed)
+	tb, oe := conflictRate("tpcb"), conflictRate("ordere")
+	t.Logf("lock conflicts per txn: tpcb=%.3f ordere=%.3f", tb, oe)
+	if oe <= tb {
+		t.Fatalf("order-entry not hotter on locks: tpcb=%.3f ordere=%.3f", tb, oe)
 	}
-	if optMisses >= baseMisses {
-		t.Fatalf("optimized layout did not reduce misses: base=%d opt=%d", baseMisses, optMisses)
-	}
-	t.Logf("misses: base=%d opt=%d (%.1f%% reduction); instr base=%d opt=%d",
-		baseMisses, optMisses, 100*(1-float64(optMisses)/float64(baseMisses)),
-		baseRes.AppInstrs, optRes.AppInstrs)
-	// Better packing also shortens the dynamic path (elided branches).
-	if optRes.AppInstrs > baseRes.AppInstrs {
-		t.Fatalf("optimized binary executed more instructions: %d > %d", optRes.AppInstrs, baseRes.AppInstrs)
+}
+
+// TestOptimizedLayoutRunsAndReducesMisses is the pipeline's headline sanity
+// check for both workloads: profile → optimize("all") → re-run → database
+// results unchanged, instruction cache misses reduced.
+func TestOptimizedLayoutRunsAndReducesMisses(t *testing.T) {
+	for _, name := range testWorkloads {
+		t.Run(name, func(t *testing.T) {
+			wl := smallWorkload(t, name)
+			app, appL, kern, kernL := testImages(t, wl)
+
+			// Profile run.
+			px := profile.NewPixie(app.Prog, "train")
+			cfg := configFor(wl, app, appL, kern, kernL)
+			cfg.Seed = 100 // training seed differs from evaluation seed
+			cfg.AppCollector = px
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if px.Profile.TotalBlocks() == 0 {
+				t.Fatal("empty profile")
+			}
+
+			// Optimize.
+			optL, rep, err := core.Optimize(app.Prog, px.Profile, core.Options{
+				Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := optL.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.HotUnits == 0 {
+				t.Fatal("no hot units")
+			}
+
+			measure := func(l *program.Layout) (uint64, machine.Result) {
+				cfg := configFor(wl, app, appL, kern, kernL)
+				cfg.AppLayout = l
+				ic := cache.New(cache.Config{SizeBytes: 16 << 10, LineBytes: 64, Assoc: 1})
+				cfg.Sinks = []trace.Sink{trace.AppOnly(ic)}
+				m, err := machine.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ic.Stats().Misses, res
+			}
+			baseMisses, baseRes := measure(appL)
+			optMisses, optRes := measure(optL)
+			if baseRes.Committed != optRes.Committed {
+				t.Fatalf("committed differ: %d vs %d", baseRes.Committed, optRes.Committed)
+			}
+			if optMisses >= baseMisses {
+				t.Fatalf("optimized layout did not reduce misses: base=%d opt=%d", baseMisses, optMisses)
+			}
+			t.Logf("misses: base=%d opt=%d (%.1f%% reduction); instr base=%d opt=%d",
+				baseMisses, optMisses, 100*(1-float64(optMisses)/float64(baseMisses)),
+				baseRes.AppInstrs, optRes.AppInstrs)
+			// Better packing also shortens the dynamic path (elided branches).
+			if optRes.AppInstrs > baseRes.AppInstrs {
+				t.Fatalf("optimized binary executed more instructions: %d > %d", optRes.AppInstrs, baseRes.AppInstrs)
+			}
+		})
 	}
 }
 
 func TestSequenceLengthImprovesWithChaining(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
+	wl := smallWorkload(t, "tpcb")
+	app, appL, kern, kernL := testImages(t, wl)
 	px := profile.NewPixie(app.Prog, "train")
-	cfg := baseConfig(app, appL, kern, kernL)
+	cfg := configFor(wl, app, appL, kern, kernL)
 	cfg.Seed = 100
 	cfg.AppCollector = px
 	m, err := machine.New(cfg)
@@ -231,7 +321,7 @@ func TestSequenceLengthImprovesWithChaining(t *testing.T) {
 		t.Fatal(err)
 	}
 	seqFor := func(l *program.Layout) float64 {
-		cfg := baseConfig(app, appL, kern, kernL)
+		cfg := configFor(wl, app, appL, kern, kernL)
 		cfg.AppLayout = l
 		seq := trace.NewSeqLen()
 		cfg.Sinks = []trace.Sink{trace.AppOnly(seq)}

@@ -28,41 +28,14 @@ func (m *Machine) Run() (Result, error) {
 		if steps > maxSchedulerSteps {
 			return m.res, fmt.Errorf("machine: scheduler step limit exceeded")
 		}
-		c := m.pickCPU()
-		if c == nil {
-			return m.res, fmt.Errorf("machine: deadlock — no runnable or waking process")
+		c, p, msg, err := m.step(nil)
+		if err != nil {
+			return m.res, err
 		}
-		m.wakeExpired(c)
-		if len(c.runq) == 0 {
-			// Idle until this CPU's next IO completion.
-			next := c.earliestWake()
-			if next <= c.clock {
-				continue
-			}
-			if m.measuring {
-				m.res.IdleInstrs += next - c.clock
-			}
-			c.idle += next - c.clock
-			c.clock = next
-			continue
+		if p == nil {
+			continue // clocks advanced past an idle gap
 		}
-		p := c.runq[0]
-		c.runq = c.runq[1:]
-		p.state = stRunning
-		p.budget = int64(m.cfg.QuantumInstr)
-		c.current = p
-		p.resume <- cmdRun
-		msg := <-p.yield
-		c.current = nil
-		if msg.kind == yDead {
-			p.state = stDead
-			if msg.panicMsg != "" {
-				return m.res, fmt.Errorf("machine: process %d panicked: %s", p.id, msg.panicMsg)
-			}
-			return m.res, fmt.Errorf("machine: process %d exited unexpectedly", p.id)
-		}
-		switch msg.kind {
-		case yTxnDone:
+		if msg.kind == yTxnDone {
 			if m.measuring {
 				m.committed++
 			} else {
@@ -75,18 +48,6 @@ func (m *Machine) Run() (Result, error) {
 			// Processes continue until they block; front of queue keeps the
 			// cache-warm process running, as a real scheduler would.
 			c.runq = append([]*proc{p}, c.runq...)
-		case yQuantum:
-			c.kern.RunAuto(kernel.SvcSwitch)
-			p.state = stRunnable
-			c.runq = append(c.runq, p)
-		case yBlockIO:
-			p.state = stBlockedIO
-			p.wakeAt = c.clock + msg.ioDelay
-			c.blocked = append(c.blocked, p)
-			c.kern.RunAuto(kernel.SvcSwitch)
-		case yWait:
-			p.state = stBlockedWait
-			c.kern.RunAuto(kernel.SvcSwitch)
 		}
 	}
 
@@ -96,12 +57,120 @@ func (m *Machine) Run() (Result, error) {
 	m.res.LockConflicts = m.eng.Locks.Conflicts
 	m.res.BufMisses = m.eng.Pool.Misses
 	m.res.BusyInstrs = m.res.AppInstrs + m.res.KernelInstrs
+	// Quiesce: run every surviving process to its next transaction boundary
+	// outside the measured phase, so the database holds no in-flight
+	// transactions (workload invariant checks audit a consistent state, the
+	// way TPC consistency audits run against a quiesced system). Result
+	// fields are captured above, so drained work does not perturb them.
+	m.measuring = false
+	if err := m.drain(); err != nil {
+		return m.res, err
+	}
 	for _, s := range m.cfg.Sinks {
 		if f, ok := s.(trace.Flusher); ok {
 			f.Flush()
 		}
 	}
 	return m.res, nil
+}
+
+// step performs one scheduler decision: it picks the CPU with the earliest
+// event, wakes expired IO, advances clocks past idle gaps, and runs the next
+// runnable process (not matched by skip) to its yield. Blocking yields
+// (quantum, IO, waits) are handled here; yTxnDone is returned for the caller
+// to place the process. A nil proc with nil error means only clocks moved or
+// a skipped process was discarded — the caller should loop.
+func (m *Machine) step(skip func(*proc) bool) (*cpu, *proc, yieldMsg, error) {
+	var none yieldMsg
+	c := m.pickCPU()
+	if c == nil {
+		return nil, nil, none, fmt.Errorf("machine: deadlock — no runnable or waking process")
+	}
+	m.wakeExpired(c)
+	if len(c.runq) == 0 {
+		// Idle until this CPU's next IO completion.
+		next := c.earliestWake()
+		if next > c.clock {
+			if m.measuring {
+				m.res.IdleInstrs += next - c.clock
+			}
+			c.idle += next - c.clock
+			c.clock = next
+		}
+		return c, nil, none, nil
+	}
+	p := c.runq[0]
+	c.runq = c.runq[1:]
+	if skip != nil && skip(p) {
+		return c, nil, none, nil
+	}
+	p.state = stRunning
+	p.budget = int64(m.cfg.QuantumInstr)
+	c.current = p
+	p.resume <- cmdRun
+	msg := <-p.yield
+	c.current = nil
+	switch msg.kind {
+	case yDead:
+		p.state = stDead
+		if msg.panicMsg != "" {
+			return c, nil, none, fmt.Errorf("machine: process %d panicked: %s", p.id, msg.panicMsg)
+		}
+		return c, nil, none, fmt.Errorf("machine: process %d exited unexpectedly", p.id)
+	case yQuantum:
+		c.kern.RunAuto(kernel.SvcSwitch)
+		p.state = stRunnable
+		c.runq = append(c.runq, p)
+	case yBlockIO:
+		p.state = stBlockedIO
+		p.wakeAt = c.clock + msg.ioDelay
+		c.blocked = append(c.blocked, p)
+		c.kern.RunAuto(kernel.SvcSwitch)
+	case yWait:
+		p.state = stBlockedWait
+		c.kern.RunAuto(kernel.SvcSwitch)
+	}
+	return c, p, msg, nil
+}
+
+// drain continues deterministic scheduling until every live process parks at
+// a transaction boundary. Processes reaching the boundary are not requeued;
+// strict 2PL guarantees they hold no locks there, so the rest keep making
+// progress.
+func (m *Machine) drain() error {
+	parked := make(map[*proc]bool, len(m.procs))
+	// Processes with no transaction in flight are already at a boundary
+	// (strict 2PL: no locks, no undo); only mid-transaction processes run.
+	for _, p := range m.procs {
+		if p.state != stDead && p.sess.Txn() == nil {
+			parked[p] = true
+		}
+	}
+	atBoundary := func() bool {
+		for _, p := range m.procs {
+			if p.state != stDead && !parked[p] {
+				return false
+			}
+		}
+		return true
+	}
+	steps := 0
+	for !atBoundary() {
+		steps++
+		if steps > maxSchedulerSteps {
+			return fmt.Errorf("machine: drain step limit exceeded")
+		}
+		// Processes woken after parking stay at their boundary.
+		_, p, msg, err := m.step(func(p *proc) bool { return parked[p] })
+		if err != nil {
+			return fmt.Errorf("%w (while draining to quiescence)", err)
+		}
+		if p != nil && msg.kind == yTxnDone {
+			p.state = stRunnable
+			parked[p] = true
+		}
+	}
+	return nil
 }
 
 // pickCPU returns the CPU with the earliest next event (runnable process or

@@ -8,9 +8,10 @@ import (
 )
 
 func TestWarmupExcludedFromMeasurement(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
+	wl := smallWorkload(t, "tpcb")
+	app, appL, kern, kernL := testImages(t, wl)
 	run := func(warmup int) machine.Result {
-		cfg := baseConfig(app, appL, kern, kernL)
+		cfg := configFor(wl, app, appL, kern, kernL)
 		cfg.WarmupTxns = warmup
 		cfg.Transactions = 30
 		m, err := machine.New(cfg)
@@ -37,8 +38,9 @@ func TestWarmupExcludedFromMeasurement(t *testing.T) {
 }
 
 func TestTimerInterruptsInjectKernelCode(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	cfg := baseConfig(app, appL, kern, kernL)
+	wl := smallWorkload(t, "tpcb")
+	app, appL, kern, kernL := testImages(t, wl)
+	cfg := configFor(wl, app, appL, kern, kernL)
 	cfg.TimerIntervalInstr = 20_000 // very frequent timer
 	var cnt trace.Counter
 	cfg.Sinks = []trace.Sink{trace.KernelOnly(&cnt)}
@@ -50,7 +52,7 @@ func TestTimerInterruptsInjectKernelCode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg2 := baseConfig(app, appL, kern, kernL)
+	cfg2 := configFor(wl, app, appL, kern, kernL)
 	cfg2.TimerIntervalInstr = 100_000_000 // effectively no timer
 	var cnt2 trace.Counter
 	cfg2.Sinks = []trace.Sink{trace.KernelOnly(&cnt2)}
@@ -72,8 +74,9 @@ func TestTimerInterruptsInjectKernelCode(t *testing.T) {
 }
 
 func TestQuantumForcesContextSwitches(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	cfg := baseConfig(app, appL, kern, kernL)
+	wl := smallWorkload(t, "tpcb")
+	app, appL, kern, kernL := testImages(t, wl)
+	cfg := configFor(wl, app, appL, kern, kernL)
 	cfg.QuantumInstr = 5_000 // tiny quantum: constant preemption
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -99,8 +102,9 @@ func TestMachineRequiresImages(t *testing.T) {
 }
 
 func TestIdleAccountedWhenProcsBlock(t *testing.T) {
-	app, appL, kern, kernL := testImages(t)
-	cfg := baseConfig(app, appL, kern, kernL)
+	wl := smallWorkload(t, "tpcb")
+	app, appL, kern, kernL := testImages(t, wl)
+	cfg := configFor(wl, app, appL, kern, kernL)
 	cfg.ProcsPerCPU = 1 // a single process: every log write idles the CPU
 	cfg.LogWriteDelayInstr = 500_000
 	m, err := machine.New(cfg)
@@ -116,7 +120,7 @@ func TestIdleAccountedWhenProcsBlock(t *testing.T) {
 	}
 	// With 4 processes the same config should overlap I/O and idle less
 	// per transaction.
-	cfg2 := baseConfig(app, appL, kern, kernL)
+	cfg2 := configFor(wl, app, appL, kern, kernL)
 	cfg2.ProcsPerCPU = 6
 	cfg2.LogWriteDelayInstr = 500_000
 	m2, err := machine.New(cfg2)

@@ -1,0 +1,49 @@
+package ordere_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
+	"codelayout/internal/db"
+	"codelayout/internal/ordere"
+	"codelayout/internal/program"
+)
+
+// TestDefaultScaleConformance drives thousands of transactions at the
+// default (paper) scale through an emitter-bound session, deep enough for
+// every B-tree to split repeatedly mid-run — a regression test for
+// probe/model drift that only appears past the quick scales.
+func TestDefaultScaleConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long conformance run in -short mode")
+	}
+	wl := ordere.New()
+	img, err := appmodel.Build(appmodel.Config{Seed: 2001, LibScale: 0.25, ColdWords: 100_000, Workload: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := program.BaselineLayout(img.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := codegen.NewEmitter(img, l, 3)
+	em.Sink = func(uint64, int32) {}
+	eng := db.NewEngine(db.Config{BufferPoolPages: wl.DataPages() + 4096})
+	inst, err := wl.Load(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession(1, em)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		inst.RunTxn(s, inst.GenInput(r))
+		if !em.Idle() {
+			t.Fatalf("txn %d: emitter not idle", i)
+		}
+	}
+	if err := inst.Check(eng.NewSession(2, nil)); err != nil {
+		t.Fatal(err)
+	}
+}

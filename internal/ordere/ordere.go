@@ -1,0 +1,495 @@
+// Package ordere implements a TPC-C-inspired order-entry workload over the
+// internal/db storage engine: a mix of New-Order transactions (multi-row
+// inserts into order and order-line tables with a range scan summing the
+// just-written lines) and Payment transactions (warehouse/district/customer
+// cascading updates plus a history append).
+//
+// Its hot footprint is deliberately different from TPC-B's: B-tree inserts
+// and leaf-chain range scans dominate over point updates, transactions touch
+// 10-40 rows instead of 4, and the lock manager runs much hotter (every
+// transaction serializes on one of Warehouses*Districts district rows or one
+// of Warehouses warehouse rows). Layout passes trained on one workload can
+// therefore be stress-tested on a genuinely different profile.
+package ordere
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+// Scale configures database size.
+type Scale struct {
+	Warehouses            int
+	DistrictsPerWarehouse int
+	CustomersPerDistrict  int
+	Items                 int // stock rows = Warehouses * Items
+}
+
+// DefaultScale sizes the database in the same spirit as the paper's scaled
+// 900 MB TPC-B setup: big enough that the engine's hot paths behave like a
+// cached OLTP database, small enough to simulate.
+func DefaultScale() Scale {
+	return Scale{Warehouses: 8, DistrictsPerWarehouse: 10, CustomersPerDistrict: 300, Items: 2000}
+}
+
+// Lock key spaces, in global acquisition order (warehouse before district
+// before customer before stock), which precludes deadlock cycles: every
+// transaction acquires at most one lock per space except stock, whose keys
+// are sorted ascending per transaction.
+const (
+	lockSpaceWarehouse = 10
+	lockSpaceDistrict  = 11
+	lockSpaceCustomer  = 12
+	lockSpaceStock     = 13
+)
+
+const (
+	rowBytes     = 100
+	historyBytes = 50
+
+	// MaxLines is the largest order-line count; line numbers 1..MaxLines
+	// pack under one order key with a stride of lineStride.
+	MaxLines   = 15
+	lineStride = 16
+)
+
+// Row field helpers: fixed 100-byte rows with four u64 fields.
+func encodeRow(f0, f1 uint64, f2, f3 int64) []byte {
+	row := make([]byte, rowBytes)
+	binary.LittleEndian.PutUint64(row[0:], f0)
+	binary.LittleEndian.PutUint64(row[8:], f1)
+	binary.LittleEndian.PutUint64(row[16:], uint64(f2))
+	binary.LittleEndian.PutUint64(row[24:], uint64(f3))
+	return row
+}
+
+func rowF2(row []byte) int64       { return int64(binary.LittleEndian.Uint64(row[16:])) }
+func rowSetF2(row []byte, v int64) { binary.LittleEndian.PutUint64(row[16:], uint64(v)) }
+func rowF3(row []byte) int64       { return int64(binary.LittleEndian.Uint64(row[24:])) }
+func rowSetF3(row []byte, v int64) { binary.LittleEndian.PutUint64(row[24:], uint64(v)) }
+
+// Bench is a loaded order-entry database.
+type Bench struct {
+	Eng   *db.Engine
+	Scale Scale
+
+	WhTable    *db.Table
+	DistTable  *db.Table
+	CustTable  *db.Table
+	StockTable *db.Table
+	OrderTable *db.Table
+	LineTable  *db.Table
+	HistTable  *db.Table
+
+	Customers  *db.BTree // customer global id -> RID
+	StockIdx   *db.BTree // warehouse*Items + item -> RID
+	Orders     *db.BTree // order key -> RID
+	OrderLines *db.BTree // order key * lineStride + line -> RID
+
+	whRID   []db.RID
+	distRID []db.RID
+}
+
+// Load creates and populates the database through an uninstrumented session
+// and leaves it checkpointed, like tpcb.Load.
+func Load(eng *db.Engine, sc Scale) (*Bench, error) {
+	if sc.Warehouses <= 0 || sc.DistrictsPerWarehouse <= 0 ||
+		sc.CustomersPerDistrict <= 0 || sc.Items <= 0 {
+		return nil, fmt.Errorf("ordere: bad scale %+v", sc)
+	}
+	m := &Bench{Eng: eng, Scale: sc}
+	s := eng.NewSession(0, nil)
+
+	m.WhTable = eng.CreateTable("warehouse")
+	m.DistTable = eng.CreateTable("district")
+	m.CustTable = eng.CreateTable("customer")
+	m.StockTable = eng.CreateTable("stock")
+	m.OrderTable = eng.CreateTable("orders")
+	m.LineTable = eng.CreateTable("order_line")
+	m.HistTable = eng.CreateTable("oe_history")
+	m.Customers = eng.CreateBTree("customer_pk")
+	m.StockIdx = eng.CreateBTree("stock_pk")
+	m.Orders = eng.CreateBTree("order_pk")
+	m.OrderLines = eng.CreateBTree("order_line_pk")
+
+	for w := 0; w < sc.Warehouses; w++ {
+		rid := m.WhTable.Insert(s, encodeRow(uint64(w), uint64(w), 0, 0))
+		m.whRID = append(m.whRID, rid)
+	}
+	for dg := 0; dg < sc.Warehouses*sc.DistrictsPerWarehouse; dg++ {
+		wh := uint64(dg / sc.DistrictsPerWarehouse)
+		// f3 is d_next_o_id, starting at 1.
+		rid := m.DistTable.Insert(s, encodeRow(uint64(dg), wh, 0, 1))
+		m.distRID = append(m.distRID, rid)
+	}
+	for cg := 0; cg < m.NumCustomers(); cg++ {
+		dg := uint64(cg / sc.CustomersPerDistrict)
+		rid := m.CustTable.Insert(s, encodeRow(uint64(cg), dg, 0, 0))
+		if err := m.Customers.Insert(s, uint64(cg), rid.Pack()); err != nil {
+			return nil, err
+		}
+	}
+	for sk := 0; sk < sc.Warehouses*sc.Items; sk++ {
+		wh := uint64(sk / sc.Items)
+		rid := m.StockTable.Insert(s, encodeRow(uint64(sk), wh, 100, 0))
+		if err := m.StockIdx.Insert(s, uint64(sk), rid.Pack()); err != nil {
+			return nil, err
+		}
+	}
+	eng.Pool.FlushAll()
+	eng.WAL.MarkFlushed(eng.WAL.CurrentLSN())
+	return m, nil
+}
+
+// NumCustomers returns the total customer count.
+func (m *Bench) NumCustomers() int {
+	return m.Scale.Warehouses * m.Scale.DistrictsPerWarehouse * m.Scale.CustomersPerDistrict
+}
+
+// NumDistricts returns the total district count.
+func (m *Bench) NumDistricts() int {
+	return m.Scale.Warehouses * m.Scale.DistrictsPerWarehouse
+}
+
+// Kind selects the transaction type.
+type Kind int
+
+const (
+	// NewOrder inserts an order with 5-15 lines and updates stock rows.
+	NewOrder Kind = iota
+	// Payment applies an amount to a warehouse, district and customer.
+	Payment
+)
+
+// Line is one requested order line.
+type Line struct {
+	Item uint64
+	Qty  int64
+}
+
+// Input is one transaction request from a client.
+type Input struct {
+	Kind      Kind
+	Warehouse uint64
+	District  uint64 // within the warehouse
+	Customer  uint64 // within the district
+	Lines     []Line // New-Order only; items sorted ascending, deduplicated
+	Amount    int64  // Payment only
+}
+
+// newOrderPct is the New-Order share of the mix (the rest are Payments).
+const newOrderPct = 60
+
+// Gen draws one request: 60% New-Order / 40% Payment, uniform warehouse,
+// district and customer, 5-15 uniformly drawn items per order.
+func (m *Bench) Gen(r *rand.Rand) Input {
+	sc := m.Scale
+	in := Input{
+		Warehouse: uint64(r.Intn(sc.Warehouses)),
+		District:  uint64(r.Intn(sc.DistrictsPerWarehouse)),
+		Customer:  uint64(r.Intn(sc.CustomersPerDistrict)),
+	}
+	if r.Intn(100) < newOrderPct {
+		in.Kind = NewOrder
+		n := 5 + r.Intn(MaxLines-4)
+		seen := make(map[uint64]bool, n)
+		for i := 0; i < n; i++ {
+			item := uint64(r.Intn(sc.Items))
+			if seen[item] {
+				continue // dedupe: one stock row per item per order
+			}
+			seen[item] = true
+			in.Lines = append(in.Lines, Line{Item: item, Qty: 1 + r.Int63n(10)})
+		}
+		// Ascending item order keeps stock lock acquisition deadlock-free.
+		sort.Slice(in.Lines, func(i, j int) bool { return in.Lines[i].Item < in.Lines[j].Item })
+	} else {
+		in.Kind = Payment
+		in.Amount = 1 + r.Int63n(5000)
+	}
+	return in
+}
+
+// GenInput implements workload.Instance.
+func (m *Bench) GenInput(r *rand.Rand) workload.Input { return m.Gen(r) }
+
+// RunTxn implements workload.Instance; in must come from GenInput.
+func (m *Bench) RunTxn(s *db.Session, in workload.Input) {
+	req := in.(Input)
+	if req.Kind == NewOrder {
+		m.runNewOrder(s, req)
+	} else {
+		m.runPayment(s, req)
+	}
+}
+
+func (m *Bench) distGlobal(in Input) uint64 {
+	return in.Warehouse*uint64(m.Scale.DistrictsPerWarehouse) + in.District
+}
+
+func (m *Bench) custGlobal(in Input) uint64 {
+	return m.distGlobal(in)*uint64(m.Scale.CustomersPerDistrict) + in.Customer
+}
+
+// orderKey packs (district, per-district order id) into one index key.
+func orderKey(distGlobal, oid uint64) uint64 { return distGlobal<<24 | oid }
+
+// linePrice is the unit price of an item (a fixed pseudo-catalog).
+func linePrice(item uint64) int64 { return int64(1 + item%100) }
+
+// ---- New-Order ----
+
+func (m *Bench) runNewOrder(s *db.Session, in Input) {
+	s.PB.Enter("neworder_txn")
+	defer s.PB.Leave("neworder_txn")
+	s.PB.Data(s.ScratchAddr(1024), 320, true) // parsed request / order build area
+	s.Begin()
+	oid := m.noDistrict(s, in)
+	m.noCustomer(s, in)
+	for _, ln := range in.Lines {
+		s.PB.Branch("no_line", true)
+		m.noStock(s, in.Warehouse, ln)
+	}
+	s.PB.Branch("no_line", false)
+	okey := orderKey(m.distGlobal(in), oid)
+	orid := m.noInsert(s, in, okey)
+	m.noTotal(s, okey, orid)
+	s.Commit()
+}
+
+// noDistrict locks the district row and allocates the order id from its
+// d_next_o_id field — the hot serialization point of the workload.
+func (m *Bench) noDistrict(s *db.Session, in Input) uint64 {
+	s.PB.Enter("no_district")
+	defer s.PB.Leave("no_district")
+	s.PB.Data(s.ScratchAddr(0), 192, true)
+	dg := m.distGlobal(in)
+	s.LockX(db.LockKey(lockSpaceDistrict, dg))
+	rid := m.distRID[dg]
+	row := m.DistTable.Fetch(s, rid)
+	oid := uint64(rowF3(row))
+	rowSetF3(row, int64(oid)+1)
+	s.PB.Data(s.ScratchAddr(256), 128, true)
+	m.DistTable.Update(s, rid, row)
+	return oid
+}
+
+// noCustomer reads the ordering customer under a shared lock.
+func (m *Bench) noCustomer(s *db.Session, in Input) {
+	s.PB.Enter("no_customer")
+	defer s.PB.Leave("no_customer")
+	cg := m.custGlobal(in)
+	packed, ok := m.Customers.Search(s, cg)
+	if !ok {
+		panic(fmt.Sprintf("ordere: customer %d missing", cg))
+	}
+	s.LockS(db.LockKey(lockSpaceCustomer, cg))
+	m.CustTable.Fetch(s, db.UnpackRID(packed))
+	s.PB.Data(s.ScratchAddr(384), 128, true)
+}
+
+// noStock decrements one item's stock quantity, restocking TPC-C style when
+// it runs low.
+func (m *Bench) noStock(s *db.Session, warehouse uint64, ln Line) {
+	s.PB.Enter("no_stock")
+	defer s.PB.Leave("no_stock")
+	skey := warehouse*uint64(m.Scale.Items) + ln.Item
+	packed, ok := m.StockIdx.Search(s, skey)
+	if !ok {
+		panic(fmt.Sprintf("ordere: stock %d missing", skey))
+	}
+	s.LockX(db.LockKey(lockSpaceStock, skey))
+	rid := db.UnpackRID(packed)
+	row := m.StockTable.Fetch(s, rid)
+	qty := rowF2(row) - ln.Qty
+	if qty < 10 {
+		qty += 91
+	}
+	rowSetF2(row, qty)
+	rowSetF3(row, rowF3(row)+ln.Qty)
+	s.PB.Data(s.ScratchAddr(512), 128, true)
+	m.StockTable.Update(s, rid, row)
+}
+
+// noInsert writes the order row and its order lines, maintaining both
+// B-tree indexes, and returns the order row's RID.
+func (m *Bench) noInsert(s *db.Session, in Input, okey uint64) db.RID {
+	s.PB.Enter("no_order")
+	defer s.PB.Leave("no_order")
+	orid := m.OrderTable.Insert(s, encodeRow(okey, m.custGlobal(in), 0, int64(len(in.Lines))))
+	if err := m.Orders.Insert(s, okey, orid.Pack()); err != nil {
+		panic(err)
+	}
+	for i, ln := range in.Lines {
+		s.PB.Branch("no_insline", true)
+		lkey := okey*lineStride + uint64(i+1)
+		amount := linePrice(ln.Item) * ln.Qty
+		lrid := m.LineTable.Insert(s, encodeRow(lkey, ln.Item, amount, ln.Qty))
+		s.PB.Data(s.ScratchAddr(640), 96, true)
+		if err := m.OrderLines.Insert(s, lkey, lrid.Pack()); err != nil {
+			panic(err)
+		}
+	}
+	s.PB.Branch("no_insline", false)
+	return orid
+}
+
+// noTotal range-scans the order's lines off the order-line index, sums their
+// amounts and writes the total back to the order row.
+func (m *Bench) noTotal(s *db.Session, okey uint64, orid db.RID) {
+	s.PB.Enter("no_total")
+	defer s.PB.Leave("no_total")
+	var rids []db.RID
+	m.OrderLines.ScanRange(s, okey*lineStride+1, okey*lineStride+MaxLines,
+		func(_, val uint64) bool {
+			rids = append(rids, db.UnpackRID(val))
+			return true
+		})
+	var total int64
+	for _, rid := range rids {
+		s.PB.Branch("no_sum", true)
+		total += rowF2(m.LineTable.Fetch(s, rid))
+	}
+	s.PB.Branch("no_sum", false)
+	row := m.OrderTable.Fetch(s, orid)
+	rowSetF2(row, total)
+	s.PB.Data(s.ScratchAddr(768), 128, true)
+	m.OrderTable.Update(s, orid, row)
+}
+
+// ---- Payment ----
+
+func (m *Bench) runPayment(s *db.Session, in Input) {
+	s.PB.Enter("payment_txn")
+	defer s.PB.Leave("payment_txn")
+	s.PB.Data(s.ScratchAddr(1024), 256, true)
+	s.Begin()
+	m.payWarehouse(s, in)
+	m.payDistrict(s, in)
+	m.payCustomer(s, in)
+	m.payHistory(s, in)
+	s.Commit()
+}
+
+func (m *Bench) payWarehouse(s *db.Session, in Input) {
+	s.PB.Enter("pay_warehouse")
+	defer s.PB.Leave("pay_warehouse")
+	s.LockX(db.LockKey(lockSpaceWarehouse, in.Warehouse))
+	rid := m.whRID[in.Warehouse]
+	row := m.WhTable.Fetch(s, rid)
+	rowSetF2(row, rowF2(row)+in.Amount)
+	s.PB.Data(s.ScratchAddr(0), 128, true)
+	m.WhTable.Update(s, rid, row)
+}
+
+func (m *Bench) payDistrict(s *db.Session, in Input) {
+	s.PB.Enter("pay_district")
+	defer s.PB.Leave("pay_district")
+	dg := m.distGlobal(in)
+	s.LockX(db.LockKey(lockSpaceDistrict, dg))
+	rid := m.distRID[dg]
+	row := m.DistTable.Fetch(s, rid)
+	rowSetF2(row, rowF2(row)+in.Amount)
+	s.PB.Data(s.ScratchAddr(256), 128, true)
+	m.DistTable.Update(s, rid, row)
+}
+
+func (m *Bench) payCustomer(s *db.Session, in Input) {
+	s.PB.Enter("pay_customer")
+	defer s.PB.Leave("pay_customer")
+	cg := m.custGlobal(in)
+	packed, ok := m.Customers.Search(s, cg)
+	if !ok {
+		panic(fmt.Sprintf("ordere: customer %d missing", cg))
+	}
+	s.LockX(db.LockKey(lockSpaceCustomer, cg))
+	rid := db.UnpackRID(packed)
+	row := m.CustTable.Fetch(s, rid)
+	rowSetF2(row, rowF2(row)+in.Amount)
+	s.PB.Data(s.ScratchAddr(512), 128, true)
+	m.CustTable.Update(s, rid, row)
+}
+
+func (m *Bench) payHistory(s *db.Session, in Input) {
+	s.PB.Enter("pay_history")
+	defer s.PB.Leave("pay_history")
+	rec := make([]byte, historyBytes)
+	binary.LittleEndian.PutUint64(rec[0:], m.custGlobal(in))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(in.Amount))
+	binary.LittleEndian.PutUint64(rec[16:], s.Txn().ID)
+	m.HistTable.Insert(s, rec)
+}
+
+// ---- Verification ----
+
+// WarehouseYTD reads a warehouse's year-to-date total (verification).
+func (m *Bench) WarehouseYTD(s *db.Session, w uint64) int64 {
+	return rowF2(m.WhTable.Fetch(s, m.whRID[w]))
+}
+
+// DistrictYTD reads a district's year-to-date total (verification).
+func (m *Bench) DistrictYTD(s *db.Session, dg uint64) int64 {
+	return rowF2(m.DistTable.Fetch(s, m.distRID[dg]))
+}
+
+// CustomerBalance reads a customer balance (verification).
+func (m *Bench) CustomerBalance(s *db.Session, cg uint64) int64 {
+	packed, ok := m.Customers.Search(s, cg)
+	if !ok {
+		panic(fmt.Sprintf("ordere: customer %d missing", cg))
+	}
+	return rowF2(m.CustTable.Fetch(s, db.UnpackRID(packed)))
+}
+
+// Check implements workload.Instance: every order's total equals the sum of
+// its order-line amounts with the recorded line count, and payment flows are
+// conserved (warehouse YTD = sum of district YTDs = sum of customer
+// balances).
+func (m *Bench) Check(s *db.Session) error {
+	type ref struct {
+		key uint64
+		rid db.RID
+	}
+	var orders []ref
+	m.Orders.ScanRange(s, 0, ^uint64(0), func(key, val uint64) bool {
+		orders = append(orders, ref{key, db.UnpackRID(val)})
+		return true
+	})
+	for _, o := range orders {
+		row := m.OrderTable.Fetch(s, o.rid)
+		var sum int64
+		lines := 0
+		m.OrderLines.ScanRange(s, o.key*lineStride+1, o.key*lineStride+MaxLines,
+			func(_, val uint64) bool {
+				sum += rowF2(m.LineTable.Fetch(s, db.UnpackRID(val)))
+				lines++
+				return true
+			})
+		if sum != rowF2(row) {
+			return fmt.Errorf("ordere: order %d total %d, lines sum to %d", o.key, rowF2(row), sum)
+		}
+		if int64(lines) != rowF3(row) {
+			return fmt.Errorf("ordere: order %d records %d lines, index has %d", o.key, rowF3(row), lines)
+		}
+	}
+	var whTotal, distTotal, custTotal int64
+	for w := 0; w < m.Scale.Warehouses; w++ {
+		whTotal += m.WarehouseYTD(s, uint64(w))
+	}
+	for dg := 0; dg < m.NumDistricts(); dg++ {
+		distTotal += m.DistrictYTD(s, uint64(dg))
+	}
+	for cg := 0; cg < m.NumCustomers(); cg++ {
+		custTotal += m.CustomerBalance(s, uint64(cg))
+	}
+	if whTotal != distTotal || custTotal != whTotal {
+		return fmt.Errorf("ordere: payment flow diverged: warehouses=%d districts=%d customers=%d",
+			whTotal, distTotal, custTotal)
+	}
+	return nil
+}

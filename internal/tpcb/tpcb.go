@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"codelayout/internal/db"
+	"codelayout/internal/workload"
 )
 
 // Scale configures database size.
@@ -135,9 +136,9 @@ type Input struct {
 	Delta   int64
 }
 
-// GenInput draws a TPC-B request: uniform teller, uniform account, delta in
+// Gen draws a TPC-B request: uniform teller, uniform account, delta in
 // [-999999, +999999]. The branch is the teller's branch.
-func (b *Bench) GenInput(r *rand.Rand) Input {
+func (b *Bench) Gen(r *rand.Rand) Input {
 	teller := uint64(r.Intn(b.NumTellers()))
 	return Input{
 		Account: uint64(r.Intn(b.NumAccounts())),
@@ -147,10 +148,39 @@ func (b *Bench) GenInput(r *rand.Rand) Input {
 	}
 }
 
-// RunTxn executes one TPC-B transaction on the session and returns the new
+// GenInput implements workload.Instance.
+func (b *Bench) GenInput(r *rand.Rand) workload.Input { return b.Gen(r) }
+
+// RunTxn implements workload.Instance; in must come from GenInput.
+func (b *Bench) RunTxn(s *db.Session, in workload.Input) {
+	b.Run(s, in.(Input))
+}
+
+// Check implements workload.Instance: TPC-B balance conservation. Every
+// transaction applies one delta to one account, one teller and one branch,
+// so the three totals must agree.
+func (b *Bench) Check(s *db.Session) error {
+	var accounts, tellers, branches int64
+	for a := 0; a < b.NumAccounts(); a++ {
+		accounts += b.AccountBalance(s, uint64(a))
+	}
+	for t := 0; t < b.NumTellers(); t++ {
+		tellers += b.TellerBalance(s, uint64(t))
+	}
+	for br := 0; br < b.Scale.Branches; br++ {
+		branches += b.BranchBalance(s, uint64(br))
+	}
+	if accounts != branches || tellers != branches {
+		return fmt.Errorf("tpcb: balances diverged: accounts=%d tellers=%d branches=%d",
+			accounts, tellers, branches)
+	}
+	return nil
+}
+
+// Run executes one TPC-B transaction on the session and returns the new
 // account balance. This is the instrumented top-level entry whose model is
 // the root of the application's call graph.
-func (b *Bench) RunTxn(s *db.Session, in Input) int64 {
+func (b *Bench) Run(s *db.Session, in Input) int64 {
 	s.PB.Enter("tpcb_txn")
 	defer s.PB.Leave("tpcb_txn")
 	s.PB.Data(s.ScratchAddr(1024), 256, true) // parsed request / session state

@@ -6,6 +6,7 @@ import (
 
 	"codelayout/internal/db"
 	"codelayout/internal/tpcb"
+	"codelayout/internal/workload"
 )
 
 func load(t *testing.T, sc tpcb.Scale) (*tpcb.Bench, *db.Session) {
@@ -43,7 +44,7 @@ func TestTransactionsBalance(t *testing.T) {
 	perTeller := make(map[uint64]int64)
 	perAccount := make(map[uint64]int64)
 	for i := 0; i < 300; i++ {
-		in := b.GenInput(r)
+		in := b.Gen(r)
 		b.RunTxn(s, in)
 		total += in.Delta
 		perBranch[in.Branch] += in.Delta
@@ -81,7 +82,7 @@ func TestHistoryGrows(t *testing.T) {
 	b, s := load(t, smallScale())
 	r := rand.New(rand.NewSource(2))
 	for i := 0; i < 50; i++ {
-		b.RunTxn(s, b.GenInput(r))
+		b.RunTxn(s, b.Gen(r))
 	}
 	if len(b.HistTable.Pages) == 0 {
 		t.Fatal("no history pages")
@@ -97,7 +98,7 @@ func TestRecoveryAfterWorkload(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	want := make(map[uint64]int64)
 	for i := 0; i < 100; i++ {
-		in := b.GenInput(r)
+		in := b.Gen(r)
 		b.RunTxn(s, in)
 		want[in.Account] += in.Delta
 	}
@@ -135,11 +136,69 @@ func uint64le(b []byte) uint64 {
 	return v
 }
 
+// TestCheckInvariant exercises the workload.Instance invariant checker:
+// clean after transactions, failing after corruption.
+func TestCheckInvariant(t *testing.T) {
+	b, s := load(t, smallScale())
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		b.RunTxn(s, b.Gen(r))
+	}
+	if err := b.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one teller balance behind the workload's back; Check must
+	// notice the conservation break.
+	packed, ok := b.Tellers.Search(s, 0)
+	if !ok {
+		t.Fatal("teller 0 missing")
+	}
+	rid := db.UnpackRID(packed)
+	row := b.TellerTable.Fetch(s, rid)
+	row[16] ^= 0xFF
+	b.TellerTable.Update(s, rid, row)
+	if err := b.Check(s); err == nil {
+		t.Fatal("Check missed a corrupted teller balance")
+	}
+}
+
+// TestWorkloadAdapter covers the workload seam: registry resolution, quick
+// scaling, and page estimation.
+func TestWorkloadAdapter(t *testing.T) {
+	wl, err := workload.New("tpcb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Name() != "tpcb" {
+		t.Fatalf("name = %q", wl.Name())
+	}
+	q := wl.QuickScale()
+	if q.DataPages() >= wl.DataPages() {
+		t.Fatalf("quick scale not smaller: %d vs %d", q.DataPages(), wl.DataPages())
+	}
+	eng := db.NewEngine(db.Config{BufferPoolPages: q.DataPages() + 4096})
+	inst, err := q.Load(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession(1, nil)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 20; i++ {
+		inst.RunTxn(s, inst.GenInput(r))
+	}
+	if err := inst.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.New("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
 func TestGenInputRanges(t *testing.T) {
 	b, _ := load(t, smallScale())
 	r := rand.New(rand.NewSource(4))
 	for i := 0; i < 1000; i++ {
-		in := b.GenInput(r)
+		in := b.Gen(r)
 		if in.Account >= uint64(b.NumAccounts()) {
 			t.Fatalf("account %d out of range", in.Account)
 		}

@@ -1,0 +1,93 @@
+package tpcb
+
+import (
+	"codelayout/internal/codegen"
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+func init() {
+	workload.Register("tpcb", func() workload.Workload { return New() })
+}
+
+// Workload adapts the TPC-B bench to the workload seam.
+type Workload struct {
+	Scale Scale
+}
+
+// New returns the TPC-B workload at the paper's 40-branch scale.
+func New() *Workload { return NewScaled(DefaultScale()) }
+
+// NewScaled returns the TPC-B workload at an explicit scale.
+func NewScaled(sc Scale) *Workload { return &Workload{Scale: sc} }
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string { return "tpcb" }
+
+// QuickScale implements workload.Workload: a shrunken database for CI and
+// bench runs.
+func (w *Workload) QuickScale() workload.Workload {
+	return NewScaled(Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400})
+}
+
+// DataPages implements workload.Workload (about 70 hundred-byte rows fit an
+// 8 KB page after slot overhead).
+func (w *Workload) DataPages() int {
+	return w.Scale.Branches*w.Scale.AccountsPerBranch/70 +
+		w.Scale.Branches*w.Scale.TellersPerBranch/70 +
+		w.Scale.Branches
+}
+
+// Load implements workload.Workload.
+func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
+	return Load(eng, w.Scale)
+}
+
+// Models implements workload.Workload: the TPC-B transaction models,
+// mirroring site for site the probe calls RunTxn emits against the engine.
+func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {
+	pick := env.Pick
+	return []codegen.FnSpec{
+		{Name: "upd_account", Body: []codegen.Frag{
+			codegen.Seq(7), pick("sql", 6),
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(5), pick("row", 4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "upd_teller", Body: []codegen.Frag{
+			codegen.Seq(6), pick("sql", 6),
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(4), pick("row", 4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "upd_branch", Body: []codegen.Frag{
+			codegen.Seq(6), pick("sql", 5),
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Seq(3),
+		}},
+		{Name: "ins_history", Body: []codegen.Frag{
+			codegen.Seq(5), pick("sql", 5),
+			codegen.Call{Fn: "heap_insert"},
+			codegen.Seq(3),
+		}},
+		{Name: "tpcb_txn", Body: []codegen.Frag{
+			codegen.Seq(9), env.ErrPath(), pick("sql", 8),
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "upd_account"},
+			codegen.Call{Fn: "upd_teller"},
+			codegen.Call{Fn: "upd_branch"},
+			codegen.Call{Fn: "ins_history"},
+			codegen.Call{Fn: "txn_commit"},
+			codegen.Seq(6), pick("rt", 4),
+		}},
+	}
+}

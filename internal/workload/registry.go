@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps workload names to constructors returning the workload at
+// its default (paper) scale. Implementations register themselves from init,
+// so importing a workload package makes it available to every -workload
+// flag.
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]func() Workload)
+)
+
+// Register adds a workload constructor under name. It panics on duplicate
+// registration, which indicates a wiring bug.
+func Register(name string, f func() Workload) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New returns a fresh instance of the named workload at default scale.
+func New(name string) (Workload, error) {
+	regMu.Lock()
+	f, ok := registry[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,77 @@
+// Package workload defines the seam between the OLTP harness and the
+// transaction mixes it runs. A Workload knows how to size itself (paper
+// scale and a shrunken quick scale), how to load its tables into a
+// db.Engine, how to generate and execute transactions against a Session,
+// how to check its own consistency invariants, and which code models it
+// contributes to the modeled application binary (appmodel assembles the
+// image from the engine models plus the workload's models).
+//
+// Everything above the storage engine — internal/machine, internal/appmodel,
+// internal/expt, and the commands — programs against this interface, so new
+// transaction mixes drop in without touching the simulator or the image
+// builder. Implementations register themselves by name (see Register), the
+// way layout passes register with internal/core.
+package workload
+
+import (
+	"math/rand"
+
+	"codelayout/internal/codegen"
+	"codelayout/internal/db"
+)
+
+// Input is one transaction request drawn by GenInput and consumed by
+// RunTxn. Its concrete type is private to the workload.
+type Input any
+
+// Instance is a workload loaded into an engine: the handle server processes
+// use to generate and run transactions.
+type Instance interface {
+	// GenInput draws one transaction request from the client's RNG.
+	GenInput(r *rand.Rand) Input
+
+	// RunTxn executes one transaction on the session. It is the
+	// instrumented top-level entry whose model roots the application call
+	// graph; in must be a value produced by GenInput.
+	RunTxn(s *db.Session, in Input)
+
+	// Check verifies the workload's consistency invariants (e.g. TPC-B
+	// balance conservation) over the loaded database. It is called with an
+	// uninstrumented session after runs and must not mutate data.
+	Check(s *db.Session) error
+}
+
+// Workload describes one OLTP benchmark at a specific scale.
+type Workload interface {
+	// Name is the registry name ("tpcb", "ordere", ...).
+	Name() string
+
+	// QuickScale returns a shrunken copy of the workload for fast CI and
+	// bench runs, preserving every qualitative shape.
+	QuickScale() Workload
+
+	// DataPages estimates the resident data pages of the loaded database,
+	// used to size buffer pools that should cache every table.
+	DataPages() int
+
+	// Load creates and populates the database through an uninstrumented
+	// session and returns the runnable instance.
+	Load(eng *db.Engine) (Instance, error)
+
+	// Models returns the workload's contribution to the modeled application
+	// binary: the FnSpecs of its transaction roots and helpers, mirroring
+	// site for site the probe calls RunTxn emits. env supplies call-site
+	// builders into the image's library layers.
+	Models(env *ModelEnv) []codegen.FnSpec
+}
+
+// ModelEnv gives workload model builders access to the image's generated
+// library layers, so workload code models dispatch into the same helper
+// families the engine models use.
+type ModelEnv struct {
+	// Pick builds an indirect call site into a named library family
+	// ("sql", "rt", "row", "cmp", ...) with the given dispatch width.
+	Pick func(family string, width int) codegen.Frag
+	// ErrPath builds an inline never-taken error-handling branch.
+	ErrPath func() codegen.Frag
+}
