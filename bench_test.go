@@ -312,6 +312,126 @@ func BenchmarkCrossWorkloadOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedMachineTxns measures full-system simulation throughput on
+// the sharded multi-engine machine (4 shards, cross-shard 2PC traffic
+// included), one row per workload.
+func BenchmarkShardedMachineTxns(b *testing.B) {
+	s := session(b)
+	kimg := s.KernelImage()
+	kernL, err := codelayout.BaselineLayout(kimg.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardWorkloads := map[string]workload.Workload{
+		"tpcb":   tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 3, AccountsPerBranch: 100}),
+		"ordere": ordere.NewScaled(ordere.Scale{Warehouses: 6, DistrictsPerWarehouse: 3, CustomersPerDistrict: 30, Items: 100}),
+	}
+	for name, wl := range shardWorkloads {
+		img, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 0.25, ColdWords: 200_000, Workload: wl})
+		if err != nil {
+			b.Fatal(err)
+		}
+		appL, err := codelayout.BaselineLayout(img.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var cross, aborts uint64
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{
+					CPUs: 2, ProcsPerCPU: 6, Seed: int64(i), Shards: 4,
+					WarmupTxns: 2, Transactions: 20,
+					Workload: wl,
+					AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					b.Fatal(err)
+				}
+				cross += res.CrossShard
+				aborts += res.Aborted
+			}
+			b.ReportMetric(float64(cross)/float64(b.N), "crossshard/op")
+			b.ReportMetric(float64(aborts)/float64(b.N), "aborts/op")
+		})
+	}
+}
+
+// BenchmarkGroupCommit is the group-commit acceptance bench: at a fixed
+// shard count under a commit-heavy TPC-B mix, it measures the
+// blocked-on-log instruction-time per transaction for per-commit flushing,
+// immediate group commit, and a 40k-instruction batching window. Group
+// commit must flush less and block less than per-commit flushing; the
+// printed line records the reduction.
+func BenchmarkGroupCommit(b *testing.B) {
+	s := session(b)
+	kimg := s.KernelImage()
+	kernL, err := codelayout.BaselineLayout(kimg.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := tpcb.NewScaled(tpcb.Scale{Branches: 48, TellersPerBranch: 4, AccountsPerBranch: 100})
+	img, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 0.25, ColdWords: 200_000, Workload: wl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	appL, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name      string
+		perCommit bool
+		window    uint64
+	}{
+		{"percommit", true, 0},
+		{"group", false, 0},
+		{"window40k", false, 40_000},
+	}
+	results := map[string]machine.Result{}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			var res machine.Result
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{
+					CPUs: 4, ProcsPerCPU: 16, Seed: 7, Shards: 2,
+					PerCommitLogFlush: mode.perCommit, GroupCommitWindowInstr: mode.window,
+					WarmupTxns: 40, Transactions: 300,
+					Workload: wl,
+					AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			results[mode.name] = res
+			b.ReportMetric(float64(res.LogBlockedInstr)/float64(res.Committed), "logblocked-instr/txn")
+			b.ReportMetric(float64(res.LogFlushes), "flushes")
+			b.ReportMetric(float64(res.GroupedCommits), "grouped")
+		})
+	}
+	pc, grp := results["percommit"], results["group"]
+	if pc.Committed > 0 && grp.Committed > 0 {
+		if _, done := printed.LoadOrStore("groupcommit", true); !done {
+			fmt.Fprintf(os.Stdout,
+				"group commit vs per-commit flushing (2 shards): flushes %d -> %d, blocked-on-log %.1fM -> %.1fM instr (%.1f%% less)\n",
+				pc.LogFlushes, grp.LogFlushes,
+				float64(pc.LogBlockedInstr)/1e6, float64(grp.LogBlockedInstr)/1e6,
+				100*(1-float64(grp.LogBlockedInstr)/float64(pc.LogBlockedInstr)))
+		}
+	}
+}
+
 // BenchmarkPixieCollection measures profiling overhead.
 func BenchmarkPixieCollection(b *testing.B) {
 	s := session(b)

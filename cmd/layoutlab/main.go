@@ -29,6 +29,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override workload seed")
 		txns   = flag.Int("txns", 0, "override measured transactions")
 		cpus   = flag.Int("cpus", 0, "override processor count")
+		shards = flag.Int("shards", 0, "override shard count (partitioned engines)")
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 	)
@@ -61,6 +62,9 @@ func main() {
 	}
 	if *cpus != 0 {
 		opts.CPUs = *cpus
+	}
+	if *shards != 0 {
+		opts.Shards = *shards
 	}
 
 	s, err := expt.NewSession(opts)

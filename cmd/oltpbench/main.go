@@ -4,6 +4,7 @@
 //
 //	oltpbench -workload tpcb -txns 500 -cpus 4 -layout app.layout -trace run.trace
 //	oltpbench -workload ordere -quick
+//	oltpbench -workload ordere -shards 4 -gcwindow 60000
 package main
 
 import (
@@ -31,6 +32,9 @@ func main() {
 		warmup    = flag.Int("warmup", 100, "warmup transactions")
 		cpus      = flag.Int("cpus", 4, "processors")
 		procs     = flag.Int("procs", 8, "server processes per CPU")
+		shards    = flag.Int("shards", 1, "partitioned database engines behind the shard router")
+		gcWindow  = flag.Uint64("gcwindow", 0, "group-commit batching window in instruction-times (0 = flush as soon as a leader arrives)")
+		perCommit = flag.Bool("percommit", false, "disable group commit: every commit pays its own log write")
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
 		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
@@ -94,6 +98,7 @@ func main() {
 
 	cfg := machine.Config{
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
+		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
 		WarmupTxns: *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
@@ -115,6 +120,11 @@ func main() {
 	}
 
 	fmt.Printf("workload:         %s\n", wl.Name())
+	if *shards > 1 {
+		part := wl.(workload.ShardedWorkload).Partitioning()
+		fmt.Printf("shards:           %d engines by %s, %d%% cross-shard (%d cross-shard txns, %d deadlock aborts)\n",
+			*shards, part.Key, part.CrossShardPct, res.CrossShard, res.Aborted)
+	}
 	fmt.Printf("committed:        %d transactions\n", res.Committed)
 	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",
 		res.AppInstrs, res.KernelInstrs, res.KernelFrac()*100)
@@ -123,8 +133,8 @@ func main() {
 	fmt.Printf("icache 64KB/128B/4-way: %d misses (%.3f%% of line accesses)\n",
 		ic.Stats().Misses, ic.Stats().MissRate()*100)
 	fmt.Printf("mean fetch sequence:    %.2f instructions\n", seq.Hist.Mean())
-	fmt.Printf("log: %d flushes, %d grouped commits; %d lock conflicts; idle %d\n",
-		res.LogFlushes, res.GroupedCommits, res.LockConflicts, res.IdleInstrs)
+	fmt.Printf("log: %d flushes, %d grouped commits, %d blocked instr-time; %d lock conflicts; idle %d\n",
+		res.LogFlushes, res.GroupedCommits, res.LogBlockedInstr, res.LockConflicts, res.IdleInstrs)
 	if err := m.CheckInvariants(); err != nil {
 		fatal(err)
 	}

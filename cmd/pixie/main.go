@@ -29,6 +29,7 @@ func main() {
 		txns     = flag.Int("txns", 2000, "profiled transactions")
 		warmup   = flag.Int("warmup", 100, "warmup transactions before profiling")
 		cpus     = flag.Int("cpus", 4, "processors")
+		shards   = flag.Int("shards", 1, "partitioned database engines behind the shard router")
 		libScale = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold     = flag.Int("cold", 6_400_000, "app cold words")
 		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("workload to profile %v", workload.Names()))
@@ -68,7 +69,7 @@ func main() {
 	px := profile.NewPixie(app.Prog, "pixie")
 	kx := profile.NewPixie(kern.Prog, "kprofile")
 	cfg := machine.Config{
-		CPUs: *cpus, Seed: *runSeed,
+		CPUs: *cpus, Seed: *runSeed, Shards: *shards,
 		WarmupTxns: *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,

@@ -132,6 +132,12 @@ type (
 	Workload = workload.Workload
 	// WorkloadInstance is a workload loaded into an engine.
 	WorkloadInstance = workload.Instance
+	// ShardedWorkload is a workload that can partition across the shard
+	// router's engines (set MachineConfig.Shards > 1 to use it).
+	ShardedWorkload = workload.ShardedWorkload
+	// Partitioning declares a workload's shard scheme and cross-shard
+	// transaction fraction.
+	Partitioning = workload.Partitioning
 )
 
 // Workloads lists the registered workload names ("tpcb", "ordere", ...).

@@ -18,6 +18,7 @@ import (
 
 	"codelayout/internal/codegen"
 	"codelayout/internal/isa"
+	"codelayout/internal/shard"
 	"codelayout/internal/workload"
 )
 
@@ -167,6 +168,18 @@ func Build(cfg Config) (*codegen.Image, error) {
 			codegen.Call{Fn: "lock_release"},
 			codegen.Seq(5),
 		}},
+		{Name: "txn_prepare", Body: []codegen.Frag{
+			codegen.Seq(6), pick("rt", 4),
+			codegen.Call{Fn: "log_append"},
+			codegen.Call{Fn: "log_flush"},
+			codegen.Seq(3),
+		}},
+		{Name: "txn_resolve", Body: []codegen.Frag{
+			codegen.Seq(5), pick("rt", 4),
+			codegen.Call{Fn: "log_append"},
+			codegen.Call{Fn: "lock_release"},
+			codegen.Seq(3),
+		}},
 		{Name: "txn_abort", Body: []codegen.Frag{
 			codegen.Seq(6),
 			codegen.Loop{Site: "undo_iter", Head: 2,
@@ -236,9 +249,12 @@ func Build(cfg Config) (*codegen.Image, error) {
 		}},
 	}
 
-	// 3. Workload transaction models, rooted in the engine models.
+	// 3. Workload transaction models, rooted in the engine models, plus the
+	// shard router/coordinator models (exercised only on sharded machines,
+	// but always present so one image serves every shard count).
 	env := &workload.ModelEnv{Pick: pick, ErrPath: errPath}
 	wlSpecs := cfg.Workload.Models(env)
+	wlSpecs = append(wlSpecs, shard.Models(env)...)
 
 	// 4. Cold complement.
 	var cold []codegen.FnSpec

@@ -42,6 +42,11 @@ type Emitter struct {
 	cur   program.BlockID
 	prev  program.BlockID
 
+	// unwinding suppresses probe events while a transaction-abort longjmp
+	// (db.ErrDeadlock) propagates through instrumented frames whose
+	// deferred Leave calls would otherwise fire mid-model; Reset re-arms.
+	unwinding bool
+
 	// Instructions counts words emitted through Sink.
 	Instructions uint64
 }
@@ -70,6 +75,22 @@ func NewEmitter(img *Image, l *program.Layout, seed int64) *Emitter {
 
 // Idle reports whether the emitter has no in-flight function.
 func (e *Emitter) Idle() bool { return e.cur == program.NoBlock && len(e.stack) == 0 }
+
+// AbortUnwind implements db.Aborter: it suppresses all probe events until
+// Reset, modeling the engine's longjmp out of a deadlock victim — the
+// deferred Leave calls that run while the panic propagates reflect Go stack
+// unwinding, not modeled instruction fetch.
+func (e *Emitter) AbortUnwind() { e.unwinding = true }
+
+// Reset abandons any in-flight function and re-arms event delivery. The
+// machine calls it after recovering a deadlock-victim panic, before
+// replaying the abort path (txn_abort) from idle.
+func (e *Emitter) Reset() {
+	e.unwinding = false
+	e.stack = e.stack[:0]
+	e.cur = program.NoBlock
+	e.prev = program.NoBlock
+}
 
 func (e *Emitter) emit(addr uint64, words int32) {
 	if words <= 0 {
@@ -184,6 +205,9 @@ func (e *Emitter) advance() {
 
 // Enter implements the probe event: the engine entered fn.
 func (e *Emitter) Enter(fn string) {
+	if e.unwinding {
+		return
+	}
 	f, ok := e.Img.Fns[fn]
 	if !ok {
 		panic(fmt.Sprintf("codegen: Enter(%q): unknown function", fn))
@@ -214,6 +238,9 @@ func (e *Emitter) Enter(fn string) {
 
 // Leave implements the probe event: the engine returned from fn.
 func (e *Emitter) Leave(fn string) {
+	if e.unwinding {
+		return
+	}
 	if len(e.stack) == 0 {
 		panic(fmt.Sprintf("codegen: Leave(%q) with empty stack", fn))
 	}
@@ -232,6 +259,9 @@ func (e *Emitter) Leave(fn string) {
 
 // Branch implements the probe event for If and Loop sites.
 func (e *Emitter) Branch(site string, taken bool) {
+	if e.unwinding {
+		return
+	}
 	b := e.curSiteBlock(site, isa.TermCond)
 	if taken {
 		e.transition(b, b.Fall)
@@ -243,6 +273,9 @@ func (e *Emitter) Branch(site string, taken bool) {
 
 // Case implements the probe event for Switch sites.
 func (e *Emitter) Case(site string, k int) {
+	if e.unwinding {
+		return
+	}
 	b := e.curSiteBlock(site, isa.TermIndirect)
 	if k < 0 || k >= len(b.Targets) {
 		panic(fmt.Sprintf("codegen: Case(%q, %d) out of range (%d cases)", site, k, len(b.Targets)))
@@ -253,6 +286,9 @@ func (e *Emitter) Case(site string, k int) {
 
 // Data forwards a data reference to the machine hook.
 func (e *Emitter) Data(addr uint64, bytes int, write bool) {
+	if e.unwinding {
+		return
+	}
 	if e.OnData != nil {
 		e.OnData(addr, bytes, write)
 	}
@@ -260,6 +296,9 @@ func (e *Emitter) Data(addr uint64, bytes int, write bool) {
 
 // Syscall forwards a kernel crossing to the machine hook.
 func (e *Emitter) Syscall(name string) {
+	if e.unwinding {
+		return
+	}
 	if e.OnSyscall != nil {
 		e.OnSyscall(name)
 	}

@@ -18,16 +18,39 @@ type Engine struct {
 	Locks *LockMgr
 	Env   Env
 
-	trees    map[string]*BTree
-	tables   map[string]*Table
-	nextPage PageID
-	nextTxn  uint64
+	// Shard is this engine's index within a sharded group (0 standalone).
+	// Page IDs and shared-structure addresses are offset per shard, so the
+	// shards' buffer pools, log buffers and lock tables occupy disjoint
+	// regions of the modeled address space.
+	Shard int
+	// GroupCommitWindow > 0 makes the flush leader sleep that many
+	// instruction-times before writing, so concurrent commits batch into
+	// one flush; 0 flushes as soon as a leader arrives.
+	GroupCommitWindow uint64
+	// PerCommitFlush disables group commit: every committer performs (or
+	// queues for) its own physical log write. The baseline the group-commit
+	// benches compare against.
+	PerCommitFlush bool
+
+	graph *WaitGraph
+
+	trees     map[string]*BTree
+	tables    map[string]*Table
+	nextPage  PageID
+	pageLimit PageID
+	nextTxn   uint64
 
 	// Committed counts committed transactions.
 	Committed uint64
 	// Aborted counts aborted transactions.
 	Aborted uint64
+	// Deadlocks counts victim aborts forced by deadlock detection.
+	Deadlocks uint64
 }
+
+// ShardPageStride is the page-ID distance between consecutive shards'
+// allocation ranges (64 MB of page addresses per shard).
+const ShardPageStride PageID = 1 << 13
 
 // Config sizes the engine.
 type Config struct {
@@ -36,6 +59,20 @@ type Config struct {
 	BufferPoolPages int
 	// Env provides process blocking; nil means NopEnv (single process).
 	Env Env
+	// Shard is the engine's index within a sharded group.
+	Shard int
+	// Graph is the waits-for graph shared by every shard of a machine for
+	// global deadlock detection; nil creates a private graph.
+	Graph *WaitGraph
+	// GroupCommitWindow is the group-commit batching window in
+	// instruction-times (0 = flush as soon as a leader arrives).
+	GroupCommitWindow uint64
+	// PerCommitFlush disables group commit (see Engine.PerCommitFlush).
+	PerCommitFlush bool
+	// PageLimit caps the engine's page allocations (0 = unlimited). A
+	// sharded group sets it to ShardPageStride so a growing shard cannot
+	// silently spill page addresses into its neighbor's modeled window.
+	PageLimit PageID
 }
 
 // NewEngine creates an empty database.
@@ -47,21 +84,35 @@ func NewEngine(cfg Config) *Engine {
 	if env == nil {
 		env = NopEnv{}
 	}
+	graph := cfg.Graph
+	if graph == nil {
+		graph = NewWaitGraph()
+	}
 	disk := NewDisk()
 	return &Engine{
-		Disk:    disk,
-		Pool:    NewBufferPool(disk, cfg.BufferPoolPages),
-		WAL:     NewWAL(),
-		Locks:   NewLockMgr(),
-		Env:     env,
-		trees:   make(map[string]*BTree),
-		tables:  make(map[string]*Table),
-		nextTxn: 1,
+		Disk:              disk,
+		Pool:              NewBufferPool(disk, cfg.BufferPoolPages),
+		WAL:               NewWAL(),
+		Locks:             NewLockMgr(),
+		Env:               env,
+		Shard:             cfg.Shard,
+		GroupCommitWindow: cfg.GroupCommitWindow,
+		PerCommitFlush:    cfg.PerCommitFlush,
+		graph:             graph,
+		trees:             make(map[string]*BTree),
+		tables:            make(map[string]*Table),
+		nextPage:          PageID(cfg.Shard) * ShardPageStride,
+		pageLimit:         cfg.PageLimit,
+		nextTxn:           1,
 	}
 }
 
 // AllocPage reserves a fresh page ID.
 func (e *Engine) AllocPage() PageID {
+	if e.pageLimit > 0 && e.nextPage >= PageID(e.Shard)*ShardPageStride+e.pageLimit {
+		panic(fmt.Sprintf("db: shard %d exhausted its %d-page address window (database grew past the per-shard region; use fewer shards or a smaller scale)",
+			e.Shard, e.pageLimit))
+	}
 	id := e.nextPage
 	e.nextPage++
 	return id
@@ -155,7 +206,9 @@ func (s *Session) bufGetQuiet(id PageID) *Page {
 func (s *Session) Unpin(pg *Page) { s.Eng.Pool.Unpin(pg) }
 
 // LockX acquires an exclusive row lock, parking the process on conflict
-// until the holder releases.
+// until the holder releases. If waiting would close a waits-for cycle the
+// session becomes the deadlock victim: it panics with ErrDeadlock (the
+// modeled engine's longjmp) for the machine to abort and retry.
 func (s *Session) LockX(key uint64) {
 	s.lock(key, LockX)
 }
@@ -171,21 +224,33 @@ func (s *Session) lock(key uint64, mode LockMode) {
 	if s.txn == nil {
 		panic("db: lock outside transaction")
 	}
+	ref := LockRef{Shard: s.Eng.Shard, Key: key}
+	g := s.Eng.graph
 	for {
 		ok, isNew := s.Eng.Locks.try(s.txn.ID, key, mode)
-		s.PB.Data(lockTableAddr(key), 64, true)
+		s.PB.Data(s.Eng.lockTableAddr(key), 64, true)
 		s.PB.Branch("lock_conflict", !ok)
 		if ok {
 			if isNew {
 				s.txn.held = append(s.txn.held, key)
+				g.hold(ref, s.PID)
 			}
 			return
 		}
 		s.Eng.Locks.Conflicts++
+		if g.cycles(s.PID, ref) {
+			s.Eng.Deadlocks++
+			if a, ok := s.PB.(Aborter); ok {
+				a.AbortUnwind()
+			}
+			panic(ErrDeadlock)
+		}
 		st := s.Eng.Locks.locks[key]
 		st.waiting++
+		g.setWait(s.PID, ref)
 		s.PB.Syscall("lock_sleep")
 		s.Eng.Env.Wait(st.queue)
+		g.clearWait(s.PID)
 		st.waiting--
 	}
 }
@@ -198,11 +263,12 @@ func (s *Session) ReleaseLocks() {
 	t := s.txn
 	for _, key := range t.held {
 		s.PB.Branch("lockrel_iter", true)
-		s.PB.Data(lockTableAddr(key), 64, true)
+		s.PB.Data(s.Eng.lockTableAddr(key), 64, true)
 		wake, err := s.Eng.Locks.release(t.ID, key)
 		if err != nil {
 			panic(err)
 		}
+		s.Eng.graph.unhold(LockRef{Shard: s.Eng.Shard, Key: key}, s.PID)
 		if wake {
 			s.Eng.Env.Wake(s.Eng.Locks.queueFor(key))
 		}
@@ -216,7 +282,7 @@ func (s *Session) LogAppend(rec LogRec) uint64 {
 	s.PB.Enter("log_append")
 	defer s.PB.Leave("log_append")
 	lsn, off := s.Eng.WAL.Append(rec)
-	s.PB.Data(logBufAddr(off), 32+len(rec.Before)+len(rec.After), true)
+	s.PB.Data(s.Eng.logBufAddr(off), 32+len(rec.Before)+len(rec.After), true)
 	s.PB.Branch("logbuf_high", s.Eng.WAL.BufferedBytes() > logBufHighWater)
 	return lsn
 }
@@ -225,18 +291,19 @@ func (s *Session) LogAppend(rec LogRec) uint64 {
 // flushing happens at commit).
 const logBufHighWater = 1 << 16
 
-// logBufAddr places the (1 MB circular) log buffer in the shared data
-// segment; records pack contiguously, so commits from different CPUs share
-// lines.
-func logBufAddr(offset int64) uint64 {
-	return DataBase + 0x4000_0000 + uint64(offset)%(1<<20)
+// logBufAddr places the shard's (1 MB circular) log buffer in the shared
+// data segment; records pack contiguously, so commits from different CPUs
+// share lines. Shards keep disjoint 1 MB regions.
+func (e *Engine) logBufAddr(offset int64) uint64 {
+	return DataBase + 0x4000_0000 + uint64(e.Shard)<<20 + uint64(offset)%(1<<20)
 }
 
-// lockTableAddr places the shared lock table: every acquire and release
+// lockTableAddr places the shard's lock table: every acquire and release
 // writes the resource's bucket, the way SGA-resident lock structures behave.
-func lockTableAddr(key uint64) uint64 {
+// Shards keep disjoint 1 MB regions.
+func (e *Engine) lockTableAddr(key uint64) uint64 {
 	h := key * 0x9E3779B97F4A7C15
-	return DataBase + 0x6000_0000 + (h%16384)*64
+	return DataBase + 0x6000_0000 + uint64(e.Shard)<<20 + (h%16384)*64
 }
 
 // ScratchAddr returns per-process private working storage (sort areas,

@@ -72,15 +72,52 @@ func (s *Session) Abort() {
 	s.Eng.Aborted++
 }
 
+// Prepare force-logs a prepare record for a distributed-transaction
+// participant: its updates and locks become durable pending the
+// coordinator's commit decision. The transaction stays open (locks held)
+// until CommitPrepared or Abort.
+func (s *Session) Prepare() {
+	s.PB.Enter("txn_prepare")
+	defer s.PB.Leave("txn_prepare")
+	t := s.txn
+	if t == nil {
+		panic("db: prepare outside transaction")
+	}
+	lsn := s.LogAppend(LogRec{Txn: t.ID, Kind: LogPrepare})
+	s.logForce(lsn)
+}
+
+// CommitPrepared applies the coordinator's commit decision on a prepared
+// participant: it logs the commit record and releases locks without forcing
+// the log — the forced prepare record plus the coordinator's forced commit
+// already make the outcome durable, so the participant's commit record can
+// ride the shard's next group flush.
+func (s *Session) CommitPrepared() {
+	s.PB.Enter("txn_resolve")
+	defer s.PB.Leave("txn_resolve")
+	t := s.txn
+	if t == nil {
+		panic("db: resolve outside transaction")
+	}
+	s.LogAppend(LogRec{Txn: t.ID, Kind: LogCommit})
+	s.ReleaseLocks()
+	s.txn = nil
+	s.Eng.Committed++
+}
+
 // logForce implements group commit: the first committer whose LSN is not yet
 // stable becomes the leader and performs the log write (a blocking kernel
 // crossing); committers arriving while a flush is in flight park and are
-// released together when the leader finishes.
+// released together when the leader finishes. With a group-commit window
+// configured, the leader additionally sleeps the window before writing, so
+// commits arriving in that window join the batch instead of queuing behind
+// it — the per-shard log daemon's amortized flush.
 func (s *Session) logForce(lsn uint64) {
 	s.PB.Enter("log_flush")
 	defer s.PB.Leave("log_flush")
 	w := s.Eng.WAL
-	grouped := false
+	waited := false // parked at least once
+	led := false    // performed a physical write itself
 	for {
 		done := w.FlushedLSN >= lsn
 		s.PB.Branch("log_retry", !done)
@@ -90,19 +127,34 @@ func (s *Session) logForce(lsn uint64) {
 		leader := !w.Flushing
 		s.PB.Branch("log_leader", leader)
 		if leader {
+			led = true
 			w.Flushing = true
+			if !s.Eng.PerCommitFlush && s.Eng.GroupCommitWindow > 0 {
+				// The leader stands in for the shard's log daemon: it
+				// sleeps out the batching window while later commits
+				// append behind it.
+				s.PB.Syscall("log_window")
+			}
 			target := w.CurrentLSN()
+			if s.Eng.PerCommitFlush {
+				// Per-commit flushing: write only this commit's prefix,
+				// so every committer pays its own physical write (the
+				// pre-group-commit baseline the benches compare against).
+				target = lsn
+			}
 			s.PB.Syscall("log_write")
 			w.MarkFlushed(target)
 			w.Flushing = false
 			s.Eng.Env.Wake(w.Waiters)
 		} else {
-			grouped = true
+			waited = true
 			s.PB.Syscall("log_wait")
 			s.Eng.Env.Wait(w.Waiters)
 		}
 	}
-	if grouped {
+	// A force that parked and was released by someone else's physical
+	// write piggybacked on that flush.
+	if waited && !led {
 		w.GroupedCommits++
 	}
 }

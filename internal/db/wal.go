@@ -16,6 +16,9 @@ const (
 	LogCommit
 	// LogAbort marks a transaction aborted (after undo).
 	LogAbort
+	// LogPrepare marks a distributed-transaction participant prepared: its
+	// updates and locks are durable pending the coordinator's decision.
+	LogPrepare
 )
 
 // LogRec is one write-ahead log record.

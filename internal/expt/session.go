@@ -30,6 +30,16 @@ type Options struct {
 	CPUs        int
 	ProcsPerCPU int
 
+	// Shards is the partitioned-engine count behind the shard router; 0 or
+	// 1 runs the single shared engine (see machine.Config.Shards).
+	Shards int
+	// GroupCommitWindowInstr is the per-shard group-commit batching window
+	// (0 = flush as soon as a leader arrives; see machine.Config).
+	GroupCommitWindowInstr uint64
+	// PerCommitLogFlush disables group commit (the baseline the
+	// group-commit comparisons run against).
+	PerCommitLogFlush bool
+
 	Transactions int
 	WarmupTxns   int
 	TrainTxns    int
@@ -109,10 +119,13 @@ type Session struct {
 }
 
 type measKey struct {
-	workload string
-	layout   string
-	kern     string
-	cpus     int
+	workload  string
+	layout    string
+	kern      string
+	cpus      int
+	shards    int
+	gcWindow  uint64
+	perCommit bool
 }
 
 // NewSession builds the images and baseline layouts.
@@ -329,17 +342,29 @@ func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
 	appL, kernL := s.layouts[layout], s.kernLay[kern]
 	s.mu.Unlock()
 	return machine.Config{
-		CPUs:         cpus,
-		ProcsPerCPU:  s.Opt.ProcsPerCPU,
-		Seed:         s.Opt.Seed,
-		WarmupTxns:   s.Opt.WarmupTxns,
-		Transactions: s.Opt.Transactions,
-		Workload:     s.Opt.Workload,
-		AppImage:     s.appImg,
-		AppLayout:    appL,
-		KernImage:    s.kernImg,
-		KernLayout:   kernL,
+		CPUs:                   cpus,
+		ProcsPerCPU:            s.Opt.ProcsPerCPU,
+		Seed:                   s.Opt.Seed,
+		Shards:                 s.Opt.Shards,
+		GroupCommitWindowInstr: s.Opt.GroupCommitWindowInstr,
+		PerCommitLogFlush:      s.Opt.PerCommitLogFlush,
+		WarmupTxns:             s.Opt.WarmupTxns,
+		Transactions:           s.Opt.Transactions,
+		Workload:               s.Opt.Workload,
+		AppImage:               s.appImg,
+		AppLayout:              appL,
+		KernImage:              s.kernImg,
+		KernLayout:             kernL,
 	}
+}
+
+// shardKey normalizes the configured shard count for memo keys (0 and 1
+// are the same single-engine machine).
+func (s *Session) shardKey() int {
+	if s.Opt.Shards <= 1 {
+		return 1
+	}
+	return s.Opt.Shards
 }
 
 // Measure runs (or returns the memoized run of) the workload under the
@@ -353,7 +378,7 @@ func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
 // first caller runs it, later callers block until the result (or error) is
 // memoized.
 func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
-	key := measKey{s.Opt.Workload.Name(), layout, kern, cpus}
+	key := measKey{s.Opt.Workload.Name(), layout, kern, cpus, s.shardKey(), s.Opt.GroupCommitWindowInstr, s.Opt.PerCommitLogFlush}
 	for {
 		s.mu.Lock()
 		if m, ok := s.measures[key]; ok {

@@ -32,7 +32,9 @@ func ServiceFor(syscall string) (string, error) {
 	switch syscall {
 	case "log_write":
 		return SvcLogWrite, nil
-	case "log_wait":
+	case "log_wait", "log_window":
+		// The group-commit window is a timed sleep through the same
+		// put-me-to-sleep path followers take.
 		return SvcLogWait, nil
 	case "pread":
 		return SvcPread, nil

@@ -1,13 +1,22 @@
 // Package machine is the full-system simulation layer (the SimOS-Alpha
-// stand-in): it runs N server processes per CPU against the shared database
-// engine, interleaves them deterministically (quantum expiry, blocking log
-// writes, lock waits, timer interrupts), crosses into the modeled kernel at
-// syscalls, and fans the resulting per-CPU instruction and data streams out
-// to the attached cache simulators and collectors.
+// stand-in): it runs N server processes per CPU against one or more
+// partitioned database engines, interleaves them deterministically (quantum
+// expiry, blocking log writes, lock waits, timer interrupts), crosses into
+// the modeled kernel at syscalls, and fans the resulting per-CPU
+// instruction and data streams out to the attached cache simulators and
+// collectors.
+//
+// With Shards > 1 the machine becomes a sharded multi-engine server: the
+// workload's database is hash-partitioned across per-shard engines,
+// transactions route through the instrumented shard router to their home
+// engine, the configured cross-shard fraction commits through two-phase
+// commit, and a shared waits-for graph detects distributed deadlocks,
+// aborting victims through the modeled txn_abort path and retrying them.
 //
 // Processes are goroutines, but exactly one runs at a time: the scheduler
 // and the running process hand control back and forth over unbuffered
-// channels, so runs are fully deterministic for a given seed.
+// channels, so runs are fully deterministic for a given seed at every
+// shard count.
 package machine
 
 import (
@@ -18,6 +27,7 @@ import (
 	"codelayout/internal/db"
 	"codelayout/internal/kernel"
 	"codelayout/internal/program"
+	"codelayout/internal/shard"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 )
@@ -28,6 +38,11 @@ type Config struct {
 	ProcsPerCPU int
 	Seed        int64
 
+	// Shards is the number of partitioned database engines behind the
+	// router; 0 or 1 runs the single shared engine. Counts above 1 require
+	// a workload implementing workload.ShardedWorkload.
+	Shards int
+
 	// WarmupTxns commit before measurement begins (caches and emitters
 	// stay warm across the phase switch; only stat collection toggles).
 	WarmupTxns int
@@ -36,7 +51,8 @@ type Config struct {
 
 	// Workload is the transaction mix to load and run; required.
 	Workload workload.Workload
-	// BufferPoolPages sizes the cache; 0 = large enough for everything.
+	// BufferPoolPages sizes each shard's cache; 0 = large enough for
+	// everything.
 	BufferPoolPages int
 
 	// QuantumInstr is the scheduling timeslice in instructions.
@@ -48,6 +64,15 @@ type Config struct {
 	LogWriteDelayInstr uint64
 	// PreadDelayInstr is the data-file read latency.
 	PreadDelayInstr uint64
+	// GroupCommitWindowInstr tunes group commit per shard: the flush
+	// leader sleeps this long before writing, so commits arriving in the
+	// window amortize into one flush. 0 makes leaders write as soon as
+	// they arrive (followers still piggyback on the flush in flight).
+	GroupCommitWindowInstr uint64
+	// PerCommitLogFlush disables group commit entirely: every commit pays
+	// its own blocking log write. The pre-group-commit baseline; conflicts
+	// with GroupCommitWindowInstr.
+	PerCommitLogFlush bool
 
 	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
 	AppImage   *codegen.Image
@@ -73,6 +98,9 @@ func (c Config) withDefaults() Config {
 	if c.ProcsPerCPU <= 0 {
 		c.ProcsPerCPU = 8
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Transactions <= 0 {
 		c.Transactions = 100
 	}
@@ -91,22 +119,39 @@ func (c Config) withDefaults() Config {
 	if c.BufferPoolPages == 0 {
 		// Hold every loaded table plus headroom for tables that grow during
 		// the run (history, orders), reproducing the paper's cached setup.
-		c.BufferPoolPages = c.Workload.DataPages() + 4096
+		// Each shard holds roughly 1/Shards of the data.
+		c.BufferPoolPages = c.Workload.DataPages()/c.Shards + 4096
 	}
 	return c
 }
 
 // Result reports a run's outcome.
 type Result struct {
-	Committed      uint64
+	Committed uint64
+	// Aborted counts measured-phase deadlock-victim aborts (the aborted
+	// transactions were retried and are also counted in Committed once
+	// they succeeded).
+	Aborted uint64
+	// CrossShard counts measured-phase transactions that touched a remote
+	// shard (committed through two-phase commit).
+	CrossShard     uint64
 	AppInstrs      uint64
 	KernelInstrs   uint64
 	IdleInstrs     uint64
 	BusyInstrs     uint64 // app + kernel, summed over CPUs
 	GroupedCommits uint64
 	LogFlushes     uint64
-	LockConflicts  uint64
-	BufMisses      uint64
+	// LogBlockedInstr is the measured-phase instruction-time processes
+	// spent blocked on the log: leaders' group-commit windows and physical
+	// writes, plus followers parked waiting for a flush in flight.
+	LogBlockedInstr uint64
+	LockConflicts   uint64
+	// Deadlocks counts deadlock victims across all shards from load
+	// through the end of the measured phase (warmup included; the post-run
+	// drain to quiescence is not, as the engine counters are captured
+	// before draining — like LogFlushes and LockConflicts).
+	Deadlocks uint64
+	BufMisses uint64
 }
 
 // KernelFrac returns the kernel share of busy instructions.
@@ -153,16 +198,48 @@ type yieldMsg struct {
 type killSentinelType struct{}
 
 type proc struct {
-	id     int
-	cpu    *cpu
-	sess   *db.Session
-	emit   *codegen.Emitter
-	client *rand.Rand
-	state  procState
-	wakeAt uint64
-	budget int64
-	resume chan cmd
-	yield  chan yieldMsg
+	id  int
+	cpu *cpu
+	// sessions holds one engine session per shard (all sharing the
+	// process's emitter as probe); single-shard machines use sessions[0].
+	sessions []*db.Session
+	emit     *codegen.Emitter
+	client   *rand.Rand
+	state    procState
+	wakeAt   uint64
+	budget   int64
+	resume   chan cmd
+	yield    chan yieldMsg
+
+	// logParked/logParkAt time waits on group-commit queues for the
+	// blocked-on-log accounting; logParkMeasured records the phase at park
+	// time, so waits straddling the warmup/measured (or measured/drain)
+	// boundary never leak foreign time into the measured counter.
+	logParked       bool
+	logParkMeasured bool
+	logParkAt       uint64
+}
+
+// inCritical reports whether any of the process's sessions is inside a
+// latch-style critical section (at most one can be — the process runs one
+// transaction at a time, even a distributed one).
+func (p *proc) inCritical() bool {
+	for _, s := range p.sessions {
+		if s.InCritical() {
+			return true
+		}
+	}
+	return false
+}
+
+// inTxn reports whether any session has a transaction in flight.
+func (p *proc) inTxn() bool {
+	for _, s := range p.sessions {
+		if s.Txn() != nil {
+			return true
+		}
+	}
+	return false
 }
 
 type cpu struct {
@@ -180,8 +257,10 @@ type cpu struct {
 // Machine is one configured simulation.
 type Machine struct {
 	cfg   Config
-	eng   *db.Engine
-	inst  workload.Instance
+	graph *db.WaitGraph
+	engs  []*db.Engine
+	inst  workload.Instance        // single-shard machines
+	sinst workload.ShardedInstance // sharded machines (Shards > 1)
 	cpus  []*cpu
 	procs []*proc
 
@@ -192,23 +271,42 @@ type Machine struct {
 	failure       error
 }
 
-// New builds the machine: engine, loaded workload database, processes bound
-// to emitters over the configured layouts.
+// New builds the machine: per-shard engines, the loaded (and, when sharded,
+// partitioned) workload database, and processes bound to emitters over the
+// configured layouts. The configuration is validated up front; see
+// Config.Validate.
 func New(cfg Config) (*Machine, error) {
-	if cfg.AppImage == nil || cfg.AppLayout == nil || cfg.KernImage == nil || cfg.KernLayout == nil {
-		return nil, fmt.Errorf("machine: images and layouts are required")
-	}
-	if cfg.Workload == nil {
-		return nil, fmt.Errorf("machine: a workload is required")
-	}
-	cfg = cfg.withDefaults()
-	m := &Machine{cfg: cfg}
-	m.eng = db.NewEngine(db.Config{BufferPoolPages: cfg.BufferPoolPages, Env: (*machineEnv)(m)})
-	inst, err := cfg.Workload.Load(m.eng)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m.inst = inst
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg, graph: db.NewWaitGraph()}
+	graph := m.graph
+	for i := 0; i < cfg.Shards; i++ {
+		m.engs = append(m.engs, db.NewEngine(db.Config{
+			BufferPoolPages:   cfg.BufferPoolPages,
+			Env:               (*machineEnv)(m),
+			Shard:             i,
+			Graph:             graph,
+			GroupCommitWindow: cfg.GroupCommitWindowInstr,
+			PerCommitFlush:    cfg.PerCommitLogFlush,
+			PageLimit:         pageLimit(cfg.Shards),
+		}))
+	}
+	if cfg.Shards > 1 {
+		sw := cfg.Workload.(workload.ShardedWorkload) // checked by Validate
+		sinst, err := sw.LoadSharded(m.engs)
+		if err != nil {
+			return nil, err
+		}
+		m.sinst = sinst
+	} else {
+		inst, err := cfg.Workload.Load(m.engs[0])
+		if err != nil {
+			return nil, err
+		}
+		m.inst = inst
+	}
 
 	for c := 0; c < cfg.CPUs; c++ {
 		cp := &cpu{id: c, nextTimer: cfg.TimerIntervalInstr}
@@ -241,7 +339,9 @@ func New(cfg Config) (*Machine, error) {
 			if cfg.AppCollector != nil {
 				p.emit.Collector = &gatedCollector{m: m, next: cfg.AppCollector}
 			}
-			p.sess = m.eng.NewSession(p.id, p.emit)
+			for s := 0; s < cfg.Shards; s++ {
+				p.sessions = append(p.sessions, m.engs[s].NewSession(p.id, p.emit))
+			}
 			m.cpus[c].runq = append(m.cpus[c].runq, p)
 			m.procs = append(m.procs, p)
 		}
@@ -249,13 +349,26 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// Instance exposes the loaded workload (tests and verification).
+// Instance exposes the loaded workload of a single-shard machine (tests and
+// verification); nil when sharded.
 func (m *Machine) Instance() workload.Instance { return m.inst }
 
-// CheckInvariants verifies the workload's consistency invariants over the
-// engine through an uninstrumented session (tests, post-run verification).
+// Engines exposes the per-shard engines (tests and verification).
+func (m *Machine) Engines() []*db.Engine { return m.engs }
+
+// CheckInvariants verifies the workload's consistency invariants through
+// uninstrumented sessions (tests, post-run verification). On sharded
+// machines it audits the union of shards, so cross-shard conservation must
+// hold globally.
 func (m *Machine) CheckInvariants() error {
-	return m.inst.Check(m.eng.NewSession(0, nil))
+	if m.sinst != nil {
+		ss := make([]*db.Session, len(m.engs))
+		for i, e := range m.engs {
+			ss[i] = e.NewSession(0, nil)
+		}
+		return m.sinst.Check(ss)
+	}
+	return m.inst.Check(m.engs[0].NewSession(0, nil))
 }
 
 // gatedCollector forwards block events only during the measured phase.
@@ -289,7 +402,7 @@ func (m *Machine) appFetch(p *proc, addr uint64, words int32) {
 	}
 	// Preemption defers while the session holds an index latch (critical
 	// section); the process yields at the next fetch after releasing it.
-	if p.budget <= 0 && !p.sess.InCritical() {
+	if p.budget <= 0 && !p.inCritical() {
 		p.doYield(yieldMsg{kind: yQuantum})
 	}
 }
@@ -327,9 +440,19 @@ func (m *Machine) syscall(p *proc, name string) {
 	p.cpu.kern.RunAuto(svc)
 	switch name {
 	case "log_write":
+		if m.measuring {
+			m.res.LogBlockedInstr += m.cfg.LogWriteDelayInstr
+		}
 		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.LogWriteDelayInstr})
+	case "log_window":
+		// The group-commit leader sleeps out the batching window so
+		// concurrent commits join its flush.
+		if m.measuring {
+			m.res.LogBlockedInstr += m.cfg.GroupCommitWindowInstr
+		}
+		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.GroupCommitWindowInstr})
 	case "pread":
-		if p.sess.InCritical() {
+		if p.inCritical() {
 			// A read under an index latch completes synchronously: the
 			// process keeps the CPU (and the latch) while the read's
 			// latency is charged to the clock, so no other process can
@@ -358,11 +481,19 @@ func (e *machineEnv) Wait(q *db.WaitQueue) {
 	}
 	wl := q.Tag.(*waitList)
 	wl.procs = append(wl.procs, p)
+	if q.Name == "log" {
+		// Followers parked on a group commit count toward the
+		// blocked-on-log time until the leader's flush releases them.
+		p.logParked = true
+		p.logParkMeasured = m.measuring
+		p.logParkAt = p.cpu.clock
+	}
 	p.doYield(yieldMsg{kind: yWait})
 }
 
 // Wake implements db.Env.
 func (e *machineEnv) Wake(q *db.WaitQueue) {
+	m := (*Machine)(e)
 	if q.Tag == nil {
 		return
 	}
@@ -371,6 +502,18 @@ func (e *machineEnv) Wake(q *db.WaitQueue) {
 		if p.state == stBlockedWait {
 			p.state = stRunnable
 			p.cpu.runq = append(p.cpu.runq, p)
+		}
+		// A runnable process is no longer blocked: drop its waits-for edge
+		// now, not when it resumes, so the deadlock detector never walks a
+		// stale edge into a phantom cycle.
+		m.graph.ClearWait(p.id)
+		if p.logParked {
+			// Charged only for waits lying entirely inside the measured
+			// phase (parked and woken while measuring).
+			if m.measuring && p.logParkMeasured && p.cpu.clock > p.logParkAt {
+				m.res.LogBlockedInstr += p.cpu.clock - p.logParkAt
+			}
+			p.logParked = false
 		}
 	}
 	wl.procs = wl.procs[:0]
@@ -399,10 +542,59 @@ func (p *proc) run(m *Machine) {
 	}()
 	p.waitRun()
 	for {
-		in := m.inst.GenInput(p.client)
-		m.inst.RunTxn(p.sess, in)
+		var in workload.Input
+		if m.sinst != nil {
+			in = m.sinst.GenInput(p.client)
+		} else {
+			in = m.inst.GenInput(p.client)
+		}
+		// A deadlock victim aborts (its locks release, unblocking the
+		// cycle) and retries the same request, as TP monitors resubmit
+		// aborted transactions. The victim yields its CPU before each
+		// retry: an immediate retry could re-acquire its first locks
+		// before the wounded party ever resumes, re-forming the same
+		// cycle indefinitely (victim back-off, deterministic).
+		for !p.tryTxn(m, in) {
+			p.doYield(yieldMsg{kind: yQuantum})
+		}
 		p.doYield(yieldMsg{kind: yTxnDone})
 	}
+}
+
+// tryTxn routes and executes one transaction. It reports false when the
+// process was chosen as a deadlock victim: the engine's longjmp
+// (db.ErrDeadlock) is recovered here, the emitter reset, and every in-flight
+// branch of the transaction aborted through the instrumented txn_abort path.
+func (p *proc) tryTxn(m *Machine, in workload.Input) (ok bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if r != db.ErrDeadlock {
+			panic(r)
+		}
+		p.emit.Reset()
+		for _, s := range p.sessions {
+			if s.Txn() != nil {
+				s.Abort()
+			}
+		}
+		if m.measuring {
+			m.res.Aborted++
+		}
+	}()
+	if m.sinst == nil {
+		m.inst.RunTxn(p.sessions[0], in)
+		return true
+	}
+	remote := m.sinst.Remote(in)
+	shard.Route(p.emit, m.sinst.Home(in), remote)
+	m.sinst.RunTxn(p.sessions, in)
+	if remote && m.measuring {
+		m.res.CrossShard++
+	}
+	return true
 }
 
 func (p *proc) waitRun() {

@@ -52,10 +52,13 @@ func (m *Machine) Run() (Result, error) {
 	}
 
 	m.res.Committed = uint64(m.committed)
-	m.res.GroupedCommits = m.eng.WAL.GroupedCommits
-	m.res.LogFlushes = m.eng.WAL.Flushes
-	m.res.LockConflicts = m.eng.Locks.Conflicts
-	m.res.BufMisses = m.eng.Pool.Misses
+	for _, e := range m.engs {
+		m.res.GroupedCommits += e.WAL.GroupedCommits
+		m.res.LogFlushes += e.WAL.Flushes
+		m.res.LockConflicts += e.Locks.Conflicts
+		m.res.Deadlocks += e.Deadlocks
+		m.res.BufMisses += e.Pool.Misses
+	}
 	m.res.BusyInstrs = m.res.AppInstrs + m.res.KernelInstrs
 	// Quiesce: run every surviving process to its next transaction boundary
 	// outside the measured phase, so the database holds no in-flight
@@ -139,10 +142,11 @@ func (m *Machine) step(skip func(*proc) bool) (*cpu, *proc, yieldMsg, error) {
 // progress.
 func (m *Machine) drain() error {
 	parked := make(map[*proc]bool, len(m.procs))
-	// Processes with no transaction in flight are already at a boundary
-	// (strict 2PL: no locks, no undo); only mid-transaction processes run.
+	// Processes with no transaction in flight on any shard are already at a
+	// boundary (strict 2PL: no locks, no undo); only mid-transaction
+	// processes run.
 	for _, p := range m.procs {
-		if p.state != stDead && p.sess.Txn() == nil {
+		if p.state != stDead && !p.inTxn() {
 			parked[p] = true
 		}
 	}

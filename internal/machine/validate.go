@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"fmt"
+
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+// MaxShards bounds the shard count: each shard owns a 64 MB page-address
+// window below the shared log-buffer region, and 16 shards fill it.
+const MaxShards = 16
+
+// minBufferPoolPages is the smallest explicit pool that cannot wedge the
+// run: pages pinned concurrently by a transaction (tree root-to-leaf path
+// plus heap pages) must always find a free frame.
+const minBufferPoolPages = 16
+
+// Validate checks a configuration before any engine is built, so
+// misconfigurations surface as errors here instead of panics (or wedged
+// scheduler loops) deep inside a run. Zero values that withDefaults fills
+// are accepted; explicitly negative or contradictory settings are not.
+func (c Config) Validate() error {
+	if c.Workload == nil {
+		return fmt.Errorf("machine: Config.Workload is required")
+	}
+	if c.AppImage == nil || c.AppLayout == nil || c.KernImage == nil || c.KernLayout == nil {
+		return fmt.Errorf("machine: images and layouts are required")
+	}
+	if c.CPUs < 0 {
+		return fmt.Errorf("machine: CPUs = %d; must be >= 1 (0 selects the default)", c.CPUs)
+	}
+	if c.ProcsPerCPU < 0 {
+		return fmt.Errorf("machine: ProcsPerCPU = %d; must be >= 1 (0 selects the default)", c.ProcsPerCPU)
+	}
+	if c.Transactions < 0 {
+		return fmt.Errorf("machine: Transactions = %d; must be >= 0", c.Transactions)
+	}
+	if c.WarmupTxns < 0 {
+		return fmt.Errorf("machine: WarmupTxns = %d; must be >= 0", c.WarmupTxns)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("machine: Shards = %d; must be >= 1 (0 selects the default of one shard)", c.Shards)
+	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("machine: Shards = %d exceeds the maximum of %d", c.Shards, MaxShards)
+	}
+	if c.Shards > 1 {
+		if _, ok := c.Workload.(workload.ShardedWorkload); !ok {
+			return fmt.Errorf("machine: workload %q does not support sharding (Shards = %d needs workload.ShardedWorkload)",
+				c.Workload.Name(), c.Shards)
+		}
+	}
+	// Each shard owns a bounded page-address window; a database whose
+	// loaded slice (plus growth headroom) cannot fit would silently alias
+	// its neighbor's pages in the cache models.
+	shards := c.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if need := c.Workload.DataPages()/shards + 4096; need > int(pageLimit(shards)) {
+		return fmt.Errorf("machine: workload needs ~%d pages per shard but each of %d shards owns a %d-page window; use more shards, a smaller scale, or one shard",
+			need, shards, pageLimit(shards))
+	}
+	if c.PerCommitLogFlush && c.GroupCommitWindowInstr > 0 {
+		return fmt.Errorf("machine: PerCommitLogFlush conflicts with GroupCommitWindowInstr = %d (the window batches commits; per-commit flushing forbids batching)",
+			c.GroupCommitWindowInstr)
+	}
+	if c.BufferPoolPages < 0 {
+		return fmt.Errorf("machine: BufferPoolPages = %d; must be >= 0 (0 sizes from the workload)", c.BufferPoolPages)
+	}
+	if c.BufferPoolPages > 0 && c.BufferPoolPages < minBufferPoolPages {
+		return fmt.Errorf("machine: BufferPoolPages = %d conflicts with the engine's pin working set (need >= %d, or 0 to size from the workload)",
+			c.BufferPoolPages, minBufferPoolPages)
+	}
+	return nil
+}
+
+// pageLimit is the page-allocation cap per shard: the inter-shard stride
+// when sharded, the whole region below the shared log buffer when single.
+func pageLimit(shards int) db.PageID {
+	if shards > 1 {
+		return db.ShardPageStride
+	}
+	return db.PageID(0x4000_0000 / db.PageBytes)
+}

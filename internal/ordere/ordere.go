@@ -93,11 +93,24 @@ type Bench struct {
 
 	whRID   []db.RID
 	distRID []db.RID
+
+	// owned lists the warehouses resident in this engine, ascending (every
+	// warehouse for an unsharded load; one hash partition for a shard).
+	owned []uint64
 }
 
 // Load creates and populates the database through an uninstrumented session
 // and leaves it checkpointed, like tpcb.Load.
 func Load(eng *db.Engine, sc Scale) (*Bench, error) {
+	return loadOwned(eng, sc, nil)
+}
+
+// loadOwned loads the slice of the database whose warehouses satisfy own
+// (nil = every warehouse): warehouse, district, customer and stock rows
+// plus the per-engine indexes. Order, order-line and history tables start
+// empty on every engine; New-Orders are always warehouse-local, so they
+// fill only their home shard's tables.
+func loadOwned(eng *db.Engine, sc Scale, own func(warehouse uint64) bool) (*Bench, error) {
 	if sc.Warehouses <= 0 || sc.DistrictsPerWarehouse <= 0 ||
 		sc.CustomersPerDistrict <= 0 || sc.Items <= 0 {
 		return nil, fmt.Errorf("ordere: bad scale %+v", sc)
@@ -117,18 +130,29 @@ func Load(eng *db.Engine, sc Scale) (*Bench, error) {
 	m.Orders = eng.CreateBTree("order_pk")
 	m.OrderLines = eng.CreateBTree("order_line_pk")
 
+	m.whRID = make([]db.RID, sc.Warehouses)
+	m.distRID = make([]db.RID, sc.Warehouses*sc.DistrictsPerWarehouse)
 	for w := 0; w < sc.Warehouses; w++ {
-		rid := m.WhTable.Insert(s, encodeRow(uint64(w), uint64(w), 0, 0))
-		m.whRID = append(m.whRID, rid)
+		if own != nil && !own(uint64(w)) {
+			continue
+		}
+		m.owned = append(m.owned, uint64(w))
+		m.whRID[w] = m.WhTable.Insert(s, encodeRow(uint64(w), uint64(w), 0, 0))
 	}
 	for dg := 0; dg < sc.Warehouses*sc.DistrictsPerWarehouse; dg++ {
 		wh := uint64(dg / sc.DistrictsPerWarehouse)
+		if own != nil && !own(wh) {
+			continue
+		}
 		// f3 is d_next_o_id, starting at 1.
-		rid := m.DistTable.Insert(s, encodeRow(uint64(dg), wh, 0, 1))
-		m.distRID = append(m.distRID, rid)
+		m.distRID[dg] = m.DistTable.Insert(s, encodeRow(uint64(dg), wh, 0, 1))
 	}
 	for cg := 0; cg < m.NumCustomers(); cg++ {
 		dg := uint64(cg / sc.CustomersPerDistrict)
+		wh := dg / uint64(sc.DistrictsPerWarehouse)
+		if own != nil && !own(wh) {
+			continue
+		}
 		rid := m.CustTable.Insert(s, encodeRow(uint64(cg), dg, 0, 0))
 		if err := m.Customers.Insert(s, uint64(cg), rid.Pack()); err != nil {
 			return nil, err
@@ -136,6 +160,9 @@ func Load(eng *db.Engine, sc Scale) (*Bench, error) {
 	}
 	for sk := 0; sk < sc.Warehouses*sc.Items; sk++ {
 		wh := uint64(sk / sc.Items)
+		if own != nil && !own(wh) {
+			continue
+		}
 		rid := m.StockTable.Insert(s, encodeRow(uint64(sk), wh, 100, 0))
 		if err := m.StockIdx.Insert(s, uint64(sk), rid.Pack()); err != nil {
 			return nil, err
@@ -178,8 +205,12 @@ type Input struct {
 	Warehouse uint64
 	District  uint64 // within the warehouse
 	Customer  uint64 // within the district
-	Lines     []Line // New-Order only; items sorted ascending, deduplicated
-	Amount    int64  // Payment only
+	// CWarehouse is the warehouse the paying customer belongs to: equal to
+	// Warehouse except for a sharded run's remote Payments, which draw the
+	// customer from another shard's warehouse (the cross-shard fraction).
+	CWarehouse uint64
+	Lines      []Line // New-Order only; items sorted ascending, deduplicated
+	Amount     int64  // Payment only
 }
 
 // newOrderPct is the New-Order share of the mix (the rest are Payments).
@@ -194,6 +225,7 @@ func (m *Bench) Gen(r *rand.Rand) Input {
 		District:  uint64(r.Intn(sc.DistrictsPerWarehouse)),
 		Customer:  uint64(r.Intn(sc.CustomersPerDistrict)),
 	}
+	in.CWarehouse = in.Warehouse
 	if r.Intn(100) < newOrderPct {
 		in.Kind = NewOrder
 		n := 5 + r.Intn(MaxLines-4)
@@ -232,8 +264,11 @@ func (m *Bench) distGlobal(in Input) uint64 {
 	return in.Warehouse*uint64(m.Scale.DistrictsPerWarehouse) + in.District
 }
 
+// custGlobal returns the paying customer's global id, in the customer's own
+// warehouse (CWarehouse — the remote one for cross-shard Payments).
 func (m *Bench) custGlobal(in Input) uint64 {
-	return m.distGlobal(in)*uint64(m.Scale.CustomersPerDistrict) + in.Customer
+	dg := in.CWarehouse*uint64(m.Scale.DistrictsPerWarehouse) + in.District
+	return dg*uint64(m.Scale.CustomersPerDistrict) + in.Customer
 }
 
 // orderKey packs (district, per-district order id) into one index key.
@@ -451,6 +486,20 @@ func (m *Bench) CustomerBalance(s *db.Session, cg uint64) int64 {
 // conserved (warehouse YTD = sum of district YTDs = sum of customer
 // balances).
 func (m *Bench) Check(s *db.Session) error {
+	if err := m.checkOrders(s); err != nil {
+		return err
+	}
+	whTotal, distTotal, custTotal := m.paymentSums(s)
+	if whTotal != distTotal || custTotal != whTotal {
+		return fmt.Errorf("ordere: payment flow diverged: warehouses=%d districts=%d customers=%d",
+			whTotal, distTotal, custTotal)
+	}
+	return nil
+}
+
+// checkOrders verifies every resident order's total and line count against
+// its order-line index entries.
+func (m *Bench) checkOrders(s *db.Session) error {
 	type ref struct {
 		key uint64
 		rid db.RID
@@ -477,19 +526,22 @@ func (m *Bench) Check(s *db.Session) error {
 			return fmt.Errorf("ordere: order %d records %d lines, index has %d", o.key, rowF3(row), lines)
 		}
 	}
-	var whTotal, distTotal, custTotal int64
-	for w := 0; w < m.Scale.Warehouses; w++ {
-		whTotal += m.WarehouseYTD(s, uint64(w))
-	}
-	for dg := 0; dg < m.NumDistricts(); dg++ {
-		distTotal += m.DistrictYTD(s, uint64(dg))
-	}
-	for cg := 0; cg < m.NumCustomers(); cg++ {
-		custTotal += m.CustomerBalance(s, uint64(cg))
-	}
-	if whTotal != distTotal || custTotal != whTotal {
-		return fmt.Errorf("ordere: payment flow diverged: warehouses=%d districts=%d customers=%d",
-			whTotal, distTotal, custTotal)
-	}
 	return nil
+}
+
+// paymentSums totals the resident warehouses' YTDs, their districts' YTDs
+// and their customers' balances.
+func (m *Bench) paymentSums(s *db.Session) (whTotal, distTotal, custTotal int64) {
+	sc := m.Scale
+	for _, w := range m.owned {
+		whTotal += m.WarehouseYTD(s, w)
+		for d := 0; d < sc.DistrictsPerWarehouse; d++ {
+			dg := w*uint64(sc.DistrictsPerWarehouse) + uint64(d)
+			distTotal += m.DistrictYTD(s, dg)
+			for c := 0; c < sc.CustomersPerDistrict; c++ {
+				custTotal += m.CustomerBalance(s, dg*uint64(sc.CustomersPerDistrict)+uint64(c))
+			}
+		}
+	}
+	return whTotal, distTotal, custTotal
 }

@@ -1,0 +1,135 @@
+package ordere
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/db"
+	"codelayout/internal/shard"
+	"codelayout/internal/workload"
+)
+
+// Sharded is the order-entry database hash-partitioned by warehouse across
+// N engines. New-Orders are always warehouse-local (TPC-C's home-warehouse
+// stock simplification); a CrossShardPct fraction of Payments draw their
+// customer from another shard's warehouse and commit through 2PC — the
+// home shard takes the warehouse/district YTDs and the history row, the
+// remote shard the customer balance.
+//
+// Lock order stays globally consistent (warehouse → district → customer,
+// customer always last), so sharded order-entry remains deadlock-free; the
+// TPC-B mix is the one that exercises distributed deadlock cycles.
+type Sharded struct {
+	Scale    Scale
+	Map      shard.Map
+	Shards   []*Bench
+	crossPct int
+
+	whShard  []int      // warehouse → owning shard
+	remoteBy [][]uint64 // shard → warehouses on other shards
+}
+
+// LoadSharded implements workload.ShardedWorkload.
+func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, error) {
+	if len(engs) < 2 {
+		return nil, fmt.Errorf("ordere: LoadSharded needs >= 2 engines (got %d); use Load", len(engs))
+	}
+	sc := w.Scale
+	sb := &Sharded{
+		Scale:    sc,
+		Map:      shard.Map{Shards: len(engs)},
+		crossPct: w.Partitioning().CrossShardPct,
+		whShard:  make([]int, sc.Warehouses),
+		remoteBy: make([][]uint64, len(engs)),
+	}
+	for wh := 0; wh < sc.Warehouses; wh++ {
+		home := sb.Map.Of(uint64(wh))
+		sb.whShard[wh] = home
+		for i := range engs {
+			if i != home {
+				sb.remoteBy[i] = append(sb.remoteBy[i], uint64(wh))
+			}
+		}
+	}
+	for i, eng := range engs {
+		sh := i
+		b, err := loadOwned(eng, sc, func(warehouse uint64) bool { return sb.whShard[warehouse] == sh })
+		if err != nil {
+			return nil, err
+		}
+		sb.Shards = append(sb.Shards, b)
+	}
+	return sb, nil
+}
+
+// GenInput implements workload.ShardedInstance: the plain generator, except
+// that a CrossShardPct fraction of Payments take their customer from a
+// remote shard's warehouse.
+func (sb *Sharded) GenInput(r *rand.Rand) workload.Input {
+	home := sb.Shards[0] // generators share one Scale; any bench works
+	in := home.Gen(r)
+	if in.Kind == Payment {
+		remotes := sb.remoteBy[sb.whShard[in.Warehouse]]
+		if len(remotes) > 0 && r.Intn(100) < sb.crossPct {
+			in.CWarehouse = remotes[r.Intn(len(remotes))]
+		}
+	}
+	return in
+}
+
+// Home implements workload.ShardedInstance.
+func (sb *Sharded) Home(in workload.Input) int {
+	return sb.whShard[in.(Input).Warehouse]
+}
+
+// Remote implements workload.ShardedInstance.
+func (sb *Sharded) Remote(in workload.Input) bool {
+	req := in.(Input)
+	return sb.whShard[req.CWarehouse] != sb.whShard[req.Warehouse]
+}
+
+// RunTxn implements workload.ShardedInstance.
+func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
+	req := in.(Input)
+	home := sb.whShard[req.Warehouse]
+	custShard := sb.whShard[req.CWarehouse]
+	if req.Kind == NewOrder || custShard == home {
+		sb.Shards[home].RunTxn(ss[home], req)
+		return
+	}
+	hs, rs := ss[home], ss[custShard]
+	hb, rb := sb.Shards[home], sb.Shards[custShard]
+	pb := hs.PB
+	pb.Enter("payment_dist")
+	defer pb.Leave("payment_dist")
+	pb.Data(hs.ScratchAddr(1024), 256, true)
+	hs.Begin()
+	rs.Begin()
+	hb.payWarehouse(hs, req)
+	hb.payDistrict(hs, req)
+	rb.payCustomer(rs, req)
+	hb.payHistory(hs, req)
+	shard.Commit2PC(hs, rs)
+}
+
+// Check implements workload.ShardedInstance: per-shard order/order-line
+// consistency plus payment-flow conservation over the union of shards
+// (remote Payments split warehouse/district YTDs and the customer balance
+// across two engines, so only the global sums agree).
+func (sb *Sharded) Check(ss []*db.Session) error {
+	var whTotal, distTotal, custTotal int64
+	for i, b := range sb.Shards {
+		if err := b.checkOrders(ss[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		w, d, c := b.paymentSums(ss[i])
+		whTotal += w
+		distTotal += d
+		custTotal += c
+	}
+	if whTotal != distTotal || custTotal != whTotal {
+		return fmt.Errorf("ordere: sharded payment flow diverged: warehouses=%d districts=%d customers=%d",
+			whTotal, distTotal, custTotal)
+	}
+	return nil
+}

@@ -13,6 +13,10 @@ func init() {
 // Workload adapts the order-entry bench to the workload seam.
 type Workload struct {
 	Scale Scale
+	// CrossShardPct overrides the remote-Payment percentage on sharded
+	// machines; 0 uses workload.DefaultCrossShardPct, negative disables
+	// it.
+	CrossShardPct int
 }
 
 // New returns the order-entry workload at default scale.
@@ -26,7 +30,16 @@ func (w *Workload) Name() string { return "ordere" }
 
 // QuickScale implements workload.Workload.
 func (w *Workload) QuickScale() workload.Workload {
-	return NewScaled(Scale{Warehouses: 3, DistrictsPerWarehouse: 4, CustomersPerDistrict: 60, Items: 300})
+	return &Workload{
+		Scale:         Scale{Warehouses: 3, DistrictsPerWarehouse: 4, CustomersPerDistrict: 60, Items: 300},
+		CrossShardPct: w.CrossShardPct,
+	}
+}
+
+// Partitioning implements workload.ShardedWorkload: order-entry partitions
+// on the warehouse, TPC-C's natural partition key.
+func (w *Workload) Partitioning() workload.Partitioning {
+	return workload.Partitioning{Key: "warehouse", CrossShardPct: workload.EffectiveCrossShardPct(w.CrossShardPct)}
 }
 
 // DataPages implements workload.Workload. Orders and lines grow during the
@@ -150,6 +163,20 @@ func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {
 			codegen.Call{Fn: "pay_customer"},
 			codegen.Call{Fn: "pay_history"},
 			codegen.Call{Fn: "txn_commit"},
+			codegen.Seq(6), pick("rt", 4),
+		}},
+		// The distributed Payment (sharded machines): home warehouse,
+		// district and history, the remote-shard customer, then two-phase
+		// commit through the shard coordinator.
+		{Name: "payment_dist", Body: []codegen.Frag{
+			codegen.Seq(10), env.ErrPath(), pick("sql", 8),
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "pay_warehouse"},
+			codegen.Call{Fn: "pay_district"},
+			codegen.Call{Fn: "pay_customer"},
+			codegen.Call{Fn: "pay_history"},
+			codegen.Call{Fn: "dist_commit"},
 			codegen.Seq(6), pick("rt", 4),
 		}},
 	}

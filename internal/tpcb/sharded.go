@@ -1,0 +1,156 @@
+package tpcb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/db"
+	"codelayout/internal/shard"
+	"codelayout/internal/workload"
+)
+
+// Sharded is the TPC-B database hash-partitioned by branch across N
+// engines: a teller's transaction homes on its branch's shard, and a
+// CrossShardPct fraction of requests draw their account from another
+// shard's branch, turning the classic transaction into a distributed one
+// (home teller/branch/history plus a remote account update under 2PC).
+//
+// Local transactions keep the account→teller→branch lock order; distributed
+// ones acquire their home locks first and the remote account last, so
+// opposing cross-shard flows can form genuine distributed deadlock cycles —
+// which the shared waits-for graph resolves by victim abort.
+type Sharded struct {
+	Scale    Scale
+	Map      shard.Map
+	Shards   []*Bench
+	crossPct int
+
+	branchShard []int      // branch → owning shard
+	localBy     [][]uint64 // shard → branches it owns
+	remoteBy    [][]uint64 // shard → branches on other shards
+}
+
+// LoadSharded implements workload.ShardedWorkload.
+func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, error) {
+	if len(engs) < 2 {
+		return nil, fmt.Errorf("tpcb: LoadSharded needs >= 2 engines (got %d); use Load", len(engs))
+	}
+	sc := w.Scale
+	sb := &Sharded{
+		Scale:    sc,
+		Map:      shard.Map{Shards: len(engs)},
+		crossPct: w.Partitioning().CrossShardPct,
+
+		branchShard: make([]int, sc.Branches),
+		localBy:     make([][]uint64, len(engs)),
+		remoteBy:    make([][]uint64, len(engs)),
+	}
+	for br := 0; br < sc.Branches; br++ {
+		home := sb.Map.Of(uint64(br))
+		sb.branchShard[br] = home
+		for i := range engs {
+			if i == home {
+				sb.localBy[i] = append(sb.localBy[i], uint64(br))
+			} else {
+				sb.remoteBy[i] = append(sb.remoteBy[i], uint64(br))
+			}
+		}
+	}
+	for i, eng := range engs {
+		sh := i
+		b, err := loadOwned(eng, sc, func(branch uint64) bool { return sb.branchShard[branch] == sh })
+		if err != nil {
+			return nil, err
+		}
+		sb.Shards = append(sb.Shards, b)
+	}
+	return sb, nil
+}
+
+// acctBranch returns the branch an account belongs to.
+func (sb *Sharded) acctBranch(acct uint64) uint64 {
+	return acct / uint64(sb.Scale.AccountsPerBranch)
+}
+
+// GenInput implements workload.ShardedInstance: uniform teller (fixing the
+// home branch and shard), then an account drawn from the home shard's
+// branches — or, for a CrossShardPct fraction, from a remote shard's.
+func (sb *Sharded) GenInput(r *rand.Rand) workload.Input {
+	sc := sb.Scale
+	teller := uint64(r.Intn(sc.Branches * sc.TellersPerBranch))
+	branch := teller / uint64(sc.TellersPerBranch)
+	home := sb.branchShard[branch]
+	pool := sb.localBy[home]
+	if r.Intn(100) < sb.crossPct && len(sb.remoteBy[home]) > 0 {
+		pool = sb.remoteBy[home]
+	}
+	acctBranch := pool[r.Intn(len(pool))]
+	return Input{
+		Account: acctBranch*uint64(sc.AccountsPerBranch) + uint64(r.Intn(sc.AccountsPerBranch)),
+		Teller:  teller,
+		Branch:  branch,
+		Delta:   r.Int63n(1_999_999) - 999_999,
+	}
+}
+
+// Home implements workload.ShardedInstance.
+func (sb *Sharded) Home(in workload.Input) int {
+	return sb.branchShard[in.(Input).Branch]
+}
+
+// Remote implements workload.ShardedInstance.
+func (sb *Sharded) Remote(in workload.Input) bool {
+	req := in.(Input)
+	return sb.branchShard[sb.acctBranch(req.Account)] != sb.branchShard[req.Branch]
+}
+
+// RunTxn implements workload.ShardedInstance: single-shard requests run the
+// classic transaction on their home engine; cross-shard requests run the
+// distributed variant — home teller/branch/history, remote account, 2PC.
+func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
+	req := in.(Input)
+	home := sb.branchShard[req.Branch]
+	acctShard := sb.branchShard[sb.acctBranch(req.Account)]
+	if acctShard == home {
+		sb.Shards[home].Run(ss[home], req)
+		return
+	}
+	hs, rs := ss[home], ss[acctShard]
+	hb, rb := sb.Shards[home], sb.Shards[acctShard]
+	pb := hs.PB
+	pb.Enter("tpcb_dist")
+	defer pb.Leave("tpcb_dist")
+	pb.Data(hs.ScratchAddr(1024), 256, true)
+	hs.Begin()
+	rs.Begin()
+	hb.updTeller(hs, req.Teller, req.Delta)
+	hb.updBranch(hs, req.Branch, req.Delta)
+	rb.updAccount(rs, req.Account, req.Delta)
+	hb.insHistory(hs, req)
+	shard.Commit2PC(hs, rs)
+}
+
+// Check implements workload.ShardedInstance: TPC-B balance conservation
+// over the union of shards. Cross-shard transactions split their delta
+// between two engines, so no single shard balances — only the global sums
+// must agree.
+func (sb *Sharded) Check(ss []*db.Session) error {
+	var accounts, tellers, branches int64
+	for i, b := range sb.Shards {
+		s := ss[i]
+		for _, br := range b.owned {
+			branches += b.BranchBalance(s, br)
+			for t := 0; t < sb.Scale.TellersPerBranch; t++ {
+				tellers += b.TellerBalance(s, br*uint64(sb.Scale.TellersPerBranch)+uint64(t))
+			}
+			for a := 0; a < sb.Scale.AccountsPerBranch; a++ {
+				accounts += b.AccountBalance(s, br*uint64(sb.Scale.AccountsPerBranch)+uint64(a))
+			}
+		}
+	}
+	if accounts != branches || tellers != branches {
+		return fmt.Errorf("tpcb: sharded balances diverged: accounts=%d tellers=%d branches=%d",
+			accounts, tellers, branches)
+	}
+	return nil
+}

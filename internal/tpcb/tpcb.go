@@ -60,12 +60,25 @@ type Bench struct {
 
 	branchRID []db.RID
 	tellerRID []db.RID
+
+	// owned lists the branches resident in this engine, ascending (every
+	// branch for an unsharded load; one hash partition for a shard).
+	owned []uint64
 }
 
 // Load creates and populates the database through an uninstrumented session
 // (the paper starts profiling only after setup and warmup). It checkpoints
 // the loaded pages and marks the log flushed, so measured runs start clean.
 func Load(eng *db.Engine, sc Scale) (*Bench, error) {
+	return loadOwned(eng, sc, nil)
+}
+
+// loadOwned loads the slice of the database whose branches satisfy own (nil
+// = every branch): the branch rows, their tellers and accounts, and the
+// per-engine indexes over them. A shard's engine therefore holds only its
+// partition, while IDs stay global so routed transactions address rows the
+// same way at every shard count.
+func loadOwned(eng *db.Engine, sc Scale, own func(branch uint64) bool) (*Bench, error) {
 	if sc.Branches <= 0 || sc.TellersPerBranch <= 0 || sc.AccountsPerBranch <= 0 {
 		return nil, fmt.Errorf("tpcb: bad scale %+v", sc)
 	}
@@ -79,20 +92,31 @@ func Load(eng *db.Engine, sc Scale) (*Bench, error) {
 	b.Accounts = eng.CreateBTree("account_pk")
 	b.Tellers = eng.CreateBTree("teller_pk")
 
+	b.branchRID = make([]db.RID, sc.Branches)
+	b.tellerRID = make([]db.RID, sc.Branches*sc.TellersPerBranch)
 	for br := 0; br < sc.Branches; br++ {
-		rid := b.BranchTable.Insert(s, encodeRow(uint64(br), uint64(br), 0))
-		b.branchRID = append(b.branchRID, rid)
+		if own != nil && !own(uint64(br)) {
+			continue
+		}
+		b.owned = append(b.owned, uint64(br))
+		b.branchRID[br] = b.BranchTable.Insert(s, encodeRow(uint64(br), uint64(br), 0))
 	}
 	for t := 0; t < sc.Branches*sc.TellersPerBranch; t++ {
 		branch := uint64(t / sc.TellersPerBranch)
+		if own != nil && !own(branch) {
+			continue
+		}
 		rid := b.TellerTable.Insert(s, encodeRow(uint64(t), branch, 0))
-		b.tellerRID = append(b.tellerRID, rid)
+		b.tellerRID[t] = rid
 		if err := b.Tellers.Insert(s, uint64(t), rid.Pack()); err != nil {
 			return nil, err
 		}
 	}
 	for a := 0; a < sc.Branches*sc.AccountsPerBranch; a++ {
 		branch := uint64(a / sc.AccountsPerBranch)
+		if own != nil && !own(branch) {
+			continue
+		}
 		rid := b.AcctTable.Insert(s, encodeRow(uint64(a), branch, 0))
 		if err := b.Accounts.Insert(s, uint64(a), rid.Pack()); err != nil {
 			return nil, err

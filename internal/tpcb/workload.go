@@ -13,6 +13,11 @@ func init() {
 // Workload adapts the TPC-B bench to the workload seam.
 type Workload struct {
 	Scale Scale
+	// CrossShardPct overrides the percentage of sharded-machine requests
+	// whose account lives on another shard's branch; 0 uses
+	// workload.DefaultCrossShardPct, negative disables cross-shard
+	// traffic.
+	CrossShardPct int
 }
 
 // New returns the TPC-B workload at the paper's 40-branch scale.
@@ -27,7 +32,16 @@ func (w *Workload) Name() string { return "tpcb" }
 // QuickScale implements workload.Workload: a shrunken database for CI and
 // bench runs.
 func (w *Workload) QuickScale() workload.Workload {
-	return NewScaled(Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400})
+	return &Workload{
+		Scale:         Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400},
+		CrossShardPct: w.CrossShardPct,
+	}
+}
+
+// Partitioning implements workload.ShardedWorkload: TPC-B partitions on the
+// branch, the key the teller and branch updates already cluster around.
+func (w *Workload) Partitioning() workload.Partitioning {
+	return workload.Partitioning{Key: "branch", CrossShardPct: workload.EffectiveCrossShardPct(w.CrossShardPct)}
 }
 
 // DataPages implements workload.Workload (about 70 hundred-byte rows fit an
@@ -87,6 +101,20 @@ func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {
 			codegen.Call{Fn: "upd_branch"},
 			codegen.Call{Fn: "ins_history"},
 			codegen.Call{Fn: "txn_commit"},
+			codegen.Seq(6), pick("rt", 4),
+		}},
+		// The distributed variant (sharded machines): home-shard teller,
+		// branch and history, the remote-shard account, then two-phase
+		// commit through the shard coordinator.
+		{Name: "tpcb_dist", Body: []codegen.Frag{
+			codegen.Seq(10), env.ErrPath(), pick("sql", 8),
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "upd_teller"},
+			codegen.Call{Fn: "upd_branch"},
+			codegen.Call{Fn: "upd_account"},
+			codegen.Call{Fn: "ins_history"},
+			codegen.Call{Fn: "dist_commit"},
 			codegen.Seq(6), pick("rt", 4),
 		}},
 	}

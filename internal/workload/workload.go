@@ -65,6 +65,74 @@ type Workload interface {
 	Models(env *ModelEnv) []codegen.FnSpec
 }
 
+// Partitioning declares how a workload splits across sharded engines.
+type Partitioning struct {
+	// Key names the partition key ("branch", "warehouse", ...).
+	Key string
+	// CrossShardPct is the percentage of generated transactions that touch
+	// a second shard (and therefore commit through two-phase commit) when
+	// more than one shard is configured.
+	CrossShardPct int
+}
+
+// DefaultCrossShardPct is the cross-shard transaction fraction sharded
+// workloads use unless overridden — the spirit of TPC-C's 15% remote
+// Payment rate.
+const DefaultCrossShardPct = 15
+
+// EffectiveCrossShardPct normalizes a workload's cross-shard override: 0
+// selects DefaultCrossShardPct, negative disables cross-shard traffic.
+func EffectiveCrossShardPct(override int) int {
+	switch {
+	case override < 0:
+		return 0
+	case override == 0:
+		return DefaultCrossShardPct
+	default:
+		return override
+	}
+}
+
+// ShardedWorkload is implemented by workloads that can partition their
+// database across multiple engines behind the shard router.
+type ShardedWorkload interface {
+	Workload
+
+	// Partitioning describes the workload's partition scheme and
+	// cross-shard transaction fraction.
+	Partitioning() Partitioning
+
+	// LoadSharded hash-partitions the database across the engines — engine
+	// i receives the rows whose partition key maps to shard i — and
+	// returns the routed instance. len(engs) must be at least 2; a single
+	// engine uses the plain Load path.
+	LoadSharded(engs []*db.Engine) (ShardedInstance, error)
+}
+
+// ShardedInstance is a workload loaded across sharded engines: the handle
+// server processes use to generate, route and run transactions.
+type ShardedInstance interface {
+	// GenInput draws one transaction request from the client's RNG; a
+	// CrossShardPct fraction of requests touch a remote shard.
+	GenInput(r *rand.Rand) Input
+
+	// Home returns the shard owning in's partition key.
+	Home(in Input) int
+
+	// Remote reports whether in also touches a shard other than Home(in).
+	Remote(in Input) bool
+
+	// RunTxn executes in over the per-shard sessions (ss[i] bound to
+	// engine i; all sessions of one process share one probe), committing
+	// through two-phase commit when the transaction touched two shards.
+	RunTxn(ss []*db.Session, in Input)
+
+	// Check verifies the workload's consistency invariants over the union
+	// of shards (uninstrumented sessions, ss[i] on engine i); cross-shard
+	// conservation must hold globally even though no single shard balances.
+	Check(ss []*db.Session) error
+}
+
 // ModelEnv gives workload model builders access to the image's generated
 // library layers, so workload code models dispatch into the same helper
 // families the engine models use.
