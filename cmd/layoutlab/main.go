@@ -1,9 +1,12 @@
-// layoutlab regenerates the paper's tables and figures.
+// layoutlab regenerates the paper's tables and figures, plus the
+// cross-workload/cross-shard extension tables.
 //
 //	layoutlab -list
 //	layoutlab -run fig05            # one experiment, quick configuration
 //	layoutlab -run all -full        # everything at paper scale
 //	layoutlab -run fig04 -csv out/  # also dump CSV files
+//	layoutlab -table robustness -matrix tpcb,ordere,ycsb -shardlist 1,4
+//	layoutlab -table shardsweep -sweep 1,2,4,8
 package main
 
 import (
@@ -11,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"codelayout/internal/expt"
@@ -19,6 +23,7 @@ import (
 
 	_ "codelayout/internal/ordere" // register the order-entry workload
 	_ "codelayout/internal/tpcb"   // register the TPC-B workload
+	_ "codelayout/internal/ycsb"   // register the key-value workload
 )
 
 func main() {
@@ -32,6 +37,12 @@ func main() {
 		shards = flag.Int("shards", 0, "override shard count (partitioned engines)")
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
+
+		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix) or shardsweep")
+		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness: comma-separated workloads spanning both axes")
+		shardlist = flag.String("shardlist", "1,4", "robustness: comma-separated shard counts spanning both axes")
+		sweep     = flag.String("sweep", "1,2,4,8", "shardsweep: comma-separated shard counts to sweep")
+		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate")
 	)
 	flag.Parse()
 
@@ -42,20 +53,13 @@ func main() {
 		return
 	}
 
-	wl, err := workload.New(*wlName)
-	if err != nil {
-		fatal(err)
-	}
 	opts := expt.QuickOptions()
 	if *full {
 		opts = expt.DefaultOptions()
-	} else {
-		wl = wl.QuickScale()
 	}
-	opts.Workload = wl
 	if *seed != 0 {
 		opts.Seed = *seed
-		opts.TrainSeed = *seed + 7
+		opts.Train.Seed = *seed + 7
 	}
 	if *txns != 0 {
 		opts.Transactions = *txns
@@ -66,6 +70,21 @@ func main() {
 	if *shards != 0 {
 		opts.Shards = *shards
 	}
+
+	if *table != "" {
+		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *sweep, *layout)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables, *csvDir)
+		return
+	}
+
+	wl, err := resolveWorkload(*wlName, *full)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Workload = wl
 
 	s, err := expt.NewSession(opts)
 	if err != nil {
@@ -85,13 +104,94 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for _, t := range tables {
-			t.Render(os.Stdout)
-			fmt.Println()
-			if *csvDir != "" {
-				if err := writeCSV(*csvDir, t); err != nil {
-					fatal(err)
-				}
+		emit(tables, *csvDir)
+	}
+}
+
+// resolveWorkload looks a workload up by name at paper or quick scale.
+func resolveWorkload(name string, full bool) (workload.Workload, error) {
+	wl, err := workload.New(name)
+	if err != nil {
+		return nil, err
+	}
+	if !full {
+		wl = wl.QuickScale()
+	}
+	return wl, nil
+}
+
+// extensionTables runs the cross-workload/cross-shard tables that need more
+// configuration than one session carries.
+func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, sweep, layout string) ([]*stats.Table, error) {
+	switch kind {
+	case "robustness":
+		var wls []workload.Workload
+		for _, name := range splitList(matrix) {
+			wl, err := resolveWorkload(name, full)
+			if err != nil {
+				return nil, err
+			}
+			wls = append(wls, wl)
+		}
+		shards, err := parseInts(shardlist)
+		if err != nil {
+			return nil, err
+		}
+		res, err := expt.Robustness(opts, expt.RobustnessSpec{
+			Workloads: wls, Shards: shards, Layout: layout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	case "shardsweep":
+		wl, err := resolveWorkload(wlName, full)
+		if err != nil {
+			return nil, err
+		}
+		opts.Workload = wl
+		shards, err := parseInts(sweep)
+		if err != nil {
+			return nil, err
+		}
+		t, err := expt.ShardSweep(opts, shards, []string{"base", layout})
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
+	}
+	return nil, fmt.Errorf("unknown table %q (have robustness, shardsweep)", kind)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func emit(tables []*stats.Table, csvDir string) {
+	for _, t := range tables {
+		t.Render(os.Stdout)
+		fmt.Println()
+		if csvDir != "" {
+			if err := writeCSV(csvDir, t); err != nil {
+				fatal(err)
 			}
 		}
 	}

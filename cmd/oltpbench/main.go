@@ -2,9 +2,16 @@
 // reports throughput and memory-system behavior, optionally recording the
 // instruction/data trace for offline replay with cmd/icachesim.
 //
+// With -opt it first trains in-process — profiling a (possibly different)
+// workload at a (possibly different) shard count under the baseline layout,
+// then optimizing with the named combo — and evaluates the resulting
+// layout, so profile-transplant runs work standalone:
+//
 //	oltpbench -workload tpcb -txns 500 -cpus 4 -layout app.layout -trace run.trace
 //	oltpbench -workload ordere -quick
 //	oltpbench -workload ordere -shards 4 -gcwindow 60000
+//	oltpbench -workload tpcb -shards 4 -gcauto
+//	oltpbench -workload tpcb -opt all -train-workload ycsb -train-shards 4
 package main
 
 import (
@@ -14,14 +21,17 @@ import (
 
 	"codelayout/internal/appmodel"
 	"codelayout/internal/cache"
+	"codelayout/internal/core"
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
+	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 
 	_ "codelayout/internal/ordere" // register the order-entry workload
 	_ "codelayout/internal/tpcb"   // register the TPC-B workload
+	_ "codelayout/internal/ycsb"   // register the key-value workload
 )
 
 func main() {
@@ -34,15 +44,24 @@ func main() {
 		procs     = flag.Int("procs", 8, "server processes per CPU")
 		shards    = flag.Int("shards", 1, "partitioned database engines behind the shard router")
 		gcWindow  = flag.Uint64("gcwindow", 0, "group-commit batching window in instruction-times (0 = flush as soon as a leader arrives)")
+		gcAuto    = flag.Bool("gcauto", false, "pick each shard's group-commit window from the warmup commit arrival rate")
 		perCommit = flag.Bool("percommit", false, "disable group commit: every commit pays its own log write")
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
 		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
 		quick     = flag.Bool("quick", false, "use the workload's quick scale")
 		layoutIn  = flag.String("layout", "", "optimized layout file (from spike); default baseline")
+		optCombo  = flag.String("opt", "", "train in-process and optimize with this combo (e.g. all, ipchain) before measuring")
+		trainWl   = flag.String("train-workload", "", "workload to profile when -opt is set (default: the evaluated workload)")
+		trainSh   = flag.Int("train-shards", 0, "shard count of the -opt training run (default: -shards)")
+		trainTxns = flag.Int("train-txns", 2000, "profiled transactions of the -opt training run")
 		tracePath = flag.String("trace", "", "write the measured trace to this file")
 	)
 	flag.Parse()
+
+	if *optCombo != "" && *layoutIn != "" {
+		fatal(fmt.Errorf("-opt and -layout conflict: one trains in-process, the other loads a layout file"))
+	}
 
 	wl, err := workload.New(*wlName)
 	if err != nil {
@@ -52,8 +71,23 @@ func main() {
 		wl = wl.QuickScale()
 	}
 
+	// The training workload (when it differs) joins the image, so the
+	// trained profile maps onto the same program the evaluation runs.
+	var extra []workload.Workload
+	train := wl
+	if *trainWl != "" && *trainWl != *wlName {
+		train, err = workload.New(*trainWl)
+		if err != nil {
+			fatal(err)
+		}
+		if *quick {
+			train = train.QuickScale()
+		}
+		extra = append(extra, train)
+	}
+
 	app, err := appmodel.Build(appmodel.Config{
-		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl, ExtraWorkloads: extra,
 	})
 	if err != nil {
 		fatal(err)
@@ -75,6 +109,40 @@ func main() {
 	kernL, err := program.BaselineLayout(kern.Prog)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *optCombo != "" {
+		trainShards := *trainSh
+		if trainShards == 0 {
+			trainShards = *shards
+		}
+		px := profile.NewPixie(app.Prog, "pixie-train")
+		tcfg := machine.Config{
+			CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed + 7,
+			Shards:     trainShards,
+			WarmupTxns: *warmup, Transactions: *trainTxns,
+			Workload: train,
+			AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
+			AppCollector: px,
+		}
+		tm, err := machine.New(tcfg)
+		if err != nil {
+			fatal(fmt.Errorf("training: %w", err))
+		}
+		tres, err := tm.Run()
+		if err != nil {
+			fatal(fmt.Errorf("training: %w", err))
+		}
+		pl, err := core.ComboPipeline(*optCombo)
+		if err != nil {
+			fatal(err)
+		}
+		appL, _, err = pl.Run(app.Prog, px.Profile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained on:       %d %s txns at %d shard(s), optimized with %q (%s)\n",
+			tres.Committed, train.Name(), trainShards, *optCombo, pl.String())
 	}
 
 	ic := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 4})
@@ -99,7 +167,8 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
 		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
-		WarmupTxns: *warmup, Transactions: *txns,
+		AutoGroupCommit: *gcAuto,
+		WarmupTxns:      *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		Sinks: sinks, DataSinks: dataSinks,
@@ -124,6 +193,9 @@ func main() {
 		part := wl.(workload.ShardedWorkload).Partitioning()
 		fmt.Printf("shards:           %d engines by %s, %d%% cross-shard (%d cross-shard txns, %d deadlock aborts)\n",
 			*shards, part.Key, part.CrossShardPct, res.CrossShard, res.Aborted)
+	}
+	if *gcAuto {
+		fmt.Printf("gc windows:       %v (auto-tuned from warmup arrival rate)\n", m.GroupCommitWindows())
 	}
 	fmt.Printf("committed:        %d transactions\n", res.Committed)
 	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",

@@ -2,7 +2,12 @@
 // them to disk, the inputs of the cmd/pixie → cmd/spike → cmd/oltpbench
 // pipeline.
 //
+// With -train-workload the app image is the union of both workloads'
+// models, matching the image cmd/pixie builds when profiling one mix for
+// evaluation under another — the offline transplant pipeline:
+//
 //	oltpgen -out ./images -seed 2001 -libscale 1.0 -workload ordere
+//	oltpgen -out ./images -workload tpcb -train-workload ycsb
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	_ "codelayout/internal/ordere" // register the order-entry workload
 	_ "codelayout/internal/tpcb"   // register the TPC-B workload
+	_ "codelayout/internal/ycsb"   // register the key-value workload
 )
 
 func main() {
@@ -27,6 +33,7 @@ func main() {
 		cold     = flag.Int("cold", 6_400_000, "cold code words in the app image")
 		kcold    = flag.Int("kcold", 1_400_000, "cold code words in the kernel image")
 		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("workload whose models root the app image %v", workload.Names()))
+		trainWl  = flag.String("train-workload", "", "additional workload whose models join the image (the pixie -train-workload union)")
 	)
 	flag.Parse()
 
@@ -34,11 +41,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var extra []workload.Workload
+	if *trainWl != "" && *trainWl != *wlName {
+		train, err := workload.New(*trainWl)
+		if err != nil {
+			fatal(err)
+		}
+		extra = append(extra, train)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 	app, err := appmodel.Build(appmodel.Config{
-		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl, ExtraWorkloads: extra,
 	})
 	if err != nil {
 		fatal(err)
@@ -48,8 +63,12 @@ func main() {
 		fatal(err)
 	}
 	st := app.Prog.ComputeStats()
+	label := wl.Name()
+	for _, w := range extra {
+		label += "+" + w.Name()
+	}
 	fmt.Printf("wrote %s (%s workload): %d procs (%d cold), %d blocks, %.1f MB static\n",
-		appPath, wl.Name(), st.Procs, st.ColdProcs, st.Blocks, float64(st.BodyWords*4)/(1<<20))
+		appPath, label, st.Procs, st.ColdProcs, st.Blocks, float64(st.BodyWords*4)/(1<<20))
 
 	kern, err := kernel.Build(kernel.Config{Seed: *seed + 1, ColdWords: *kcold})
 	if err != nil {

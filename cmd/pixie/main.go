@@ -3,7 +3,14 @@
 // rebuilt from its seed, the workload runs under the baseline layout, and
 // exact block/edge counts are written to a profile file.
 //
+// The profiled mix may differ from the image's evaluation workload: with
+// -train-workload (and -train-shards) the image is built as a union of both
+// workloads' models and the training mix is the one that runs, so the saved
+// profile transplants onto an evaluation of -workload — the offline half of
+// the robustness experiments.
+//
 //	pixie -workload tpcb -seed 2001 -txns 2000 -out oltp.prof
+//	pixie -workload tpcb -train-workload ycsb -train-shards 4 -out drift.prof
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	_ "codelayout/internal/ordere" // register the order-entry workload
 	_ "codelayout/internal/tpcb"   // register the TPC-B workload
+	_ "codelayout/internal/ycsb"   // register the key-value workload
 )
 
 func main() {
@@ -32,7 +40,9 @@ func main() {
 		shards   = flag.Int("shards", 1, "partitioned database engines behind the shard router")
 		libScale = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold     = flag.Int("cold", 6_400_000, "app cold words")
-		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("workload to profile %v", workload.Names()))
+		wlName   = flag.String("workload", "tpcb", fmt.Sprintf("image (evaluation) workload %v", workload.Names()))
+		trainWl  = flag.String("train-workload", "", "workload whose transactions are profiled (default: -workload)")
+		trainSh  = flag.Int("train-shards", 0, "shard count of the profiling run (default: -shards)")
 		quick    = flag.Bool("quick", false, "use the workload's quick scale")
 		out      = flag.String("out", "oltp.prof", "profile output file")
 		kout     = flag.String("kout", "", "optional kernel profile output file")
@@ -46,9 +56,24 @@ func main() {
 	if *quick {
 		wl = wl.QuickScale()
 	}
+	var extra []workload.Workload
+	train := wl
+	if *trainWl != "" && *trainWl != *wlName {
+		train, err = workload.New(*trainWl)
+		if err != nil {
+			fatal(err)
+		}
+		if *quick {
+			train = train.QuickScale()
+		}
+		extra = append(extra, train)
+	}
+	if *trainSh != 0 {
+		*shards = *trainSh
+	}
 
 	app, err := appmodel.Build(appmodel.Config{
-		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl,
+		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl, ExtraWorkloads: extra,
 	})
 	if err != nil {
 		fatal(err)
@@ -71,7 +96,7 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, Seed: *runSeed, Shards: *shards,
 		WarmupTxns: *warmup, Transactions: *txns,
-		Workload: wl,
+		Workload: train,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		AppCollector: px, KernCollector: kx,
 	}
@@ -86,8 +111,8 @@ func main() {
 	if err := px.Profile.SaveFile(*out); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("profiled %d %s txns (%d app + %d kernel instructions), wrote %s\n",
-		res.Committed, wl.Name(), res.AppInstrs, res.KernelInstrs, *out)
+	fmt.Printf("profiled %d %s txns (%d app + %d kernel instructions) over image %s, wrote %s\n",
+		res.Committed, train.Name(), res.AppInstrs, res.KernelInstrs, app.Prog.Name, *out)
 	if *kout != "" {
 		if err := kx.Profile.SaveFile(*kout); err != nil {
 			fatal(err)

@@ -34,6 +34,7 @@ import (
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
+	"codelayout/internal/ycsb"
 
 	_ "codelayout/internal/ordere" // register the order-entry workload
 )
@@ -140,17 +141,40 @@ type (
 	Partitioning = workload.Partitioning
 )
 
-// Workloads lists the registered workload names ("tpcb", "ordere", ...).
+// Workloads lists the registered workload names ("tpcb", "ordere", "ycsb",
+// ...).
 func Workloads() []string { return workload.Names() }
 
 // NewWorkload returns the named workload at its default (paper) scale.
 func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// RegisterWorkload adds a user-defined mix to the name registry, making it
+// reachable by every -workload flag, session option and experiment table
+// without importing internal packages. It errors on duplicate names. See
+// examples/customworkload for a complete program.
+func RegisterWorkload(name string, f func() Workload) error {
+	return workload.RegisterUser(name, f)
+}
 
 // TPCB returns the paper's TPC-B workload at default scale.
 func TPCB() Workload { return tpcb.New() }
 
 // TPCBScaled returns the TPC-B workload at an explicit scale.
 func TPCBScaled(sc Scale) Workload { return tpcb.NewScaled(sc) }
+
+// YCSB returns the key-value point-read workload at default scale (95/5
+// read/update).
+func YCSB() Workload { return ycsb.New() }
+
+// YCSBMix returns a key-value workload variant with its own registry label
+// and read percentage — the building block for user-defined mixes (register
+// it with RegisterWorkload to make it addressable by name).
+func YCSBMix(label string, readPct int) Workload {
+	w := ycsb.New()
+	w.Label = label
+	w.ReadPct = readPct
+	return w
+}
 
 // ImageConfig shapes the OLTP application image.
 type ImageConfig = appmodel.Config
@@ -196,6 +220,18 @@ type (
 	Session = expt.Session
 	// SessionOptions configures a session.
 	SessionOptions = expt.Options
+	// TrainConfig is the train-side half of a session's configuration:
+	// the workload, seed, shard count and length of the profiling run a
+	// layout is built from. Zero fields inherit from the evaluation side.
+	TrainConfig = expt.TrainConfig
+	// ProfileSource owns shared images and memoized training runs, so
+	// several sessions (or several train configs in one session) evaluate
+	// layouts over one program.
+	ProfileSource = expt.ProfileSource
+	// RobustnessSpec configures the train×eval robustness matrix.
+	RobustnessSpec = expt.RobustnessSpec
+	// RobustnessResult carries the matrix cells and rendered tables.
+	RobustnessResult = expt.RobustnessResult
 )
 
 // DefaultSessionOptions is the paper-scale configuration.
@@ -206,6 +242,32 @@ func QuickSessionOptions() SessionOptions { return expt.QuickOptions() }
 
 // NewSession builds the images and baseline layouts for experiments.
 func NewSession(o SessionOptions) (*Session, error) { return expt.NewSession(o) }
+
+// NewProfileSource builds shared images covering o's workload plus any
+// extras, so sessions created with NewSessionFrom can transplant layouts
+// trained on any covered workload.
+func NewProfileSource(o SessionOptions, extra ...Workload) (*ProfileSource, error) {
+	return expt.NewProfileSource(o, extra...)
+}
+
+// NewSessionFrom builds a session over a shared profile source.
+func NewSessionFrom(src *ProfileSource, o SessionOptions) (*Session, error) {
+	return expt.NewSessionFrom(src, o)
+}
+
+// Robustness runs the train×eval robustness matrix: every listed workload ×
+// shard count is both a training configuration and an evaluation cell, and
+// the tables report self-trained vs transplanted miss ratios — the
+// profile-drift cost of reusing stale layouts.
+func Robustness(o SessionOptions, spec RobustnessSpec) (*RobustnessResult, error) {
+	return expt.Robustness(o, spec)
+}
+
+// ShardSweep sweeps the shard count over o's workload, self-training at
+// each count, and reports throughput, blocked-on-log time and miss ratios.
+func ShardSweep(o SessionOptions, shardCounts []int, layouts []string) (*Table, error) {
+	return expt.ShardSweep(o, shardCounts, layouts)
+}
 
 // ExperimentIDs lists the reproducible figures and in-text results.
 func ExperimentIDs() []string { return expt.IDs() }

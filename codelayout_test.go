@@ -156,7 +156,7 @@ func TestFacadeExperimentIDs(t *testing.T) {
 
 func TestFacadeWorkloadRegistry(t *testing.T) {
 	names := codelayout.Workloads()
-	want := map[string]bool{"tpcb": false, "ordere": false}
+	want := map[string]bool{"tpcb": false, "ordere": false, "ycsb": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -170,7 +170,75 @@ func TestFacadeWorkloadRegistry(t *testing.T) {
 	if codelayout.TPCB().Name() != "tpcb" {
 		t.Fatal("TPCB() helper broken")
 	}
+	if codelayout.YCSB().Name() != "ycsb" {
+		t.Fatal("YCSB() helper broken")
+	}
 	if _, err := codelayout.NewWorkload("nope"); err == nil {
 		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestFacadeRegisterWorkload(t *testing.T) {
+	mk := func() codelayout.Workload { return codelayout.YCSBMix("facade-mix", 50) }
+	if err := codelayout.RegisterWorkload("facade-mix", mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := codelayout.RegisterWorkload("facade-mix", mk); err == nil {
+		t.Fatal("duplicate registration must error, not panic")
+	}
+	wl, err := codelayout.NewWorkload("facade-mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Name() != "facade-mix" {
+		t.Fatalf("name = %q", wl.Name())
+	}
+	found := false
+	for _, n := range codelayout.Workloads() {
+		if n == "facade-mix" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered mix missing from Workloads()")
+	}
+}
+
+// TestFacadeTrainEvalSeam: the train/eval split is reachable through the
+// facade — a shared profile source, a session over it, and a transplanted
+// measurement keyed separately from the self-trained one.
+func TestFacadeTrainEvalSeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	o := codelayout.QuickSessionOptions()
+	o.Transactions = 30
+	o.WarmupTxns = 10
+	o.Train.Txns = 80
+	o.CPUs = 1
+	o.ProcsPerCPU = 3
+	o.LibScale = 0.2
+	o.ColdWords = 200_000
+	o.KernColdWords = 60_000
+	o.Workload = codelayout.TPCBScaled(codelayout.Scale{Branches: 4, TellersPerBranch: 3, AccountsPerBranch: 100})
+	stock := codelayout.YCSB().QuickScale()
+	src, err := codelayout.NewProfileSource(o, stock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := codelayout.NewSessionFrom(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := s.Measure("all", o.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := s.MeasureFrom(codelayout.TrainConfig{Workload: stock}, "all", o.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self == cross {
+		t.Fatal("transplanted measure aliases the self-trained memo entry")
 	}
 }

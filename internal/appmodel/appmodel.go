@@ -35,6 +35,14 @@ type Config struct {
 	// Workload contributes the transaction models rooted in the engine
 	// models; required.
 	Workload workload.Workload
+	// ExtraWorkloads contributes additional workloads' transaction models
+	// after Workload's, producing a union binary: one program covers every
+	// listed mix, so a profile collected while running any of them maps
+	// onto the same blocks — the portability the train/eval-mismatch
+	// experiments need. Empty leaves the image bit-identical to the
+	// single-workload build. Workloads duplicating Workload's name (or an
+	// earlier extra's) are skipped.
+	ExtraWorkloads []workload.Workload
 }
 
 // DefaultConfig returns the paper-calibrated image shape for a workload.
@@ -254,6 +262,28 @@ func Build(cfg Config) (*codegen.Image, error) {
 	// but always present so one image serves every shard count).
 	env := &workload.ModelEnv{Pick: pick, ErrPath: errPath}
 	wlSpecs := cfg.Workload.Models(env)
+	imgName := "oracle-like-oltp-" + cfg.Workload.Name()
+	seen := map[string]bool{cfg.Workload.Name(): true}
+	seenFn := make(map[string]bool, len(wlSpecs))
+	for _, fs := range wlSpecs {
+		seenFn[fs.Name] = true
+	}
+	for _, w := range cfg.ExtraWorkloads {
+		if seen[w.Name()] {
+			continue
+		}
+		seen[w.Name()] = true
+		// Variants of one implementation share model functions; the first
+		// definition serves every workload that probes it by name.
+		for _, fs := range w.Models(env) {
+			if seenFn[fs.Name] {
+				continue
+			}
+			seenFn[fs.Name] = true
+			wlSpecs = append(wlSpecs, fs)
+		}
+		imgName += "+" + w.Name()
+	}
 	wlSpecs = append(wlSpecs, shard.Models(env)...)
 
 	// 4. Cold complement.
@@ -294,7 +324,7 @@ func Build(cfg Config) (*codegen.Image, error) {
 	fns = append(fns, cold[ci:]...)
 
 	return codegen.Build(codegen.ImageSpec{
-		Name:     "oracle-like-oltp-" + cfg.Workload.Name(),
+		Name:     imgName,
 		TextBase: isa.AppTextBase,
 		Fns:      fns,
 	})

@@ -32,6 +32,12 @@ type Engine struct {
 	// benches compare against.
 	PerCommitFlush bool
 
+	// windowPending marks that this engine's flush leader just requested a
+	// log_window sleep, so the environment can attribute the sleep to this
+	// engine's (possibly per-shard auto-tuned) window. See
+	// TakeWindowPending.
+	windowPending bool
+
 	graph *WaitGraph
 
 	trees     map[string]*BTree
@@ -105,6 +111,20 @@ func NewEngine(cfg Config) *Engine {
 		pageLimit:         cfg.PageLimit,
 		nextTxn:           1,
 	}
+}
+
+// TakeWindowPending reports whether this engine's flush leader just emitted
+// a log_window syscall and, if so, returns the engine's batching window and
+// clears the mark. The machine uses it to charge the correct per-shard
+// window when shards are tuned independently; exactly one engine of the
+// running process can be pending, since a process commits one log force at a
+// time.
+func (e *Engine) TakeWindowPending() (uint64, bool) {
+	if !e.windowPending {
+		return 0, false
+	}
+	e.windowPending = false
+	return e.GroupCommitWindow, true
 }
 
 // AllocPage reserves a fresh page ID.

@@ -132,7 +132,9 @@ func (s *Session) logForce(lsn uint64) {
 			if !s.Eng.PerCommitFlush && s.Eng.GroupCommitWindow > 0 {
 				// The leader stands in for the shard's log daemon: it
 				// sleeps out the batching window while later commits
-				// append behind it.
+				// append behind it. The pending mark tells the
+				// environment whose (per-shard) window this sleep is.
+				s.Eng.windowPending = true
 				s.PB.Syscall("log_window")
 			}
 			target := w.CurrentLSN()

@@ -21,7 +21,7 @@ func session(t *testing.T) *expt.Session {
 	// Even quicker for unit tests.
 	o.Transactions = 60
 	o.WarmupTxns = 15
-	o.TrainTxns = 150
+	o.Train.Txns = 150
 	o.CPUs = 2
 	o.ProcsPerCPU = 4
 	o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 5, AccountsPerBranch: 250})

@@ -25,16 +25,17 @@ func pctOf(opt, base uint64) string {
 
 // fig03 — execution profile of the unoptimized application binary.
 func fig03(s *Session) ([]*stats.Table, error) {
-	if err := s.Train(); err != nil {
+	prof, err := s.Profile()
+	if err != nil {
 		return nil, err
 	}
-	base := s.layouts["base"]
-	prog := s.appImg.Prog
+	base := s.src.baseApp
+	prog := s.src.appImg.Prog
 	static := make([]int64, prog.NumBlocks())
 	dyn := make([]uint64, prog.NumBlocks())
 	for i := range prog.Blocks {
 		static[i] = int64(base.Occ[i]) * isa.WordBytes
-		dyn[i] = s.train.Count(program.BlockID(i)) * uint64(base.Occ[i])
+		dyn[i] = prof.Count(program.BlockID(i)) * uint64(base.Occ[i])
 	}
 	pts := stats.CumulativeProfile(static, dyn)
 

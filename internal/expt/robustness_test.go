@@ -1,0 +1,133 @@
+package expt_test
+
+import (
+	"testing"
+
+	"codelayout/internal/expt"
+	"codelayout/internal/ordere"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/workload"
+	"codelayout/internal/ycsb"
+)
+
+func tinyMatrixOptions() expt.Options {
+	o := expt.QuickOptions()
+	o.Transactions = 40
+	o.WarmupTxns = 10
+	o.Train.Txns = 100
+	o.CPUs = 2
+	o.ProcsPerCPU = 3
+	o.LibScale = 0.3
+	o.ColdWords = 400_000
+	o.KernColdWords = 100_000
+	return o
+}
+
+func tinyMatrixWorkloads() []workload.Workload {
+	return []workload.Workload{
+		tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 4, AccountsPerBranch: 150}),
+		ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120}),
+		ycsb.NewScaled(ycsb.Scale{Records: 2500}),
+	}
+}
+
+// TestRobustnessMatrix is the acceptance test for the train/eval seam: the
+// full train×eval matrix over three workloads and two shard counts runs in
+// one process, the self-trained diagonal beats the unoptimized baseline in
+// every cell, and each diagonal entry is no worse than every transplanted
+// layout for its eval cell — or the drift is reported, never silently equal
+// by memo collision.
+func TestRobustnessMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	spec := expt.RobustnessSpec{
+		Workloads: tinyMatrixWorkloads(),
+		Shards:    []int{1, 2},
+		Layout:    "all",
+	}
+	res, err := expt.Robustness(tinyMatrixOptions(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsPerAxis := len(spec.Workloads) * len(spec.Shards)
+	if want := cellsPerAxis * cellsPerAxis; len(res.Cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(res.Cells), want)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables rendered")
+	}
+	for _, tb := range res.Tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("empty table %q", tb.Title)
+		}
+	}
+
+	type cellID struct {
+		w string
+		s int
+	}
+	var axes []cellID
+	for _, w := range spec.Workloads {
+		for _, n := range spec.Shards {
+			axes = append(axes, cellID{w.Name(), n})
+		}
+	}
+	for _, eval := range axes {
+		self := res.Cell(eval.w, eval.s, eval.w, eval.s)
+		if self == nil || !self.SelfTrained {
+			t.Fatalf("missing self-trained cell for %s/s%d", eval.w, eval.s)
+		}
+		if self.MissRatio >= self.BaseMissRatio {
+			t.Errorf("%s/s%d: self-trained layout did not beat baseline: %.4f vs %.4f",
+				eval.w, eval.s, self.MissRatio, self.BaseMissRatio)
+		}
+		distinct := false
+		for _, train := range axes {
+			if train == eval {
+				continue
+			}
+			c := res.Cell(train.w, train.s, eval.w, eval.s)
+			if c == nil {
+				t.Fatalf("missing cell train %s/s%d eval %s/s%d", train.w, train.s, eval.w, eval.s)
+			}
+			if c.SelfTrained {
+				t.Fatalf("off-diagonal cell train %s/s%d eval %s/s%d marked self-trained",
+					train.w, train.s, eval.w, eval.s)
+			}
+			if c.MissRatio != self.MissRatio || c.InstrPerTxn != self.InstrPerTxn {
+				distinct = true
+			}
+			if c.MissRatio < self.MissRatio {
+				// The diagonal is allowed to lose at tiny scale, but the
+				// drift must be visible, never silently absorbed.
+				t.Logf("drift: eval %s/s%d is served better by train %s/s%d (%.4f < %.4f)",
+					eval.w, eval.s, train.w, train.s, c.MissRatio, self.MissRatio)
+			} else if self.MissRatio > 0 {
+				t.Logf("eval %s/s%d ← train %s/s%d: transplant costs %+.1f%% misses",
+					eval.w, eval.s, train.w, train.s, 100*(c.MissRatio/self.MissRatio-1))
+			}
+		}
+		if !distinct {
+			t.Errorf("%s/s%d: every transplanted measure is identical to the self-trained one — memo collision or dead train/eval seam",
+				eval.w, eval.s)
+		}
+	}
+}
+
+// TestShardSweepTable: the shard-count sweep runs the sharded machine at
+// each count over one shared image and reports non-degenerate rows.
+func TestShardSweepTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	o := tinyMatrixOptions()
+	o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 8, TellersPerBranch: 4, AccountsPerBranch: 150})
+	tb, err := expt.ShardSweep(o, []int{1, 2, 4}, []string{"base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tb.Rows))
+	}
+}

@@ -1,8 +1,11 @@
 // Package expt is the experiment harness: it regenerates every table and
-// figure of the paper's evaluation from the simulated system. A Session
-// owns the built images, the training profile, the optimized layouts, and a
-// memo of measured runs, so that the many figures drawing on the same run
-// share one simulation.
+// figure of the paper's evaluation from the simulated system. A
+// ProfileSource owns the built images and the memoized training runs; a
+// Session evaluates layouts built from those profiles under its own
+// measurement configuration. Training and evaluation are decoupled: a
+// session can measure layouts trained under a different workload or shard
+// count (Session.TrainFrom / the *From methods), and every memo is keyed by
+// (train spec × eval spec), so mismatched pairs coexist in one session.
 package expt
 
 import (
@@ -10,22 +13,29 @@ import (
 	"runtime"
 	"sync"
 
-	"codelayout/internal/appmodel"
 	"codelayout/internal/codegen"
 	"codelayout/internal/core"
-	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/tpcb"
-	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 )
 
-// Options configures a session.
+// Options configures a session: the measurement (evaluation) half of the
+// configuration, plus the default TrainConfig the session's profiles come
+// from. Train fields left zero inherit the matching evaluation fields, so a
+// plain Options trains and evaluates under one configuration, as the paper
+// does.
 type Options struct {
-	Seed      int64
-	TrainSeed int64
+	Seed int64
+
+	// Train is the default training configuration: the profile every
+	// layout is built from unless a *From method (or TrainFrom) overrides
+	// it. Zero fields inherit from the evaluation side — Workload,
+	// Shards, CPUs, WarmupTxns from the same-named fields here, Seed from
+	// Seed, Txns from Transactions.
+	Train TrainConfig
 
 	CPUs        int
 	ProcsPerCPU int
@@ -42,12 +52,12 @@ type Options struct {
 
 	Transactions int
 	WarmupTxns   int
-	TrainTxns    int
 
-	// Workload is the transaction mix every run in the session uses; nil
-	// defaults to TPC-B at paper scale. Callers replacing the workload
-	// choose its scale: QuickOptions quick-scales only its own default, so
-	// pass w.QuickScale() (or a custom small scale) for quick sessions.
+	// Workload is the transaction mix every measured run in the session
+	// uses; nil defaults to TPC-B at paper scale. Callers replacing the
+	// workload choose its scale: QuickOptions quick-scales only its own
+	// default, so pass w.QuickScale() (or a custom small scale) for quick
+	// sessions.
 	Workload      workload.Workload
 	LibScale      float64
 	ColdWords     int
@@ -61,14 +71,17 @@ type Options struct {
 	Quick bool
 }
 
+func defaultWorkload() workload.Workload { return tpcb.New() }
+
 // DefaultOptions returns the paper-scale configuration: 4 processors, 8
 // server processes each, 40 branches, 500 measured transactions, profiles
 // trained on a separate 2000-transaction run with a different seed.
 func DefaultOptions() Options {
 	return Options{
-		Seed: 2001, TrainSeed: 1998,
-		CPUs: 4, ProcsPerCPU: 8,
-		Transactions: 500, WarmupTxns: 100, TrainTxns: 2000,
+		Seed:  2001,
+		Train: TrainConfig{Seed: 1998, Txns: 2000},
+		CPUs:  4, ProcsPerCPU: 8,
+		Transactions: 500, WarmupTxns: 100,
 		Workload: tpcb.New(),
 		LibScale: 1.0, ColdWords: 6_400_000, KernColdWords: 1_400_000,
 		DCPIPeriod: 256,
@@ -85,7 +98,7 @@ func QuickOptions() Options {
 	o.ProcsPerCPU = 6
 	o.Transactions = 150
 	o.WarmupTxns = 40
-	o.TrainTxns = 400
+	o.Train.Txns = 400
 	o.Workload = o.Workload.QuickScale()
 	o.LibScale = 0.4
 	o.ColdWords = 900_000
@@ -93,32 +106,80 @@ func QuickOptions() Options {
 	return o
 }
 
-// Session owns built images, layouts and memoized measurements. All methods
-// are safe for concurrent use: the memo maps are mutex-guarded and in-flight
-// measurement runs are deduplicated, so MeasureBatch can fan measurement
-// runs out across a worker pool.
+// resolveTrain fills tc's zero fields: first from the options' default
+// train config, then from the evaluation side. The result is fully
+// resolved — its Spec() is a stable memo key.
+func (o Options) resolveTrain(tc TrainConfig) TrainConfig {
+	d := o.Train
+	if tc.Workload == nil {
+		tc.Workload = d.Workload
+	}
+	if tc.Workload == nil {
+		tc.Workload = o.Workload
+	}
+	if tc.Seed == 0 {
+		tc.Seed = d.Seed
+	}
+	if tc.Seed == 0 {
+		tc.Seed = o.Seed
+	}
+	if tc.Shards == 0 {
+		tc.Shards = d.Shards
+	}
+	if tc.Shards == 0 {
+		tc.Shards = o.Shards
+	}
+	if tc.Txns == 0 {
+		tc.Txns = d.Txns
+	}
+	if tc.Txns == 0 {
+		tc.Txns = o.Transactions
+	}
+	if tc.CPUs == 0 {
+		tc.CPUs = d.CPUs
+	}
+	if tc.CPUs == 0 {
+		tc.CPUs = o.CPUs
+	}
+	if tc.WarmupTxns == 0 {
+		tc.WarmupTxns = d.WarmupTxns
+	}
+	if tc.WarmupTxns == 0 {
+		tc.WarmupTxns = o.WarmupTxns
+	}
+	return tc
+}
+
+// Session owns the evaluation half of an experiment — memoized measurement
+// runs over the profile source's images and layouts. All methods are safe
+// for concurrent use except TrainFrom: the memo maps are mutex-guarded and
+// in-flight measurement runs are deduplicated, so MeasureBatch can fan
+// measurement runs out across a worker pool. Every memo is keyed by the
+// training spec as well as the layout name, so layouts trained under
+// different configs never collide; layouts themselves are memoized on the
+// shared ProfileSource, so sessions of one source never rebuild them.
 type Session struct {
 	Opt Options
 
-	appImg  *codegen.Image
-	kernImg *codegen.Image
+	src      *ProfileSource
+	defTrain TrainConfig // resolved default training config
 
 	mu       sync.Mutex // guards the maps below
-	layouts  map[string]*program.Layout
-	reports  map[string]*core.Report
-	kernLay  map[string]*program.Layout
 	measures map[measKey]*Measure
 	measErr  map[measKey]error
 	inflight map[measKey]chan struct{}
+}
 
-	trainOnce sync.Once
-	trainErr  error
-	train     *profile.Profile // Pixie profile of the app under base layout
-	trainK    *profile.Profile // kernel profile
-	trainDC   *profile.Profile // DCPI sampling profile
+// layoutKey identifies a built layout: the resolved train spec it was
+// trained from plus the layout (or kernel-layout) name. Baselines carry an
+// empty train spec — they depend on no profile.
+type layoutKey struct {
+	train string
+	name  string
 }
 
 type measKey struct {
+	train     string
 	workload  string
 	layout    string
 	kern      string
@@ -128,126 +189,85 @@ type measKey struct {
 	perCommit bool
 }
 
-// NewSession builds the images and baseline layouts.
+// NewSession builds a private profile source (images and baseline layouts)
+// and the session over it.
 func NewSession(o Options) (*Session, error) {
 	if o.Workload == nil {
-		o.Workload = tpcb.New()
+		o.Workload = defaultWorkload()
+	}
+	src, err := NewProfileSource(o)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionFrom(src, o)
+}
+
+// NewSessionFrom builds a session that borrows src's images and training
+// memo instead of building its own. Sessions sharing one source evaluate
+// over one program, so a layout trained by any of them is portable to all
+// of them; o's evaluation workload must be covered by the source's image.
+// Image-shape fields of o (Seed, LibScale, ColdWords, KernColdWords,
+// Workload models) are ignored in favor of the source's.
+func NewSessionFrom(src *ProfileSource, o Options) (*Session, error) {
+	if o.Workload == nil {
+		o.Workload = src.opt.Workload
+	}
+	if !src.Covers(o.Workload.Name()) {
+		return nil, fmt.Errorf("expt: eval workload %q is not modeled in the source image (covers %v); list it in NewProfileSource",
+			o.Workload.Name(), src.WorkloadNames())
 	}
 	s := &Session{
 		Opt:      o,
-		layouts:  make(map[string]*program.Layout),
-		reports:  make(map[string]*core.Report),
-		kernLay:  make(map[string]*program.Layout),
+		src:      src,
+		defTrain: o.resolveTrain(TrainConfig{}),
 		measures: make(map[measKey]*Measure),
 		measErr:  make(map[measKey]error),
 		inflight: make(map[measKey]chan struct{}),
 	}
-	var err error
-	s.appImg, err = appmodel.Build(appmodel.Config{
-		Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords, Workload: o.Workload,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("expt: app image: %w", err)
-	}
-	s.kernImg, err = kernel.Build(kernel.Config{Seed: o.Seed + 1, ColdWords: o.KernColdWords})
-	if err != nil {
-		return nil, fmt.Errorf("expt: kernel image: %w", err)
-	}
-	base, err := program.BaselineLayout(s.appImg.Prog)
-	if err != nil {
-		return nil, err
-	}
-	s.layouts["base"] = base
-	kbase, err := program.BaselineLayout(s.kernImg.Prog)
-	if err != nil {
-		return nil, err
-	}
-	s.kernLay["kbase"] = kbase
 	return s, nil
 }
 
+// Source exposes the session's profile source (for sharing with further
+// sessions — see NewSessionFrom).
+func (s *Session) Source() *ProfileSource { return s.src }
+
 // AppImage exposes the application image (facade and tools).
-func (s *Session) AppImage() *codegen.Image { return s.appImg }
+func (s *Session) AppImage() *codegen.Image { return s.src.appImg }
 
 // KernelImage exposes the kernel image.
-func (s *Session) KernelImage() *codegen.Image { return s.kernImg }
+func (s *Session) KernelImage() *codegen.Image { return s.src.kernImg }
 
-// Train runs the profiling workload once (Pixie instrumentation plus a
-// DCPI-style sampler over the same run) and caches the profiles. Concurrent
-// callers block until the single training run finishes.
+// TrainFrom replaces the session's default training configuration: later
+// Layout/Measure calls build from the profile trained under tc (zero fields
+// inherit as in Options.Train). Memos are keyed by train spec, so switching
+// back and forth never mixes results — but TrainFrom itself must not race
+// other session calls. It returns s for chaining.
+func (s *Session) TrainFrom(tc TrainConfig) *Session {
+	s.defTrain = s.Opt.resolveTrain(tc)
+	return s
+}
+
+// TrainSpec returns the resolved spec string of the session's current
+// default training configuration.
+func (s *Session) TrainSpec() string { return s.defTrain.Spec() }
+
+// Train runs the default training configuration's profiling run once (Pixie
+// instrumentation plus a DCPI-style sampler over the same run) and caches
+// the profiles in the source. Concurrent callers block until the single
+// training run finishes.
 func (s *Session) Train() error {
-	s.trainOnce.Do(func() { s.trainErr = s.doTrain() })
-	return s.trainErr
+	_, err := s.src.train(s.defTrain)
+	return err
 }
 
-func (s *Session) doTrain() error {
-	px := profile.NewPixie(s.appImg.Prog, "pixie-train")
-	kx := profile.NewPixie(s.kernImg.Prog, "kprofile")
-	dcpi := profile.NewDCPI(s.layouts["base"], s.Opt.DCPIPeriod)
-	cfg := s.machineConfig("base", "kbase", s.Opt.CPUs)
-	cfg.Seed = s.Opt.TrainSeed
-	cfg.Transactions = s.Opt.TrainTxns
-	cfg.AppCollector = px
-	cfg.KernCollector = kx
-	cfg.Sinks = []trace.Sink{trace.AppOnly(dcpi)}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return err
-	}
-	if _, err := m.Run(); err != nil {
-		return err
-	}
-	s.train = px.Profile
-	s.trainK = kx.Profile
-	s.trainDC = dcpi.Finish("dcpi-train")
-	return nil
-}
-
-// Profile returns the Pixie training profile (training the profile first if
-// needed).
+// Profile returns the Pixie training profile of the session's default train
+// config (training first if needed).
 func (s *Session) Profile() (*profile.Profile, error) {
-	if err := s.Train(); err != nil {
+	run, err := s.src.train(s.defTrain)
+	if err != nil {
 		return nil, err
 	}
-	return s.train, nil
-}
-
-// layoutSpec resolves a layout name to the pass pipeline implementing it and
-// the profile it trains on. The paper's combinations assemble their pipeline
-// through core.PipelineFor; the extensions name their pass lists directly.
-func (s *Session) layoutSpec(name string) (core.Pipeline, *profile.Profile, error) {
-	if err := s.Train(); err != nil {
-		return nil, nil, err
-	}
-	var o core.Options
-	prof := s.train
-	switch name {
-	case "porder":
-		o = core.Options{Order: core.OrderPettisHansen}
-	case "chain":
-		o = core.Options{Chain: true}
-	case "chain+split":
-		o = core.Options{Chain: true, Split: core.SplitFine}
-	case "chain+porder":
-		o = core.Options{Chain: true, Order: core.OrderPettisHansen}
-	case "all":
-		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
-	case "hotcold":
-		o = core.Options{Chain: true, Split: core.SplitHotCold, Order: core.OrderPettisHansen}
-	case "cfa":
-		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
-			CFA: &core.CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}}
-	case "dcpi-all":
-		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
-		prof = s.trainDC
-	case "ipchain":
-		pl, err := core.ComboPipeline("ipchain")
-		return pl, s.train, err
-	default:
-		return nil, nil, fmt.Errorf("expt: unknown layout %q", name)
-	}
-	pl, err := core.PipelineFor(o)
-	return pl, prof, err
+	return run.app, nil
 }
 
 // PipelineSpec returns the resolved pass list of a named layout (for
@@ -256,91 +276,47 @@ func (s *Session) PipelineSpec(name string) (string, error) {
 	if name == "base" {
 		return "", nil
 	}
-	pl, _, err := s.layoutSpec(name)
+	pl, _, err := s.src.layoutSpec(s.defTrain, name)
 	if err != nil {
 		return "", err
 	}
 	return pl.String(), nil
 }
 
-// Layout returns (building if needed) a named app layout. Known names:
-// base, porder, chain, chain+split, chain+porder, all, hotcold, cfa,
-// dcpi-all, ipchain.
+// Layout returns (building if needed) a named app layout trained under the
+// session's default train config. Known names: base, porder, chain,
+// chain+split, chain+porder, all, hotcold, cfa, dcpi-all, ipchain.
 func (s *Session) Layout(name string) (*program.Layout, error) {
-	s.mu.Lock()
-	l, ok := s.layouts[name]
-	s.mu.Unlock()
-	if ok {
-		return l, nil
-	}
-	pl, prof, err := s.layoutSpec(name)
-	if err != nil {
-		return nil, err
-	}
-	// Copy the profile so EnsureEdges on a sampled profile does not
-	// contaminate the shared instance. When the source carries no measured
-	// edges (sampling profiles, or a degenerate training run), drop the
-	// shared empty map too: concurrent layout builds would otherwise
-	// estimate edges into the same map without a lock.
-	pf := &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount, EdgeCount: prof.EdgeCount}
-	if name == "dcpi-all" || !prof.HasEdges() {
-		pf = &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount}
-	}
-	l, rep, err := pl.Run(s.appImg.Prog, pf)
-	if err != nil {
-		return nil, fmt.Errorf("expt: layout %q: %w", name, err)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.layouts[name]; ok {
-		return prev, nil // another goroutine built it concurrently
-	}
-	s.layouts[name] = l
-	s.reports[name] = rep
-	return l, nil
+	return s.src.layout(s.defTrain, name)
 }
 
-// Report returns the optimizer report for a built layout.
+// LayoutFrom is Layout with an explicit training configuration (zero fields
+// inherit as in Options.Train): the layout is built from the profile
+// trained under tc and memoized under tc's spec in the shared source.
+func (s *Session) LayoutFrom(tc TrainConfig, name string) (*program.Layout, error) {
+	return s.src.layout(s.Opt.resolveTrain(tc), name)
+}
+
+// Report returns the optimizer report for a layout built under the
+// session's current default train config.
 func (s *Session) Report(name string) *core.Report {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reports[name]
+	return s.src.report(s.defTrain, name)
+}
+
+// ReportFrom returns the optimizer report for a layout built under tc
+// (zero fields inherit as in Options.Train).
+func (s *Session) ReportFrom(tc TrainConfig, name string) *core.Report {
+	return s.src.report(s.Opt.resolveTrain(tc), name)
 }
 
 // KernLayout returns a kernel layout: "kbase" or "kopt" (kernel code laid
-// out with the full optimization pipeline over the kernel profile).
+// out with the full optimization pipeline over the default train config's
+// kernel profile).
 func (s *Session) KernLayout(name string) (*program.Layout, error) {
-	s.mu.Lock()
-	l, ok := s.kernLay[name]
-	s.mu.Unlock()
-	if ok {
-		return l, nil
-	}
-	if name != "kopt" {
-		return nil, fmt.Errorf("expt: unknown kernel layout %q", name)
-	}
-	if err := s.Train(); err != nil {
-		return nil, err
-	}
-	l, _, err := core.Optimize(s.kernImg.Prog, s.trainK, core.Options{
-		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.kernLay["kopt"]; ok {
-		return prev, nil
-	}
-	s.kernLay["kopt"] = l
-	return l, nil
+	return s.src.kernLayout(s.defTrain, name)
 }
 
-func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
-	s.mu.Lock()
-	appL, kernL := s.layouts[layout], s.kernLay[kern]
-	s.mu.Unlock()
+func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.Config {
 	return machine.Config{
 		CPUs:                   cpus,
 		ProcsPerCPU:            s.Opt.ProcsPerCPU,
@@ -351,34 +327,51 @@ func (s *Session) machineConfig(layout, kern string, cpus int) machine.Config {
 		WarmupTxns:             s.Opt.WarmupTxns,
 		Transactions:           s.Opt.Transactions,
 		Workload:               s.Opt.Workload,
-		AppImage:               s.appImg,
+		AppImage:               s.src.appImg,
 		AppLayout:              appL,
-		KernImage:              s.kernImg,
+		KernImage:              s.src.kernImg,
 		KernLayout:             kernL,
 	}
 }
 
-// shardKey normalizes the configured shard count for memo keys (0 and 1
-// are the same single-engine machine).
-func (s *Session) shardKey() int {
-	if s.Opt.Shards <= 1 {
-		return 1
-	}
-	return s.Opt.Shards
+// Measure runs (or returns the memoized run of) the workload under the
+// named layout (default train config) with the full measurement battery
+// attached.
+func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
+	return s.measureFor(s.defTrain, layout, "kbase", cpus)
 }
 
-// Measure runs (or returns the memoized run of) the workload under the
-// named layouts with the full measurement battery attached.
-func (s *Session) Measure(layout string, cpus int) (*Measure, error) {
-	return s.MeasureKern(layout, "kbase", cpus)
+// MeasureFrom is Measure with an explicit training configuration: it
+// evaluates the layout trained under tc against the session's own
+// measurement configuration — the train/eval mismatch experiments.
+func (s *Session) MeasureFrom(tc TrainConfig, layout string, cpus int) (*Measure, error) {
+	return s.measureFor(s.Opt.resolveTrain(tc), layout, "kbase", cpus)
 }
 
 // MeasureKern is Measure with an explicit kernel layout. Concurrent calls
-// for the same (layout, kernel, cpus) key share one simulation run: the
-// first caller runs it, later callers block until the result (or error) is
-// memoized.
+// for the same (train, layout, kernel, cpus) key share one simulation run:
+// the first caller runs it, later callers block until the result (or error)
+// is memoized.
 func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
-	key := measKey{s.Opt.Workload.Name(), layout, kern, cpus, s.shardKey(), s.Opt.GroupCommitWindowInstr, s.Opt.PerCommitLogFlush}
+	return s.measureFor(s.defTrain, layout, kern, cpus)
+}
+
+// MeasureKernFrom is MeasureKern with an explicit training configuration.
+func (s *Session) MeasureKernFrom(tc TrainConfig, layout, kern string, cpus int) (*Measure, error) {
+	return s.measureFor(s.Opt.resolveTrain(tc), layout, kern, cpus)
+}
+
+func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Measure, error) {
+	key := measKey{
+		train:     tc.Spec(),
+		workload:  s.Opt.Workload.Name(),
+		layout:    layout,
+		kern:      kern,
+		cpus:      cpus,
+		shards:    shardKey(s.Opt.Shards),
+		gcWindow:  s.Opt.GroupCommitWindowInstr,
+		perCommit: s.Opt.PerCommitLogFlush,
+	}
 	for {
 		s.mu.Lock()
 		if m, ok := s.measures[key]; ok {
@@ -398,7 +391,7 @@ func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
 		s.inflight[key] = ch
 		s.mu.Unlock()
 
-		meas, err := s.measure(layout, kern, cpus)
+		meas, err := s.measure(tc, layout, kern, cpus)
 		s.mu.Lock()
 		if err != nil {
 			s.measErr[key] = err
@@ -412,15 +405,18 @@ func (s *Session) MeasureKern(layout, kern string, cpus int) (*Measure, error) {
 	}
 }
 
-func (s *Session) measure(layout, kern string, cpus int) (*Measure, error) {
-	if _, err := s.Layout(layout); err != nil && layout != "base" {
+func (s *Session) measure(tc TrainConfig, layout, kern string, cpus int) (*Measure, error) {
+	appL, err := s.src.layout(tc, layout)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := s.KernLayout(kern); err != nil && kern != "kbase" {
+	var kernL *program.Layout
+	kernL, err = s.src.kernLayout(tc, kern)
+	if err != nil {
 		return nil, err
 	}
 	bat := newBattery(cpus)
-	cfg := s.machineConfig(layout, kern, cpus)
+	cfg := s.machineConfig(appL, kernL, cpus)
 	cfg.Sinks = bat.sinks()
 	cfg.DataSinks = bat.dataSinks()
 	mach, err := machine.New(cfg)
@@ -429,7 +425,7 @@ func (s *Session) measure(layout, kern string, cpus int) (*Measure, error) {
 	}
 	res, err := mach.Run()
 	if err != nil {
-		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu: %w", layout, kern, cpus, err)
+		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu (train %s): %w", layout, kern, cpus, tc.Spec(), err)
 	}
 	return bat.finish(res), nil
 }
@@ -444,7 +440,7 @@ func (s *Session) MeasureBatch(layouts []string, cpus, workers int) error {
 	}
 	// The training run is a shared dependency of every layout build; do it
 	// before fanning out so workers start from the same memoized profiles
-	// instead of queueing behind the sync.Once.
+	// instead of queueing behind the in-flight dedup.
 	if err := s.Train(); err != nil {
 		return err
 	}

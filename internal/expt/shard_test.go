@@ -25,7 +25,7 @@ func TestShardsOneMeasureMatchesDefault(t *testing.T) {
 		o := tinyOptions(mk())
 		o.Transactions = 40
 		o.WarmupTxns = 10
-		o.TrainTxns = 100
+		o.Train.Txns = 100
 		o.Shards = shards
 		s, err := expt.NewSession(o)
 		if err != nil {
@@ -58,7 +58,7 @@ func TestShardedSessionDeterminism(t *testing.T) {
 		o := tinyOptions(tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 3, AccountsPerBranch: 120}))
 		o.Transactions = 40
 		o.WarmupTxns = 10
-		o.TrainTxns = 100
+		o.Train.Txns = 100
 		o.Shards = 2
 		s, err := expt.NewSession(o)
 		if err != nil {

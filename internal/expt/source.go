@@ -1,0 +1,380 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/trace"
+	"codelayout/internal/workload"
+)
+
+// TrainConfig identifies one training run: which workload was profiled and
+// the machine shape it ran under. It is the train-side half of a session's
+// configuration — the evaluation half lives in the remaining Options fields —
+// so a layout can be trained under one configuration and evaluated under
+// another (the profile-drift experiments). Zero fields inherit from the
+// evaluating session's options, so the zero TrainConfig means "self-trained":
+// same workload, same shard count, same processor count as the evaluation.
+type TrainConfig struct {
+	// Workload is the transaction mix the profiling run executes; nil uses
+	// the session's evaluation workload. A non-nil workload must be covered
+	// by the profile source's image (see NewProfileSource).
+	Workload workload.Workload
+	// Seed drives the profiling run's clients; 0 inherits the session's
+	// evaluation seed (DefaultOptions sets a distinct train seed, as the
+	// paper trains and evaluates on different runs).
+	Seed int64
+	// Shards is the partitioned-engine count of the profiling run; 0
+	// inherits the session's evaluation shard count.
+	Shards int
+	// Txns is the profiled committed-transaction count; 0 inherits the
+	// session's measured transaction count.
+	Txns int
+	// CPUs is the profiling run's processor count; 0 inherits.
+	CPUs int
+	// WarmupTxns commit before profiling begins; 0 inherits.
+	WarmupTxns int
+}
+
+// shardKey normalizes a shard count for specs and memo keys (0 and 1 are the
+// same single-engine machine).
+func shardKey(shards int) int {
+	if shards <= 1 {
+		return 1
+	}
+	return shards
+}
+
+// Spec renders a fully resolved train config as the canonical memo-key
+// string. Two train configs with equal specs share one training run; any
+// difference — workload, shard count, seed, length — keys a separate run, so
+// mismatched train/eval pairs can never collide in a memo.
+func (tc TrainConfig) Spec() string {
+	name := "?"
+	if tc.Workload != nil {
+		name = tc.Workload.Name()
+	}
+	return fmt.Sprintf("%s/s%d/c%d/seed%d/w%d/x%d",
+		name, shardKey(tc.Shards), tc.CPUs, tc.Seed, tc.WarmupTxns, tc.Txns)
+}
+
+// trainRun is one memoized training run: the exact Pixie profiles of the app
+// and kernel plus the DCPI-style sampling profile over the same run.
+type trainRun struct {
+	app  *profile.Profile
+	kern *profile.Profile
+	dcpi *profile.Profile
+}
+
+// ProfileSource owns the built images, their baseline layouts, and memos of
+// training runs and optimized layouts keyed by resolved TrainConfig spec.
+// It is the portable-profile seam: sessions borrow the source's images, so
+// every profile the source trains — under any workload or shard count the
+// image covers — is over one shared program, and every layout it builds is
+// shared by all sessions of the source (a layout depends only on the
+// program, the training profile and the pipeline, never on the evaluation
+// config). All methods are safe for concurrent use.
+type ProfileSource struct {
+	opt       Options
+	workloads map[string]workload.Workload // name → workload covered by the image
+
+	appImg   *codegen.Image
+	kernImg  *codegen.Image
+	baseApp  *program.Layout
+	baseKern *program.Layout
+
+	mu       sync.Mutex
+	runs     map[string]*trainRun
+	trainErr map[string]error
+	inflight map[string]chan struct{}
+	layouts  map[layoutKey]*program.Layout
+	reports  map[layoutKey]*core.Report
+	kernLay  map[layoutKey]*program.Layout
+}
+
+// NewProfileSource builds the images and baseline layouts for o's workload
+// plus any extra workloads whose transaction models should join the app
+// image. With extras the image is a union binary: a profile trained while
+// running any covered workload maps onto the same program, which is what
+// makes train/eval workload mismatch experiments possible. With no extras
+// the image is bit-identical to the one NewSession has always built.
+func NewProfileSource(o Options, extra ...workload.Workload) (*ProfileSource, error) {
+	if o.Workload == nil {
+		o.Workload = defaultWorkload()
+	}
+	ps := &ProfileSource{
+		opt:       o,
+		workloads: map[string]workload.Workload{o.Workload.Name(): o.Workload},
+		runs:      make(map[string]*trainRun),
+		trainErr:  make(map[string]error),
+		inflight:  make(map[string]chan struct{}),
+		layouts:   make(map[layoutKey]*program.Layout),
+		reports:   make(map[layoutKey]*core.Report),
+		kernLay:   make(map[layoutKey]*program.Layout),
+	}
+	var extras []workload.Workload
+	for _, w := range extra {
+		if _, dup := ps.workloads[w.Name()]; dup {
+			continue
+		}
+		ps.workloads[w.Name()] = w
+		extras = append(extras, w)
+	}
+	var err error
+	ps.appImg, err = appmodel.Build(appmodel.Config{
+		Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords,
+		Workload: o.Workload, ExtraWorkloads: extras,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expt: app image: %w", err)
+	}
+	ps.kernImg, err = kernel.Build(kernel.Config{Seed: o.Seed + 1, ColdWords: o.KernColdWords})
+	if err != nil {
+		return nil, fmt.Errorf("expt: kernel image: %w", err)
+	}
+	ps.baseApp, err = program.BaselineLayout(ps.appImg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	ps.baseKern, err = program.BaselineLayout(ps.kernImg.Prog)
+	if err != nil {
+		return nil, err
+	}
+	ps.layouts[layoutKey{name: "base"}] = ps.baseApp
+	ps.kernLay[layoutKey{name: "kbase"}] = ps.baseKern
+	return ps, nil
+}
+
+// AppImage exposes the shared application image.
+func (ps *ProfileSource) AppImage() *codegen.Image { return ps.appImg }
+
+// KernelImage exposes the shared kernel image.
+func (ps *ProfileSource) KernelImage() *codegen.Image { return ps.kernImg }
+
+// Covers reports whether the named workload's transaction models are part of
+// the source's app image (and it can therefore be trained on or evaluated).
+func (ps *ProfileSource) Covers(name string) bool {
+	_, ok := ps.workloads[name]
+	return ok
+}
+
+// WorkloadNames lists the workloads the image covers, sorted.
+func (ps *ProfileSource) WorkloadNames() []string {
+	names := make([]string, 0, len(ps.workloads))
+	for n := range ps.workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Train runs (or returns the memoized) training run for a fully resolved
+// config. Concurrent callers for one spec share a single run.
+func (ps *ProfileSource) train(tc TrainConfig) (*trainRun, error) {
+	if tc.Workload == nil {
+		return nil, fmt.Errorf("expt: train config has no workload")
+	}
+	if !ps.Covers(tc.Workload.Name()) {
+		return nil, fmt.Errorf("expt: train workload %q is not modeled in this image (covers %v); list it in NewProfileSource",
+			tc.Workload.Name(), ps.WorkloadNames())
+	}
+	spec := tc.Spec()
+	for {
+		ps.mu.Lock()
+		if run, ok := ps.runs[spec]; ok {
+			ps.mu.Unlock()
+			return run, nil
+		}
+		if err, ok := ps.trainErr[spec]; ok {
+			ps.mu.Unlock()
+			return nil, err
+		}
+		if ch, ok := ps.inflight[spec]; ok {
+			ps.mu.Unlock()
+			<-ch // someone else is running this training
+			continue
+		}
+		ch := make(chan struct{})
+		ps.inflight[spec] = ch
+		ps.mu.Unlock()
+
+		run, err := ps.runTraining(tc, spec)
+		ps.mu.Lock()
+		if err != nil {
+			ps.trainErr[spec] = err
+		} else {
+			ps.runs[spec] = run
+		}
+		delete(ps.inflight, spec)
+		close(ch)
+		ps.mu.Unlock()
+		return run, err
+	}
+}
+
+// layoutSpec resolves a layout name to the pass pipeline implementing it
+// and the profile (from the given training run) it trains on. The paper's
+// combinations assemble their pipeline through core.PipelineFor; the
+// extensions name their pass lists directly.
+func (ps *ProfileSource) layoutSpec(tc TrainConfig, name string) (core.Pipeline, *profile.Profile, error) {
+	run, err := ps.train(tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var o core.Options
+	prof := run.app
+	switch name {
+	case "porder":
+		o = core.Options{Order: core.OrderPettisHansen}
+	case "chain":
+		o = core.Options{Chain: true}
+	case "chain+split":
+		o = core.Options{Chain: true, Split: core.SplitFine}
+	case "chain+porder":
+		o = core.Options{Chain: true, Order: core.OrderPettisHansen}
+	case "all":
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
+	case "hotcold":
+		o = core.Options{Chain: true, Split: core.SplitHotCold, Order: core.OrderPettisHansen}
+	case "cfa":
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+			CFA: &core.CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}}
+	case "dcpi-all":
+		o = core.Options{Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen}
+		prof = run.dcpi
+	case "ipchain":
+		pl, err := core.ComboPipeline("ipchain")
+		return pl, run.app, err
+	default:
+		return nil, nil, fmt.Errorf("expt: unknown layout %q", name)
+	}
+	pl, err := core.PipelineFor(o)
+	return pl, prof, err
+}
+
+// layout builds (or returns the memoized) app layout trained under a fully
+// resolved config. Layouts depend only on source state, so every session of
+// the source shares them.
+func (ps *ProfileSource) layout(tc TrainConfig, name string) (*program.Layout, error) {
+	key := layoutKey{train: tc.Spec(), name: name}
+	if name == "base" {
+		key.train = "" // baselines are profile-independent
+	}
+	ps.mu.Lock()
+	l, ok := ps.layouts[key]
+	ps.mu.Unlock()
+	if ok {
+		return l, nil
+	}
+	pl, prof, err := ps.layoutSpec(tc, name)
+	if err != nil {
+		return nil, err
+	}
+	// Copy the profile so EnsureEdges on a sampled profile does not
+	// contaminate the shared instance. When the source carries no measured
+	// edges (sampling profiles, or a degenerate training run), drop the
+	// shared empty map too: concurrent layout builds would otherwise
+	// estimate edges into the same map without a lock.
+	pf := &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount, EdgeCount: prof.EdgeCount}
+	if name == "dcpi-all" || !prof.HasEdges() {
+		pf = &profile.Profile{Name: prof.Name, BlockCount: prof.BlockCount}
+	}
+	l, rep, err := pl.Run(ps.appImg.Prog, pf)
+	if err != nil {
+		return nil, fmt.Errorf("expt: layout %q (train %s): %w", name, key.train, err)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if prev, ok := ps.layouts[key]; ok {
+		return prev, nil // another goroutine built it concurrently
+	}
+	ps.layouts[key] = l
+	ps.reports[key] = rep
+	return l, nil
+}
+
+// report returns the optimizer report of a layout built under tc (nil if
+// the layout has not been built).
+func (ps *ProfileSource) report(tc TrainConfig, name string) *core.Report {
+	key := layoutKey{train: tc.Spec(), name: name}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.reports[key]
+}
+
+// kernLayout builds (or returns the memoized) kernel layout: "kbase" or
+// "kopt" (the full pipeline over the training run's kernel profile).
+func (ps *ProfileSource) kernLayout(tc TrainConfig, name string) (*program.Layout, error) {
+	key := layoutKey{train: tc.Spec(), name: name}
+	if name == "kbase" {
+		key.train = ""
+	}
+	ps.mu.Lock()
+	l, ok := ps.kernLay[key]
+	ps.mu.Unlock()
+	if ok {
+		return l, nil
+	}
+	if name != "kopt" {
+		return nil, fmt.Errorf("expt: unknown kernel layout %q", name)
+	}
+	run, err := ps.train(tc)
+	if err != nil {
+		return nil, err
+	}
+	l, _, err = core.Optimize(ps.kernImg.Prog, run.kern, core.Options{
+		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if prev, ok := ps.kernLay[key]; ok {
+		return prev, nil
+	}
+	ps.kernLay[key] = l
+	return l, nil
+}
+
+// runTraining executes one profiling run: Pixie instrumentation on app and
+// kernel plus a DCPI-style sampler over the same run.
+func (ps *ProfileSource) runTraining(tc TrainConfig, spec string) (*trainRun, error) {
+	px := profile.NewPixie(ps.appImg.Prog, "pixie-train")
+	kx := profile.NewPixie(ps.kernImg.Prog, "kprofile")
+	dcpi := profile.NewDCPI(ps.baseApp, ps.opt.DCPIPeriod)
+	cfg := machine.Config{
+		CPUs:                   tc.CPUs,
+		ProcsPerCPU:            ps.opt.ProcsPerCPU,
+		Seed:                   tc.Seed,
+		Shards:                 tc.Shards,
+		GroupCommitWindowInstr: ps.opt.GroupCommitWindowInstr,
+		PerCommitLogFlush:      ps.opt.PerCommitLogFlush,
+		WarmupTxns:             tc.WarmupTxns,
+		Transactions:           tc.Txns,
+		Workload:               tc.Workload,
+		AppImage:               ps.appImg,
+		AppLayout:              ps.baseApp,
+		KernImage:              ps.kernImg,
+		KernLayout:             ps.baseKern,
+		AppCollector:           px,
+		KernCollector:          kx,
+		Sinks:                  []trace.Sink{trace.AppOnly(dcpi)},
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("expt: training %s: %w", spec, err)
+	}
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("expt: training %s: %w", spec, err)
+	}
+	return &trainRun{app: px.Profile, kern: kx.Profile, dcpi: dcpi.Finish("dcpi-train")}, nil
+}

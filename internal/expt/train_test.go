@@ -1,0 +1,259 @@
+package expt_test
+
+import (
+	"reflect"
+	"testing"
+
+	"codelayout/internal/expt"
+	"codelayout/internal/ordere"
+	"codelayout/internal/tpcb"
+)
+
+// pinnedOptions is the exact configuration the pre-refactor harness was
+// measured under (see TestSelfTrainedTPCBPinned); the golden numbers below
+// were captured at the commit before the train/eval split.
+func pinnedOptions() expt.Options {
+	o := expt.QuickOptions()
+	o.Transactions = 60
+	o.WarmupTxns = 15
+	o.Train.Txns = 150
+	o.CPUs = 2
+	o.ProcsPerCPU = 4
+	o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 5, AccountsPerBranch: 250})
+	o.LibScale = 0.3
+	o.ColdWords = 400_000
+	o.KernColdWords = 100_000
+	return o
+}
+
+// TestSelfTrainedTPCBPinned pins the refactor's compatibility contract: the
+// shards=1, self-trained TPC-B path must remain bit-identical to the
+// pre-refactor Session — same simulation, same training run, same memo
+// semantics. The constants were captured by running the pre-refactor code at
+// this exact configuration; any drift here means the profile-source seam
+// changed the default path, not just added to it.
+func TestSelfTrainedTPCBPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	s, err := expt.NewSession(pinnedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pin struct {
+		committed, appInstrs, kernInstrs       uint64
+		app4W64, app4W128, comb4W64            uint64
+		itlb64, logFlushes, grouped, conflicts uint64
+		foot                                   int64
+	}
+	want := map[string]pin{
+		"base": {
+			committed: 60, appInstrs: 861729, kernInstrs: 114501,
+			app4W64: 15350, app4W128: 3671, comb4W64: 23661,
+			itlb64: 894, logFlushes: 36, grouped: 40, conflicts: 73,
+			foot: 134528,
+		},
+		"all": {
+			committed: 60, appInstrs: 815984, kernInstrs: 115771,
+			app4W64: 2773, app4W128: 1341, comb4W64: 9782,
+			itlb64: 130, logFlushes: 36, grouped: 40, conflicts: 73,
+			foot: 90624,
+		},
+	}
+	for name, w := range want {
+		m, err := s.Measure(name, s.Opt.CPUs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pin{
+			committed: m.Res.Committed, appInstrs: m.Res.AppInstrs, kernInstrs: m.Res.KernelInstrs,
+			app4W64: m.App4W[64].Misses, app4W128: m.App4W[128].Misses, comb4W64: m.Comb4W[64].Misses,
+			itlb64: m.ITLB64, logFlushes: m.Res.LogFlushes, grouped: m.Res.GroupedCommits,
+			conflicts: m.Res.LockConflicts, foot: m.Foot.Bytes(),
+		}
+		if got != w {
+			t.Errorf("%s: pre-refactor pin broken:\n got %+v\nwant %+v", name, got, w)
+		}
+	}
+}
+
+// TestTrainEvalMemoSeparation is the regression test for the (train × eval)
+// memo keys: layouts trained under different train configs over the same
+// eval config must never share memo entries, while equal-spec pairs must
+// stay deterministic and alias the same memoized objects.
+func TestTrainEvalMemoSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	tiny := func() expt.Options {
+		o := pinnedOptions()
+		o.Transactions = 40
+		o.WarmupTxns = 10
+		o.Train.Txns = 100
+		return o
+	}
+	oe := ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120})
+
+	o := tiny()
+	src, err := expt.NewProfileSource(o, oe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := expt.NewSessionFrom(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	self := expt.TrainConfig{}                       // resolves to tpcb, the eval workload
+	cross := expt.TrainConfig{Workload: oe}          // trained on order-entry
+	crossSeed := expt.TrainConfig{Seed: o.Seed + 99} // same workload, different run
+
+	selfL, err := s.LayoutFrom(self, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossL, err := s.LayoutFrom(cross, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedL, err := s.LayoutFrom(crossSeed, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selfL == crossL || selfL == seedL {
+		t.Fatal("layouts trained under different train configs share a memo entry")
+	}
+	sameAddrs := true
+	for b := range selfL.Addr {
+		if selfL.Addr[b] != crossL.Addr[b] {
+			sameAddrs = false
+			break
+		}
+	}
+	if sameAddrs {
+		t.Fatal("cross-workload-trained layout is address-identical to self-trained (profile not actually different?)")
+	}
+
+	// Equal specs alias: a second resolution of the zero config and an
+	// explicit spelling of the same resolved config hit the same entries.
+	again, err := s.LayoutFrom(expt.TrainConfig{Workload: s.Opt.Workload}, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != selfL {
+		t.Fatal("equal-spec train configs did not share the layout memo")
+	}
+
+	// Measures keyed the same way: self vs cross must be distinct runs with
+	// distinct results objects; repeated calls alias.
+	mSelf, err := s.MeasureFrom(self, "all", s.Opt.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCross, err := s.MeasureFrom(cross, "all", s.Opt.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSelf == mCross {
+		t.Fatal("measures for different train specs share a memo entry")
+	}
+	if reflect.DeepEqual(mSelf, mCross) {
+		t.Fatal("transplanted-layout measure is value-identical to self-trained — memo collision or dead seam")
+	}
+	if m2, _ := s.MeasureFrom(self, "all", s.Opt.CPUs); m2 != mSelf {
+		t.Fatal("repeated self-trained measure did not hit the memo")
+	}
+
+	// Determinism across sessions: a fresh source+session pair reproduces
+	// the transplanted measure bit for bit.
+	src2, err := expt.NewProfileSource(tiny(), oe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := expt.NewSessionFrom(src2, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCross2, err := s2.MeasureFrom(cross, "all", s2.Opt.CPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mCross.Res != mCross2.Res {
+		t.Fatalf("transplanted measure not deterministic:\n%+v\n%+v", mCross.Res, mCross2.Res)
+	}
+	if !reflect.DeepEqual(mCross, mCross2) {
+		t.Fatal("transplanted measures differ between identical sessions")
+	}
+}
+
+// TestTrainFromSwitchesDefault: TrainFrom re-points the session's default
+// profile; switching back restores the original memo entries.
+func TestTrainFromSwitchesDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	o := pinnedOptions()
+	o.Transactions = 40
+	o.WarmupTxns = 10
+	o.Train.Txns = 100
+	oe := ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120})
+	src, err := expt.NewProfileSource(o, oe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := expt.NewSessionFrom(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfSpec := s.TrainSpec()
+	selfL, err := s.Layout("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfRep := s.Report("all")
+	if selfRep == nil {
+		t.Fatal("no report for the self-trained layout")
+	}
+	s.TrainFrom(expt.TrainConfig{Workload: oe})
+	if s.TrainSpec() == selfSpec {
+		t.Fatal("TrainFrom did not change the resolved train spec")
+	}
+	crossL, err := s.Layout("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossL == selfL {
+		t.Fatal("default-train layout after TrainFrom aliases the self-trained layout")
+	}
+	// Report must follow the switched default, like Layout does.
+	if rep := s.Report("all"); rep == nil || rep == selfRep {
+		t.Fatalf("Report after TrainFrom did not track the switched default (rep=%p self=%p)", rep, selfRep)
+	}
+	s.TrainFrom(expt.TrainConfig{})
+	if s.TrainSpec() != selfSpec {
+		t.Fatal("TrainFrom(zero) did not restore the self-trained default")
+	}
+	back, err := s.Layout("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != selfL {
+		t.Fatal("restored default did not hit the original memo entry")
+	}
+	if rep := s.Report("all"); rep != selfRep {
+		t.Fatal("restored default did not restore the original report")
+	}
+	// Layouts are memoized on the source: a second session over the same
+	// source must hit the same entries instead of rebuilding.
+	s2, err := expt.NewSessionFrom(src, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := s2.Layout("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != selfL {
+		t.Fatal("sessions of one source do not share the layout memo")
+	}
+}

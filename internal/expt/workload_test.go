@@ -16,7 +16,7 @@ func tinyOptions(wl workload.Workload) expt.Options {
 	o := expt.QuickOptions()
 	o.Transactions = 60
 	o.WarmupTxns = 15
-	o.TrainTxns = 150
+	o.Train.Txns = 150
 	o.CPUs = 2
 	o.ProcsPerCPU = 4
 	o.LibScale = 0.3
@@ -92,7 +92,7 @@ func TestMeasureDeterminism(t *testing.T) {
 				o := tinyOptions(mk())
 				o.Transactions = 40
 				o.WarmupTxns = 10
-				o.TrainTxns = 100
+				o.Train.Txns = 100
 				s, err := expt.NewSession(o)
 				if err != nil {
 					t.Fatal(err)

@@ -1,0 +1,117 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"codelayout/internal/machine"
+	"codelayout/internal/tpcb"
+)
+
+// TestAutoGroupCommitTunesWindows: under a commit-heavy sharded mix,
+// AutoGroupCommit must pick nonzero per-shard windows from the warmup
+// arrival rate, batch more commits per flush than the immediate-flush
+// configuration, and stay deterministic.
+func TestAutoGroupCommitTunesWindows(t *testing.T) {
+	wl := tpcb.NewScaled(tpcb.Scale{Branches: 48, TellersPerBranch: 4, AccountsPerBranch: 100})
+	app, appL, kern, kernL := testImages(t, wl)
+	run := func(auto bool) (machine.Result, []uint64) {
+		cfg := configFor(wl, app, appL, kern, kernL)
+		cfg.Shards = 2
+		cfg.CPUs = 4
+		cfg.ProcsPerCPU = 16
+		cfg.WarmupTxns = 40
+		cfg.Transactions = 300
+		cfg.AutoGroupCommit = auto
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res, m.GroupCommitWindows()
+	}
+	immediate, immWin := run(false)
+	auto, autoWin := run(true)
+	for i, w := range immWin {
+		if w != 0 {
+			t.Fatalf("immediate-flush run left window %d on shard %d", w, i)
+		}
+	}
+	tuned := 0
+	for _, w := range autoWin {
+		if w > 0 {
+			tuned++
+		}
+	}
+	if tuned == 0 {
+		t.Fatalf("auto-tuning picked no window on any shard: %v", autoWin)
+	}
+	if auto.LogFlushes >= immediate.LogFlushes {
+		t.Fatalf("auto-tuned windows did not batch beyond immediate group commit: auto=%d immediate=%d",
+			auto.LogFlushes, immediate.LogFlushes)
+	}
+	t.Logf("windows=%v; flushes immediate=%d auto=%d; blocked-on-log immediate=%d auto=%d",
+		autoWin, immediate.LogFlushes, auto.LogFlushes,
+		immediate.LogBlockedInstr, auto.LogBlockedInstr)
+
+	// Determinism: a second auto run reproduces the result and the windows.
+	auto2, autoWin2 := run(true)
+	if auto != auto2 {
+		t.Fatalf("auto-tuned runs diverge:\n%+v\n%+v", auto, auto2)
+	}
+	for i := range autoWin {
+		if autoWin[i] != autoWin2[i] {
+			t.Fatalf("tuned windows diverge: %v vs %v", autoWin, autoWin2)
+		}
+	}
+}
+
+// TestAutoGroupCommitNoWarmup: with no warmup there is nothing to observe;
+// the run must still work with immediate-flush windows.
+func TestAutoGroupCommitNoWarmup(t *testing.T) {
+	cfg := testSetup(t, "tpcb")
+	cfg.WarmupTxns = 0
+	cfg.AutoGroupCommit = true
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	for i, w := range m.GroupCommitWindows() {
+		if w != 0 {
+			t.Fatalf("shard %d window %d without any warmup to observe", i, w)
+		}
+	}
+}
+
+// TestAutoGroupCommitValidation: the auto-tuner conflicts with a fixed
+// window and with per-commit flushing.
+func TestAutoGroupCommitValidation(t *testing.T) {
+	base := testSetup(t, "tpcb")
+	cases := []struct {
+		mutate func(*machine.Config)
+		want   string
+	}{
+		{func(c *machine.Config) { c.AutoGroupCommit = true; c.PerCommitLogFlush = true }, "PerCommitLogFlush"},
+		{func(c *machine.Config) { c.AutoGroupCommit = true; c.GroupCommitWindowInstr = 50_000 }, "GroupCommitWindowInstr"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := machine.New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("expected error mentioning %q, got %v", tc.want, err)
+		}
+	}
+}

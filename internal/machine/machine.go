@@ -73,6 +73,16 @@ type Config struct {
 	// its own blocking log write. The pre-group-commit baseline; conflicts
 	// with GroupCommitWindowInstr.
 	PerCommitLogFlush bool
+	// AutoGroupCommit picks each shard's batching window from the commit
+	// arrival rate observed during warmup instead of a fixed
+	// GroupCommitWindowInstr: at the warmup/measured switch, every shard's
+	// window is set to (autoGroupTarget-1) mean inter-commit gaps, capped
+	// at twice the log-write latency, so lightly loaded shards do not
+	// trade latency for batches that never form. Warmup runs with an
+	// immediate-flush window; with WarmupTxns = 0 there is nothing to
+	// observe and the windows stay 0. Conflicts with PerCommitLogFlush and
+	// an explicit GroupCommitWindowInstr.
+	AutoGroupCommit bool
 
 	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
 	AppImage   *codegen.Image
@@ -349,6 +359,46 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// autoGroupTarget is the commit-group size AutoGroupCommit aims to batch
+// into one flush: the window is sized to span target-1 mean inter-commit
+// gaps, so on average that many later commits join the leader's write.
+const autoGroupTarget = 4
+
+// tuneGroupCommit sets each shard's batching window from the commit arrival
+// rate observed during warmup (called once, at the warmup/measured switch).
+// A shard that committed nothing keeps the immediate-flush window — there is
+// no arrival rate to amortize against.
+func (m *Machine) tuneGroupCommit() {
+	var elapsed uint64
+	for _, c := range m.cpus {
+		if c.clock > elapsed {
+			elapsed = c.clock
+		}
+	}
+	maxWindow := 2 * m.cfg.LogWriteDelayInstr
+	for _, e := range m.engs {
+		var w uint64
+		if e.Committed > 0 && elapsed > 0 {
+			gap := elapsed / e.Committed
+			w = (autoGroupTarget - 1) * gap
+			if w > maxWindow {
+				w = maxWindow
+			}
+		}
+		e.GroupCommitWindow = w
+	}
+}
+
+// GroupCommitWindows returns the per-shard batching windows currently in
+// force (after a run with AutoGroupCommit, the tuned values).
+func (m *Machine) GroupCommitWindows() []uint64 {
+	ws := make([]uint64, len(m.engs))
+	for i, e := range m.engs {
+		ws[i] = e.GroupCommitWindow
+	}
+	return ws
+}
+
 // Instance exposes the loaded workload of a single-shard machine (tests and
 // verification); nil when sharded.
 func (m *Machine) Instance() workload.Instance { return m.inst }
@@ -446,11 +496,19 @@ func (m *Machine) syscall(p *proc, name string) {
 		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.LogWriteDelayInstr})
 	case "log_window":
 		// The group-commit leader sleeps out the batching window so
-		// concurrent commits join its flush.
-		if m.measuring {
-			m.res.LogBlockedInstr += m.cfg.GroupCommitWindowInstr
+		// concurrent commits join its flush. The window belongs to the
+		// shard whose flush this is — with auto-tuning, shards differ.
+		delay := m.cfg.GroupCommitWindowInstr
+		for _, s := range p.sessions {
+			if w, ok := s.Eng.TakeWindowPending(); ok {
+				delay = w
+				break
+			}
 		}
-		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: m.cfg.GroupCommitWindowInstr})
+		if m.measuring {
+			m.res.LogBlockedInstr += delay
+		}
+		p.doYield(yieldMsg{kind: yBlockIO, ioDelay: delay})
 	case "pread":
 		if p.inCritical() {
 			// A read under an index latch completes synchronously: the

@@ -42,6 +42,9 @@ func (m *Machine) Run() (Result, error) {
 				m.warmCommitted++
 				if m.warmCommitted >= m.cfg.WarmupTxns {
 					m.measuring = true
+					if m.cfg.AutoGroupCommit {
+						m.tuneGroupCommit()
+					}
 				}
 			}
 			p.state = stRunnable

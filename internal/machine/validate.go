@@ -66,6 +66,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: PerCommitLogFlush conflicts with GroupCommitWindowInstr = %d (the window batches commits; per-commit flushing forbids batching)",
 			c.GroupCommitWindowInstr)
 	}
+	if c.AutoGroupCommit && c.PerCommitLogFlush {
+		return fmt.Errorf("machine: AutoGroupCommit conflicts with PerCommitLogFlush (auto-tuning picks batching windows; per-commit flushing forbids batching)")
+	}
+	if c.AutoGroupCommit && c.GroupCommitWindowInstr > 0 {
+		return fmt.Errorf("machine: AutoGroupCommit conflicts with GroupCommitWindowInstr = %d (the window is picked from the warmup arrival rate; set one or the other)",
+			c.GroupCommitWindowInstr)
+	}
 	if c.BufferPoolPages < 0 {
 		return fmt.Errorf("machine: BufferPoolPages = %d; must be >= 0 (0 sizes from the workload)", c.BufferPoolPages)
 	}

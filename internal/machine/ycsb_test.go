@@ -1,0 +1,108 @@
+package machine_test
+
+import (
+	"testing"
+
+	"codelayout/internal/machine"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/ycsb"
+)
+
+// TestYCSBRunsReadDominated pins the point-read workload's design intent at
+// the machine level: against TPC-B under the same machine shape, the
+// ycsb mix must produce a far smaller kernel share (almost no log-write
+// crossings), fewer log flushes per transaction, and near-zero lock
+// conflicts — the icache profile the cross-workload robustness experiments
+// need from the third corner.
+func TestYCSBRunsReadDominated(t *testing.T) {
+	run := func(mk func() *machine.Config) machine.Result {
+		cfg := mk()
+		cfg.CPUs = 2
+		cfg.ProcsPerCPU = 6
+		cfg.Transactions = 200
+		m, err := machine.New(*cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	kv := ycsb.NewScaled(ycsb.Scale{Records: 4000})
+	kvApp, kvAppL, kvKern, kvKernL := testImages(t, kv)
+	kvRes := run(func() *machine.Config {
+		c := configFor(kv, kvApp, kvAppL, kvKern, kvKernL)
+		return &c
+	})
+	tb := tpcb.NewScaled(tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 200})
+	tbApp, tbAppL, tbKern, tbKernL := testImages(t, tb)
+	tbRes := run(func() *machine.Config {
+		c := configFor(tb, tbApp, tbAppL, tbKern, tbKernL)
+		return &c
+	})
+	if kvRes.Committed != 200 {
+		t.Fatalf("committed = %d", kvRes.Committed)
+	}
+	if kvRes.KernelFrac() >= tbRes.KernelFrac() {
+		t.Fatalf("ycsb kernel share %.3f not below tpcb's %.3f", kvRes.KernelFrac(), tbRes.KernelFrac())
+	}
+	kvFlush := float64(kvRes.LogFlushes) / float64(kvRes.Committed)
+	tbFlush := float64(tbRes.LogFlushes) / float64(tbRes.Committed)
+	if kvFlush >= tbFlush/2 {
+		t.Fatalf("ycsb log pressure not low: %.3f flushes/txn vs tpcb %.3f", kvFlush, tbFlush)
+	}
+	if kvRes.LockConflicts > tbRes.LockConflicts {
+		t.Fatalf("ycsb lock conflicts %d exceed tpcb's %d", kvRes.LockConflicts, tbRes.LockConflicts)
+	}
+	t.Logf("kernel share: ycsb=%.2f%% tpcb=%.2f%%; flushes/txn: ycsb=%.3f tpcb=%.3f; conflicts: ycsb=%d tpcb=%d",
+		100*kvRes.KernelFrac(), 100*tbRes.KernelFrac(), kvFlush, tbFlush,
+		kvRes.LockConflicts, tbRes.LockConflicts)
+}
+
+// TestYCSBShardedScatterReads: sharded ycsb routes every operation to its
+// key's home shard; with a cross-shard fraction configured, scatter reads
+// produce cross-shard traffic without a single two-phase commit, and runs
+// stay deterministic.
+func TestYCSBShardedScatterReads(t *testing.T) {
+	wl := ycsb.NewScaled(ycsb.Scale{Records: 4000})
+	wl.CrossShardPct = 25
+	app, appL, kern, kernL := testImages(t, wl)
+	run := func() machine.Result {
+		cfg := configFor(wl, app, appL, kern, kernL)
+		cfg.Shards = 4
+		cfg.CPUs = 2
+		cfg.ProcsPerCPU = 6
+		cfg.Transactions = 200
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run()
+	if r1.Committed != 200 {
+		t.Fatalf("committed = %d", r1.Committed)
+	}
+	if r1.CrossShard == 0 {
+		t.Fatal("no scatter reads routed with CrossShardPct=25")
+	}
+	if r1.Deadlocks != 0 || r1.Aborted != 0 {
+		t.Fatalf("read-only scatter traffic produced aborts: deadlocks=%d aborted=%d", r1.Deadlocks, r1.Aborted)
+	}
+	if r2 := run(); r1 != r2 {
+		t.Fatalf("sharded ycsb runs diverge:\n%+v\n%+v", r1, r2)
+	}
+	t.Logf("cross-shard scatter reads: %d of %d", r1.CrossShard, r1.Committed)
+}

@@ -18,12 +18,25 @@ var (
 // Register adds a workload constructor under name. It panics on duplicate
 // registration, which indicates a wiring bug.
 func Register(name string, f func() Workload) {
+	if err := RegisterUser(name, f); err != nil {
+		panic(err.Error())
+	}
+}
+
+// RegisterUser is Register for user-defined mixes reached through the
+// facade: duplicate names return an error instead of panicking, so
+// applications can surface registration conflicts gracefully.
+func RegisterUser(name string, f func() Workload) error {
 	regMu.Lock()
 	defer regMu.Unlock()
+	if name == "" || f == nil {
+		return fmt.Errorf("workload: registration needs a name and a constructor")
+	}
 	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+		return fmt.Errorf("workload: duplicate registration of %q", name)
 	}
 	registry[name] = f
+	return nil
 }
 
 // New returns a fresh instance of the named workload at default scale.

@@ -1,0 +1,111 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/db"
+	"codelayout/internal/shard"
+	"codelayout/internal/workload"
+)
+
+// Sharded is the key-value store hash-partitioned by record key across N
+// engines. Point reads and single-row updates are always shard-local — the
+// trivial sharding of a key-value store — so the default sharded mix has no
+// distributed transactions at all. With CrossShardPct > 0, that fraction of
+// reads becomes a two-key scatter read whose second key lives on another
+// shard; scatter reads stay read-only, so even then the workload never
+// two-phase commits.
+type Sharded struct {
+	Scale    Scale
+	Map      shard.Map
+	Shards   []*Bench
+	crossPct int
+}
+
+// LoadSharded implements workload.ShardedWorkload.
+func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, error) {
+	if len(engs) < 2 {
+		return nil, fmt.Errorf("ycsb: LoadSharded needs >= 2 engines (got %d); use Load", len(engs))
+	}
+	readPct := w.ReadPct
+	if readPct <= 0 {
+		readPct = DefaultReadPct
+	}
+	sb := &Sharded{
+		Scale:    w.Scale,
+		Map:      shard.Map{Shards: len(engs)},
+		crossPct: w.Partitioning().CrossShardPct,
+	}
+	for i, eng := range engs {
+		sh := i
+		b, err := loadOwned(eng, w.Scale, readPct, func(key uint64) bool { return sb.Map.Of(key) == sh })
+		if err != nil {
+			return nil, err
+		}
+		sb.Shards = append(sb.Shards, b)
+	}
+	return sb, nil
+}
+
+// GenInput implements workload.ShardedInstance: the plain generator, except
+// that a CrossShardPct fraction of reads draws a second key from a remote
+// shard (a scatter read).
+func (sb *Sharded) GenInput(r *rand.Rand) workload.Input {
+	in := sb.Shards[0].Gen(r) // generators share one Scale; any bench works
+	if in.Kind == Read && sb.crossPct > 0 && r.Intn(100) < sb.crossPct {
+		home := sb.Map.Of(in.Key)
+		// Rejection-sample a key on a different shard; with >= 2 shards the
+		// hash spreads keys, so this terminates fast and deterministically.
+		for {
+			k2 := uint64(r.Intn(sb.Scale.Records))
+			if sb.Map.Of(k2) != home {
+				in.Key2, in.MultiGet = k2, true
+				break
+			}
+		}
+	}
+	return in
+}
+
+// Home implements workload.ShardedInstance.
+func (sb *Sharded) Home(in workload.Input) int {
+	return sb.Map.Of(in.(Input).Key)
+}
+
+// Remote implements workload.ShardedInstance.
+func (sb *Sharded) Remote(in workload.Input) bool {
+	req := in.(Input)
+	return req.MultiGet && sb.Map.Of(req.Key2) != sb.Map.Of(req.Key)
+}
+
+// RunTxn implements workload.ShardedInstance: everything is shard-local
+// except scatter reads, which fetch the second key on its own shard's
+// engine — still without any transaction or 2PC.
+func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
+	req := in.(Input)
+	home := sb.Map.Of(req.Key)
+	if !req.MultiGet {
+		sb.Shards[home].RunTxn(ss[home], req)
+		return
+	}
+	remote := sb.Map.Of(req.Key2)
+	pb := ss[home].PB
+	pb.Enter("ycsb_mget")
+	defer pb.Leave("ycsb_mget")
+	pb.Data(ss[home].ScratchAddr(1024), 192, true)
+	sb.Shards[home].runRead(ss[home], req.Key)
+	sb.Shards[remote].runRead(ss[remote], req.Key2)
+}
+
+// Check implements workload.ShardedInstance: the per-record invariant is
+// shard-local (no operation ever writes across shards), so the union audit
+// is each shard's own audit.
+func (sb *Sharded) Check(ss []*db.Session) error {
+	for i, b := range sb.Shards {
+		if err := b.Check(ss[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package ycsb
+
+import (
+	"codelayout/internal/codegen"
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+func init() {
+	workload.Register("ycsb", func() workload.Workload { return New() })
+}
+
+// Workload adapts the key-value bench to the workload seam.
+type Workload struct {
+	Scale Scale
+	// ReadPct is the point-read share of the mix; 0 selects DefaultReadPct
+	// (95).
+	ReadPct int
+	// CrossShardPct sets the fraction of sharded-machine reads that become
+	// two-shard scatter reads. Point operations shard trivially, so the
+	// default is 0 — no cross-shard traffic, unlike the write workloads'
+	// 15% 2PC fraction; scatter reads are read-only and never two-phase
+	// commit.
+	CrossShardPct int
+	// Label overrides the registry name reported by Name, so variants of
+	// the mix (a 50/50 read/update split, say) can register themselves
+	// under their own names without a new implementation.
+	Label string
+}
+
+// New returns the YCSB-style workload at default scale (95/5 read/update).
+func New() *Workload { return NewScaled(DefaultScale()) }
+
+// NewScaled returns the workload at an explicit scale.
+func NewScaled(sc Scale) *Workload { return &Workload{Scale: sc} }
+
+// Name implements workload.Workload.
+func (w *Workload) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "ycsb"
+}
+
+// QuickScale implements workload.Workload.
+func (w *Workload) QuickScale() workload.Workload {
+	q := *w
+	q.Scale = Scale{Records: 4000}
+	return &q
+}
+
+// Partitioning implements workload.ShardedWorkload: the store partitions on
+// the record key; cross-shard traffic is off unless CrossShardPct opts in.
+func (w *Workload) Partitioning() workload.Partitioning {
+	pct := 0
+	if w.CrossShardPct > 0 {
+		pct = w.CrossShardPct
+	}
+	return workload.Partitioning{Key: "user", CrossShardPct: pct}
+}
+
+// DataPages implements workload.Workload (about 70 hundred-byte rows fit an
+// 8 KB page after slot overhead; the index adds a small tail).
+func (w *Workload) DataPages() int {
+	return w.Scale.Records/70 + w.Scale.Records/500 + 8
+}
+
+// Load implements workload.Workload.
+func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
+	return Load(eng, w.Scale, w.ReadPct)
+}
+
+// Models implements workload.Workload: the read, update and scatter-read
+// models, mirroring site for site the probe calls RunTxn emits. The read
+// root calls only bt_search and heap_fetch — no txn_begin, no lock_acquire,
+// no commit — which is what tilts the trained profile toward the search
+// paths.
+func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {
+	pick := env.Pick
+	return []codegen.FnSpec{
+		{Name: "ycsb_read", Body: []codegen.Frag{
+			codegen.Seq(7), env.ErrPath(), pick("sql", 6),
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(5), pick("rt", 4),
+		}},
+		{Name: "ycsb_update", Body: []codegen.Frag{
+			codegen.Seq(8), env.ErrPath(), pick("sql", 7),
+			codegen.Call{Fn: "txn_begin"},
+			codegen.Call{Fn: "bt_search"},
+			codegen.Call{Fn: "lock_acquire"},
+			codegen.Call{Fn: "heap_fetch"},
+			codegen.Seq(5), pick("row", 4),
+			codegen.Call{Fn: "heap_update"},
+			codegen.Call{Fn: "txn_commit"},
+			codegen.Seq(4), pick("rt", 4),
+		}},
+		// The scatter read (sharded machines with a cross-shard fraction):
+		// the home-shard read plus a second read on a remote shard, no
+		// two-phase commit — reads have nothing to prepare.
+		{Name: "ycsb_mget", Body: []codegen.Frag{
+			codegen.Seq(8), env.ErrPath(), pick("sql", 6),
+			codegen.Call{Fn: "ycsb_read"},
+			codegen.Call{Fn: "ycsb_read"},
+			codegen.Seq(4), pick("rt", 4),
+		}},
+	}
+}

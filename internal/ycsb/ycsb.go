@@ -1,0 +1,225 @@
+// Package ycsb implements a YCSB-style point-read key-value workload over
+// the internal/db storage engine: a 95/5 read/update mix over one user
+// table. Reads run outside any transaction — a B-tree point search plus a
+// heap fetch under page latches only — and updates touch a single row, so
+// the workload presents the layout passes with an icache profile dominated
+// by bt_search/buf_get with near-zero log and lock-manager pressure: the
+// opposite corner of the profile space from the commit- and lock-heavy
+// banking and order-entry mixes, which is exactly what the cross-workload
+// robustness experiments need.
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+// Scale configures database size.
+type Scale struct {
+	// Records is the user-table row count.
+	Records int
+}
+
+// DefaultScale sizes the key-value store in the same spirit as the paper's
+// scaled TPC-B database: large enough that the B-tree has real height and
+// the buffer pool behaves like a cached OLTP store.
+func DefaultScale() Scale { return Scale{Records: 120_000} }
+
+// lockSpaceUser keys user-row locks, disjoint from the other workloads'
+// lock spaces.
+const lockSpaceUser = 20
+
+const rowBytes = 100
+
+// DefaultReadPct is the point-read share of the mix (the YCSB-B shape).
+const DefaultReadPct = 95
+
+// Kind selects the operation type.
+type Kind int
+
+const (
+	// Read fetches one record by key, outside any transaction.
+	Read Kind = iota
+	// Update rewrites one record's value field inside a transaction.
+	Update
+)
+
+// Input is one request from a client.
+type Input struct {
+	Kind Kind
+	Key  uint64
+	// Key2 is the second key of a scatter read (sharded runs with a
+	// cross-shard fraction configured); MultiGet reports whether it is set.
+	Key2     uint64
+	MultiGet bool
+}
+
+// Row field helpers: fixed 100-byte rows (key, version, value, filler).
+func encodeRow(key, version uint64, value int64) []byte {
+	row := make([]byte, rowBytes)
+	binary.LittleEndian.PutUint64(row[0:], key)
+	binary.LittleEndian.PutUint64(row[8:], version)
+	binary.LittleEndian.PutUint64(row[16:], uint64(value))
+	return row
+}
+
+func rowVersion(row []byte) uint64       { return binary.LittleEndian.Uint64(row[8:]) }
+func rowSetVersion(row []byte, v uint64) { binary.LittleEndian.PutUint64(row[8:], v) }
+func rowValue(row []byte) int64          { return int64(binary.LittleEndian.Uint64(row[16:])) }
+func rowSetValue(row []byte, v int64)    { binary.LittleEndian.PutUint64(row[16:], uint64(v)) }
+
+// delta is the deterministic increment the k-th update applies to a record:
+// the invariant checker replays it, so a record's value is fully determined
+// by its key and version — no cross-record coupling, hence no global lock
+// traffic, but still a real consistency audit.
+func delta(key, version uint64) int64 {
+	return int64((key*0x9E3779B9 + version*40503) % 997)
+}
+
+// expectedValue replays every update a record has seen.
+func expectedValue(key, version uint64) int64 {
+	var total int64
+	for k := uint64(1); k <= version; k++ {
+		total += delta(key, k)
+	}
+	return total
+}
+
+// Bench is a loaded key-value store.
+type Bench struct {
+	Eng     *db.Engine
+	Scale   Scale
+	ReadPct int
+
+	UserTable *db.Table
+	Users     *db.BTree
+
+	// owned lists the record keys resident in this engine, ascending (every
+	// key for an unsharded load; one hash partition for a shard).
+	owned []uint64
+}
+
+// Load creates and populates the store through an uninstrumented session and
+// leaves it checkpointed, like tpcb.Load.
+func Load(eng *db.Engine, sc Scale, readPct int) (*Bench, error) {
+	return loadOwned(eng, sc, readPct, nil)
+}
+
+// loadOwned loads the slice of the store whose keys satisfy own (nil =
+// every key).
+func loadOwned(eng *db.Engine, sc Scale, readPct int, own func(key uint64) bool) (*Bench, error) {
+	if sc.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: bad scale %+v", sc)
+	}
+	if readPct <= 0 {
+		readPct = DefaultReadPct
+	}
+	b := &Bench{Eng: eng, Scale: sc, ReadPct: readPct}
+	s := eng.NewSession(0, nil)
+	b.UserTable = eng.CreateTable("usertable")
+	b.Users = eng.CreateBTree("user_pk")
+	for k := 0; k < sc.Records; k++ {
+		key := uint64(k)
+		if own != nil && !own(key) {
+			continue
+		}
+		b.owned = append(b.owned, key)
+		rid := b.UserTable.Insert(s, encodeRow(key, 0, 0))
+		if err := b.Users.Insert(s, key, rid.Pack()); err != nil {
+			return nil, err
+		}
+	}
+	eng.Pool.FlushAll()
+	eng.WAL.MarkFlushed(eng.WAL.CurrentLSN())
+	return b, nil
+}
+
+// Gen draws one request: ReadPct% point reads, the rest single-row updates,
+// keys uniform.
+func (b *Bench) Gen(r *rand.Rand) Input {
+	in := Input{Key: uint64(r.Intn(b.Scale.Records))}
+	if r.Intn(100) >= b.ReadPct {
+		in.Kind = Update
+	}
+	return in
+}
+
+// GenInput implements workload.Instance.
+func (b *Bench) GenInput(r *rand.Rand) workload.Input { return b.Gen(r) }
+
+// RunTxn implements workload.Instance; in must come from GenInput.
+func (b *Bench) RunTxn(s *db.Session, in workload.Input) {
+	req := in.(Input)
+	if req.Kind == Read {
+		b.runRead(s, req.Key)
+	} else {
+		b.runUpdate(s, req.Key)
+	}
+}
+
+// runRead executes one point read: a B-tree search and a heap fetch with no
+// transaction, no locks and no log traffic — read-committed row reads under
+// page latches, the way a key-value GET executes.
+func (b *Bench) runRead(s *db.Session, key uint64) {
+	s.PB.Enter("ycsb_read")
+	defer s.PB.Leave("ycsb_read")
+	s.PB.Data(s.ScratchAddr(0), 128, true) // parsed request / reply buffer
+	packed, ok := b.Users.Search(s, key)
+	if !ok {
+		panic(fmt.Sprintf("ycsb: record %d missing", key))
+	}
+	b.UserTable.Fetch(s, db.UnpackRID(packed))
+	s.PB.Data(s.ScratchAddr(256), 128, true) // materialized value
+}
+
+// runUpdate executes one read-modify-write transaction on a single record:
+// the only lock acquired is the record's own, and the commit's log force is
+// the mix's only log traffic.
+func (b *Bench) runUpdate(s *db.Session, key uint64) {
+	s.PB.Enter("ycsb_update")
+	defer s.PB.Leave("ycsb_update")
+	s.PB.Data(s.ScratchAddr(512), 128, true)
+	s.Begin()
+	packed, ok := b.Users.Search(s, key)
+	if !ok {
+		panic(fmt.Sprintf("ycsb: record %d missing", key))
+	}
+	rid := db.UnpackRID(packed)
+	s.LockX(db.LockKey(lockSpaceUser, key))
+	row := b.UserTable.Fetch(s, rid)
+	v := rowVersion(row) + 1
+	rowSetVersion(row, v)
+	rowSetValue(row, rowValue(row)+delta(key, v))
+	s.PB.Data(s.ScratchAddr(768), 128, true)
+	b.UserTable.Update(s, rid, row)
+	s.Commit()
+}
+
+// ReadRecord fetches a record outside the instrumented path (tests and
+// verification), returning its version and value.
+func (b *Bench) ReadRecord(s *db.Session, key uint64) (version uint64, value int64) {
+	packed, ok := b.Users.Search(s, key)
+	if !ok {
+		panic(fmt.Sprintf("ycsb: record %d missing", key))
+	}
+	row := b.UserTable.Fetch(s, db.UnpackRID(packed))
+	return rowVersion(row), rowValue(row)
+}
+
+// Check implements workload.Instance: every resident record's value must
+// equal the replayed sum of the deterministic per-version deltas — a
+// record's state is a pure function of (key, version), so any lost or
+// doubled update surfaces.
+func (b *Bench) Check(s *db.Session) error {
+	for _, key := range b.owned {
+		v, got := b.ReadRecord(s, key)
+		if want := expectedValue(key, v); got != want {
+			return fmt.Errorf("ycsb: record %d at version %d has value %d, want %d", key, v, got, want)
+		}
+	}
+	return nil
+}

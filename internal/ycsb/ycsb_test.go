@@ -1,0 +1,192 @@
+package ycsb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+	"codelayout/internal/ycsb"
+)
+
+func smallScale() ycsb.Scale { return ycsb.Scale{Records: 800} }
+
+func load(t *testing.T, sc ycsb.Scale, readPct int) (*ycsb.Bench, *db.Session) {
+	t.Helper()
+	eng := db.NewEngine(db.Config{BufferPoolPages: 8192})
+	b, err := ycsb.Load(eng, sc, readPct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, eng.NewSession(1, nil)
+}
+
+func TestLoadPopulates(t *testing.T) {
+	b, s := load(t, smallScale(), 0)
+	if got := b.Users.Count(s); got != 800 {
+		t.Fatalf("records = %d", got)
+	}
+	if b.ReadPct != ycsb.DefaultReadPct {
+		t.Fatalf("readPct = %d, want default %d", b.ReadPct, ycsb.DefaultReadPct)
+	}
+	if err := b.Users.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Check(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixKeepsInvariants(t *testing.T) {
+	b, s := load(t, smallScale(), 0)
+	r := rand.New(rand.NewSource(1))
+	reads, updates := 0, 0
+	for i := 0; i < 2000; i++ {
+		in := b.Gen(r)
+		b.RunTxn(s, in)
+		if in.Kind == ycsb.Read {
+			reads++
+		} else {
+			updates++
+		}
+	}
+	if reads == 0 || updates == 0 {
+		t.Fatalf("mix degenerate: %d reads, %d updates", reads, updates)
+	}
+	// The mix must actually be read-dominated with near-zero log traffic:
+	// only updates commit (and therefore force the log).
+	if frac := float64(reads) / 2000; frac < 0.90 || frac > 0.99 {
+		t.Fatalf("read fraction %.3f outside the 95/5 band", frac)
+	}
+	if b.Eng.Committed != uint64(updates) {
+		t.Fatalf("committed = %d, updates = %d (reads must not open transactions)", b.Eng.Committed, updates)
+	}
+	if b.Eng.WAL.Flushes > uint64(updates)+1 { // +1: the load checkpoint
+		t.Fatalf("log flushes %d exceed update count %d", b.Eng.WAL.Flushes, updates)
+	}
+	if err := b.Check(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Users.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	b, s := load(t, smallScale(), 50)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		b.RunTxn(s, b.Gen(r))
+	}
+	// Corrupt one record's value behind the workload's back.
+	var victim uint64
+	for k := uint64(0); k < 800; k++ {
+		if v, _ := b.ReadRecord(s, k); v > 0 {
+			victim = k
+			break
+		}
+	}
+	packed, _ := b.Users.Search(s, victim)
+	rid := db.UnpackRID(packed)
+	row := b.UserTable.Fetch(s, rid)
+	row[16] ^= 0xFF
+	b.UserTable.Update(s, rid, row)
+	if err := b.Check(s); err == nil {
+		t.Fatal("Check missed a corrupted record")
+	}
+}
+
+func TestWorkloadAdapter(t *testing.T) {
+	wl, err := workload.New("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Name() != "ycsb" {
+		t.Fatalf("name = %q", wl.Name())
+	}
+	q := wl.QuickScale()
+	if q.DataPages() >= wl.DataPages() {
+		t.Fatalf("quick scale not smaller: %d vs %d", q.DataPages(), wl.DataPages())
+	}
+	if q.Name() != "ycsb" {
+		t.Fatalf("quick name = %q", q.Name())
+	}
+	eng := db.NewEngine(db.Config{BufferPoolPages: q.DataPages() + 4096})
+	inst, err := q.Load(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.NewSession(1, nil)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		inst.RunTxn(s, inst.GenInput(r))
+	}
+	if err := inst.Check(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelOverridesName(t *testing.T) {
+	w := ycsb.New()
+	w.Label = "ycsb50"
+	w.ReadPct = 50
+	if w.Name() != "ycsb50" {
+		t.Fatalf("name = %q", w.Name())
+	}
+	q := w.QuickScale()
+	if q.Name() != "ycsb50" {
+		t.Fatalf("quick scale dropped the label: %q", q.Name())
+	}
+}
+
+func TestShardedPartitionAndScatter(t *testing.T) {
+	w := ycsb.NewScaled(smallScale())
+	w.CrossShardPct = 30
+	engs := []*db.Engine{
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 0}),
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 1}),
+	}
+	sinst, err := w.LoadSharded(engs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := sinst.(*ycsb.Sharded)
+	// Partition is exact and disjoint.
+	total := 0
+	for i, b := range sb.Shards {
+		s := engs[i].NewSession(1, nil)
+		n := b.Users.Count(s)
+		if n == 0 {
+			t.Fatalf("shard %d empty", i)
+		}
+		total += n
+	}
+	if total != smallScale().Records {
+		t.Fatalf("union of shards holds %d records, want %d", total, smallScale().Records)
+	}
+	ss := []*db.Session{engs[0].NewSession(1, nil), engs[1].NewSession(1, nil)}
+	r := rand.New(rand.NewSource(5))
+	scatter := 0
+	for i := 0; i < 1500; i++ {
+		in := sinst.GenInput(r)
+		if sinst.Remote(in) {
+			scatter++
+		}
+		sinst.RunTxn(ss, in)
+	}
+	if scatter == 0 {
+		t.Fatal("no scatter reads generated with CrossShardPct=30")
+	}
+	// Scatter reads are read-only: no engine ever saw a distributed commit.
+	for i, e := range engs {
+		for _, rec := range e.WAL.Records {
+			if rec.Kind == db.LogPrepare {
+				t.Fatalf("shard %d logged a prepare — ycsb must never 2PC", i)
+			}
+		}
+	}
+	check := []*db.Session{engs[0].NewSession(2, nil), engs[1].NewSession(2, nil)}
+	if err := sinst.Check(check); err != nil {
+		t.Fatal(err)
+	}
+}
