@@ -7,6 +7,7 @@
 //	layoutlab -run fig04 -csv out/  # also dump CSV files
 //	layoutlab -table robustness -matrix tpcb,ordere,ycsb -shardlist 1,4
 //	layoutlab -table shardsweep -sweep 1,2,4,8
+//	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		run    = flag.String("run", "all", "experiment id to run, or 'all'")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		full   = flag.Bool("full", false, "paper-scale run (default is the quick configuration)")
+		quick  = flag.Bool("quick", false, "force the quick configuration (the default; conflicts with -full)")
 		seed   = flag.Int64("seed", 0, "override workload seed")
 		txns   = flag.Int("txns", 0, "override measured transactions")
 		cpus   = flag.Int("cpus", 0, "override processor count")
@@ -38,13 +40,17 @@ func main() {
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 
-		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix) or shardsweep")
-		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness: comma-separated workloads spanning both axes")
-		shardlist = flag.String("shardlist", "1,4", "robustness: comma-separated shard counts spanning both axes")
+		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep or latency (percentiles)")
+		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness/latency: comma-separated workloads to measure")
+		shardlist = flag.String("shardlist", "1,4", "robustness/latency: comma-separated shard counts to measure")
 		sweep     = flag.String("sweep", "1,2,4,8", "shardsweep: comma-separated shard counts to sweep")
 		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate")
 	)
 	flag.Parse()
+
+	if *quick && *full {
+		fatal(fmt.Errorf("-quick conflicts with -full"))
+	}
 
 	if *list {
 		for _, line := range expt.Summary() {
@@ -159,8 +165,24 @@ func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, 
 			return nil, err
 		}
 		return []*stats.Table{t}, nil
+	case "latency":
+		var wls []workload.Workload
+		for _, name := range splitList(matrix) {
+			wl, err := resolveWorkload(name, full)
+			if err != nil {
+				return nil, err
+			}
+			wls = append(wls, wl)
+		}
+		shards, err := parseInts(shardlist)
+		if err != nil {
+			return nil, err
+		}
+		return expt.LatencyTables(opts, expt.LatencySpec{
+			Workloads: wls, Shards: shards, Layout: layout,
+		})
 	}
-	return nil, fmt.Errorf("unknown table %q (have robustness, shardsweep)", kind)
+	return nil, fmt.Errorf("unknown table %q (have robustness, shardsweep, latency)", kind)
 }
 
 func splitList(s string) []string {

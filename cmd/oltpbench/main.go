@@ -11,6 +11,7 @@
 //	oltpbench -workload ordere -quick
 //	oltpbench -workload ordere -shards 4 -gcwindow 60000
 //	oltpbench -workload tpcb -shards 4 -gcauto
+//	oltpbench -workload tpcb -shards 4 -gcp99 -percentiles
 //	oltpbench -workload tpcb -opt all -train-workload ycsb -train-shards 4
 package main
 
@@ -44,8 +45,10 @@ func main() {
 		procs     = flag.Int("procs", 8, "server processes per CPU")
 		shards    = flag.Int("shards", 1, "partitioned database engines behind the shard router")
 		gcWindow  = flag.Uint64("gcwindow", 0, "group-commit batching window in instruction-times (0 = flush as soon as a leader arrives)")
-		gcAuto    = flag.Bool("gcauto", false, "pick each shard's group-commit window from the warmup commit arrival rate")
+		gcAuto    = flag.Bool("gcauto", false, "pick each shard's group-commit window from the warmup commit arrival rate (fewest flushes)")
+		gcP99     = flag.Bool("gcp99", false, "pick each shard's group-commit window to minimize modeled p99 latency from the warmup histogram")
 		perCommit = flag.Bool("percommit", false, "disable group commit: every commit pays its own log write")
+		pctiles   = flag.Bool("percentiles", false, "report per-transaction latency percentiles (overall and per shard × kind)")
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
 		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
@@ -61,6 +64,16 @@ func main() {
 
 	if *optCombo != "" && *layoutIn != "" {
 		fatal(fmt.Errorf("-opt and -layout conflict: one trains in-process, the other loads a layout file"))
+	}
+	if *gcAuto && *gcP99 {
+		fatal(fmt.Errorf("-gcauto and -gcp99 conflict: pick one auto-tuning mode"))
+	}
+	gcMode := machine.AutoGCOff
+	if *gcAuto {
+		gcMode = machine.AutoGCFlushCount
+	}
+	if *gcP99 {
+		gcMode = machine.AutoGCTargetP99
 	}
 
 	wl, err := workload.New(*wlName)
@@ -167,7 +180,7 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
 		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
-		AutoGroupCommit: *gcAuto,
+		AutoGroupCommit: gcMode,
 		WarmupTxns:      *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
@@ -194,8 +207,8 @@ func main() {
 		fmt.Printf("shards:           %d engines by %s, %d%% cross-shard (%d cross-shard txns, %d deadlock aborts)\n",
 			*shards, part.Key, part.CrossShardPct, res.CrossShard, res.Aborted)
 	}
-	if *gcAuto {
-		fmt.Printf("gc windows:       %v (auto-tuned from warmup arrival rate)\n", m.GroupCommitWindows())
+	if gcMode != machine.AutoGCOff {
+		fmt.Printf("gc windows:       %v (auto-tuned, mode %s)\n", m.GroupCommitWindows(), gcMode)
 	}
 	fmt.Printf("committed:        %d transactions\n", res.Committed)
 	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",
@@ -207,6 +220,16 @@ func main() {
 	fmt.Printf("mean fetch sequence:    %.2f instructions\n", seq.Hist.Mean())
 	fmt.Printf("log: %d flushes, %d grouped commits, %d blocked instr-time; %d lock conflicts; idle %d\n",
 		res.LogFlushes, res.GroupedCommits, res.LogBlockedInstr, res.LockConflicts, res.IdleInstrs)
+	if *pctiles {
+		l := res.Latency
+		fmt.Printf("latency (instr-times): mean=%.0f p50=%d p95=%d p99=%d max=%d over %d txns\n",
+			l.Mean, l.P50, l.P95, l.P99, l.Max, l.N)
+		for _, c := range m.LatencyByKind() {
+			s := c.Summary
+			fmt.Printf("  shard %d %-14s n=%-6d p50=%-10d p95=%-10d p99=%-10d max=%d\n",
+				c.Shard, c.Kind, s.N, s.P50, s.P95, s.P99, s.Max)
+		}
+	}
 	if err := m.CheckInvariants(); err != nil {
 		fatal(err)
 	}

@@ -205,6 +205,26 @@ type (
 	Machine = machine.Machine
 	// Scale sizes the TPC-B database.
 	Scale = tpcb.Scale
+	// LatencySummary condenses a per-transaction latency distribution into
+	// mean, p50/p95/p99 and max (MachineResult.Latency, latency tables).
+	LatencySummary = machine.LatencySummary
+	// TxnLatency is one (shard, transaction kind) cell of a run's latency
+	// breakdown (Machine.LatencyByKind).
+	TxnLatency = machine.TxnLatency
+	// AutoGCMode selects how the group-commit windows are auto-tuned from
+	// warmup observations (MachineConfig.AutoGroupCommit).
+	AutoGCMode = machine.AutoGCMode
+)
+
+// Group-commit auto-tuning modes.
+const (
+	// AutoGCOff disables group-commit auto-tuning.
+	AutoGCOff = machine.AutoGCOff
+	// AutoGCFlushCount tunes each shard's window for fewest log flushes.
+	AutoGCFlushCount = machine.AutoGCFlushCount
+	// AutoGCTargetP99 tunes each shard's window to minimize modeled p99
+	// transaction latency.
+	AutoGCTargetP99 = machine.AutoGCTargetP99
 )
 
 // NewMachine builds a full-system simulation (engine, loaded workload
@@ -232,6 +252,8 @@ type (
 	RobustnessSpec = expt.RobustnessSpec
 	// RobustnessResult carries the matrix cells and rendered tables.
 	RobustnessResult = expt.RobustnessResult
+	// LatencySpec configures the latency percentile tables.
+	LatencySpec = expt.LatencySpec
 )
 
 // DefaultSessionOptions is the paper-scale configuration.
@@ -267,6 +289,13 @@ func Robustness(o SessionOptions, spec RobustnessSpec) (*RobustnessResult, error
 // each count, and reports throughput, blocked-on-log time and miss ratios.
 func ShardSweep(o SessionOptions, shardCounts []int, layouts []string) (*Table, error) {
 	return expt.ShardSweep(o, shardCounts, layouts)
+}
+
+// LatencyTables measures every workload × shard count cell under the
+// original and the optimized layout and renders the per-transaction latency
+// percentile tables (run-wide plus per shard × transaction kind).
+func LatencyTables(o SessionOptions, spec LatencySpec) ([]*Table, error) {
+	return expt.LatencyTables(o, spec)
 }
 
 // ExperimentIDs lists the reproducible figures and in-text results.

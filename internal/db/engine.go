@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"codelayout/internal/probe"
+	"codelayout/internal/stats"
 )
 
 // Engine is the shared database instance (the SGA): buffer pool, WAL, lock
@@ -52,6 +53,15 @@ type Engine struct {
 	Aborted uint64
 	// Deadlocks counts victim aborts forced by deadlock detection.
 	Deadlocks uint64
+
+	// CommitGaps histograms the inter-commit gaps observed on this engine
+	// (instruction-times), recorded whenever the environment implements
+	// Clock. The group-commit auto-tuner reads the shard's commit arrival
+	// process from it instead of assuming a uniform rate.
+	CommitGaps stats.Log2Hist
+	// lastCommitAt is the clock reading of the most recent commit (0 before
+	// the first timed commit).
+	lastCommitAt uint64
 }
 
 // ShardPageStride is the page-ID distance between consecutive shards'
@@ -110,6 +120,29 @@ func NewEngine(cfg Config) *Engine {
 		nextPage:          PageID(cfg.Shard) * ShardPageStride,
 		pageLimit:         cfg.PageLimit,
 		nextTxn:           1,
+	}
+}
+
+// noteCommit counts a committed transaction and, when the environment can
+// tell time, records the gap since the engine's previous commit.
+func (e *Engine) noteCommit() {
+	e.Committed++
+	c, ok := e.Env.(Clock)
+	if !ok {
+		return
+	}
+	now := c.Now()
+	if now == 0 {
+		return
+	}
+	if e.lastCommitAt > 0 && now >= e.lastCommitAt {
+		e.CommitGaps.Add(now - e.lastCommitAt)
+	}
+	// Clocks are per-CPU and can diverge; a commit timestamped behind the
+	// engine's high-water mark is skipped rather than allowed to rewind it,
+	// so cross-CPU skew cannot fabricate a giant gap on the next commit.
+	if now > e.lastCommitAt {
+		e.lastCommitAt = now
 	}
 }
 

@@ -37,7 +37,7 @@ func (s *Session) Commit() {
 	s.logForce(lsn)
 	s.ReleaseLocks()
 	s.txn = nil
-	s.Eng.Committed++
+	s.Eng.noteCommit()
 }
 
 // Abort undoes the transaction's updates from its before-images, logs the
@@ -102,7 +102,7 @@ func (s *Session) CommitPrepared() {
 	s.LogAppend(LogRec{Txn: t.ID, Kind: LogCommit})
 	s.ReleaseLocks()
 	s.txn = nil
-	s.Eng.Committed++
+	s.Eng.noteCommit()
 }
 
 // logForce implements group commit: the first committer whose LSN is not yet

@@ -129,6 +129,15 @@ type Env interface {
 	Wake(q *WaitQueue)
 }
 
+// Clock is optionally implemented by an Env that can tell simulated time
+// (instruction-times). An engine whose environment has a clock records the
+// inter-commit gap histogram the group-commit auto-tuner reads the arrival
+// process from; environments without one (tests, loaders) simply record
+// nothing. Now returning 0 means "no running process" and is ignored.
+type Clock interface {
+	Now() uint64
+}
+
 // WaitQueue identifies a blocking point (group commit, a lock, ...). The
 // machine attaches its own bookkeeping via the Tag.
 type WaitQueue struct {

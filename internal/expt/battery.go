@@ -20,6 +20,13 @@ var (
 type Measure struct {
 	Res machine.Result
 
+	// Latency is the run's per-transaction latency breakdown per home
+	// shard × transaction kind (the run-wide summary is Res.Latency).
+	Latency []machine.TxnLatency
+	// GCWindows reports the per-shard group-commit windows in force at the
+	// end of the run (the tuned values under an AutoGroupCommit mode).
+	GCWindows []uint64
+
 	// AppDM[size][line] — application-only, direct-mapped (Figures 4, 5).
 	AppDM map[int]map[int]*cache.Stats
 	// App4W[size] — application-only, 128B lines, 4-way (Figures 6, 7, 12).

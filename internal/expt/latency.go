@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"fmt"
+
+	"codelayout/internal/stats"
+	"codelayout/internal/workload"
+)
+
+// LatencySpec configures the latency percentile tables: every listed
+// workload × shard count is measured self-trained under the baseline
+// (original) layout and under the optimized layout, and the tables report
+// p50/p95/p99/max per-transaction latency — the tail-latency view of the
+// layout win that whole-run instruction and miss-ratio aggregates hide.
+type LatencySpec struct {
+	// Workloads are the mixes to measure; at least one. All of them join
+	// one union app image, so layouts and measurements share one program.
+	Workloads []workload.Workload
+	// Shards are the shard counts to measure; empty means {1}.
+	Shards []int
+	// Layout is the optimized pipeline combo ("all" if empty), compared
+	// against the "base" (original) layout.
+	Layout string
+	// CPUs overrides the measurement processor count (0 = Options.CPUs).
+	CPUs int
+}
+
+// LatencyTables measures every workload × shard count cell under the
+// original and the optimized layout and renders two tables: run-wide
+// percentiles per cell, and the per-shard × transaction-kind breakdown.
+// Group-commit and auto-tuning settings come from o, so the same tables
+// serve fixed windows, AutoGCFlushCount and AutoGCTargetP99 runs.
+func LatencyTables(o Options, spec LatencySpec) ([]*stats.Table, error) {
+	if len(spec.Workloads) == 0 {
+		return nil, fmt.Errorf("expt: latency tables need at least one workload")
+	}
+	if len(spec.Shards) == 0 {
+		spec.Shards = []int{1}
+	}
+	if spec.Layout == "" {
+		spec.Layout = "all"
+	}
+	cpus := spec.CPUs
+	if cpus == 0 {
+		cpus = o.CPUs
+	}
+	o.Workload = spec.Workloads[0]
+	src, err := NewProfileSource(o, spec.Workloads[1:]...)
+	if err != nil {
+		return nil, err
+	}
+
+	sum := stats.NewTable(
+		fmt.Sprintf("Transaction latency percentiles (instruction-times), orig vs %q layout", spec.Layout),
+		"workload", "shards", "layout", "txns", "mean", "p50", "p95", "p99", "max")
+	kinds := stats.NewTable(
+		fmt.Sprintf("Transaction latency by shard and kind, orig vs %q layout", spec.Layout),
+		"workload", "shards", "layout", "shard", "kind", "txns", "p50", "p95", "p99", "max")
+
+	for _, wl := range spec.Workloads {
+		for _, n := range spec.Shards {
+			eo := o
+			eo.Workload = wl
+			eo.Shards = n
+			s, err := NewSessionFrom(src, eo)
+			if err != nil {
+				return nil, err
+			}
+			layouts := []string{"base"}
+			if spec.Layout != "base" {
+				layouts = append(layouts, spec.Layout)
+			}
+			for _, layout := range layouts {
+				m, err := s.Measure(layout, cpus)
+				if err != nil {
+					return nil, fmt.Errorf("latency %s/s%d layout=%s: %w", wl.Name(), n, layout, err)
+				}
+				name := "orig"
+				if layout != "base" {
+					name = layout
+				}
+				l := m.Res.Latency
+				sum.AddRow(wl.Name(), shardKey(n), name, l.N,
+					fmt.Sprintf("%.0f", l.Mean), l.P50, l.P95, l.P99, l.Max)
+				for _, c := range m.Latency {
+					kinds.AddRow(wl.Name(), shardKey(n), name, c.Shard, c.Kind,
+						c.Summary.N, c.Summary.P50, c.Summary.P95, c.Summary.P99, c.Summary.Max)
+				}
+			}
+		}
+	}
+	sum.Note("latency = request generation through successful commit on the simulated clock (1 instr-time ≈ 1 ns); deadlock retries and group-commit waits included")
+	kinds.Note("cells are keyed by the transaction's home shard and the workload's kind label (_dist kinds commit through 2PC)")
+	return []*stats.Table{sum, kinds}, nil
+}

@@ -49,6 +49,11 @@ type Options struct {
 	// PerCommitLogFlush disables group commit (the baseline the
 	// group-commit comparisons run against).
 	PerCommitLogFlush bool
+	// AutoGroupCommit auto-tunes the per-shard windows from warmup
+	// observations (machine.AutoGCFlushCount or machine.AutoGCTargetP99);
+	// it keys the measurement memos, so runs under different tuning modes
+	// never collide.
+	AutoGroupCommit machine.AutoGCMode
 
 	Transactions int
 	WarmupTxns   int
@@ -187,6 +192,7 @@ type measKey struct {
 	shards    int
 	gcWindow  uint64
 	perCommit bool
+	gcMode    machine.AutoGCMode
 }
 
 // NewSession builds a private profile source (images and baseline layouts)
@@ -324,6 +330,7 @@ func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.C
 		Shards:                 s.Opt.Shards,
 		GroupCommitWindowInstr: s.Opt.GroupCommitWindowInstr,
 		PerCommitLogFlush:      s.Opt.PerCommitLogFlush,
+		AutoGroupCommit:        s.Opt.AutoGroupCommit,
 		WarmupTxns:             s.Opt.WarmupTxns,
 		Transactions:           s.Opt.Transactions,
 		Workload:               s.Opt.Workload,
@@ -371,6 +378,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 		shards:    shardKey(s.Opt.Shards),
 		gcWindow:  s.Opt.GroupCommitWindowInstr,
 		perCommit: s.Opt.PerCommitLogFlush,
+		gcMode:    s.Opt.AutoGroupCommit,
 	}
 	for {
 		s.mu.Lock()
@@ -427,7 +435,10 @@ func (s *Session) measure(tc TrainConfig, layout, kern string, cpus int) (*Measu
 	if err != nil {
 		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu (train %s): %w", layout, kern, cpus, tc.Spec(), err)
 	}
-	return bat.finish(res), nil
+	meas := bat.finish(res)
+	meas.Latency = mach.LatencyByKind()
+	meas.GCWindows = mach.GroupCommitWindows()
+	return meas, nil
 }
 
 // MeasureBatch measures every named layout concurrently with a bounded

@@ -15,7 +15,7 @@ import (
 func TestAutoGroupCommitTunesWindows(t *testing.T) {
 	wl := tpcb.NewScaled(tpcb.Scale{Branches: 48, TellersPerBranch: 4, AccountsPerBranch: 100})
 	app, appL, kern, kernL := testImages(t, wl)
-	run := func(auto bool) (machine.Result, []uint64) {
+	run := func(auto machine.AutoGCMode) (machine.Result, []uint64) {
 		cfg := configFor(wl, app, appL, kern, kernL)
 		cfg.Shards = 2
 		cfg.CPUs = 4
@@ -36,8 +36,8 @@ func TestAutoGroupCommitTunesWindows(t *testing.T) {
 		}
 		return res, m.GroupCommitWindows()
 	}
-	immediate, immWin := run(false)
-	auto, autoWin := run(true)
+	immediate, immWin := run(machine.AutoGCOff)
+	auto, autoWin := run(machine.AutoGCFlushCount)
 	for i, w := range immWin {
 		if w != 0 {
 			t.Fatalf("immediate-flush run left window %d on shard %d", w, i)
@@ -61,7 +61,7 @@ func TestAutoGroupCommitTunesWindows(t *testing.T) {
 		immediate.LogBlockedInstr, auto.LogBlockedInstr)
 
 	// Determinism: a second auto run reproduces the result and the windows.
-	auto2, autoWin2 := run(true)
+	auto2, autoWin2 := run(machine.AutoGCFlushCount)
 	if auto != auto2 {
 		t.Fatalf("auto-tuned runs diverge:\n%+v\n%+v", auto, auto2)
 	}
@@ -77,7 +77,7 @@ func TestAutoGroupCommitTunesWindows(t *testing.T) {
 func TestAutoGroupCommitNoWarmup(t *testing.T) {
 	cfg := testSetup(t, "tpcb")
 	cfg.WarmupTxns = 0
-	cfg.AutoGroupCommit = true
+	cfg.AutoGroupCommit = machine.AutoGCFlushCount
 	m, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -104,8 +104,8 @@ func TestAutoGroupCommitValidation(t *testing.T) {
 		mutate func(*machine.Config)
 		want   string
 	}{
-		{func(c *machine.Config) { c.AutoGroupCommit = true; c.PerCommitLogFlush = true }, "PerCommitLogFlush"},
-		{func(c *machine.Config) { c.AutoGroupCommit = true; c.GroupCommitWindowInstr = 50_000 }, "GroupCommitWindowInstr"},
+		{func(c *machine.Config) { c.AutoGroupCommit = machine.AutoGCFlushCount; c.PerCommitLogFlush = true }, "PerCommitLogFlush"},
+		{func(c *machine.Config) { c.AutoGroupCommit = machine.AutoGCFlushCount; c.GroupCommitWindowInstr = 50_000 }, "GroupCommitWindowInstr"},
 	}
 	for _, tc := range cases {
 		cfg := base

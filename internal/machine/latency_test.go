@@ -1,0 +1,268 @@
+package machine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"codelayout/internal/machine"
+	"codelayout/internal/tpcb"
+	"codelayout/internal/workload"
+	"codelayout/internal/ycsb"
+)
+
+// latencyWorkloads returns tiny instances of all three transaction mixes
+// (the ycsb point-read store next to the machine-test standards).
+func latencyWorkloads(t *testing.T) map[string]workload.Workload {
+	t.Helper()
+	return map[string]workload.Workload{
+		"tpcb":   smallWorkload(t, "tpcb"),
+		"ordere": smallWorkload(t, "ordere"),
+		"ycsb":   ycsb.NewScaled(ycsb.Scale{Records: 4000}),
+	}
+}
+
+// TestLatencySummaryBasics: every run produces a populated, internally
+// consistent latency summary — percentiles ordered, mean inside the range,
+// the per-kind cells summing to the run-wide count, and N never exceeding
+// the committed count (boundary-straddling transactions are excluded).
+func TestLatencySummaryBasics(t *testing.T) {
+	for name, wl := range latencyWorkloads(t) {
+		t.Run(name, func(t *testing.T) {
+			app, appL, kern, kernL := testImages(t, wl)
+			cfg := configFor(wl, app, appL, kern, kernL)
+			cfg.CPUs = 2
+			cfg.ProcsPerCPU = 6
+			cfg.Transactions = 120
+			cfg.WarmupTxns = 20
+			m, err := machine.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := res.Latency
+			if l.N == 0 {
+				t.Fatal("no latencies recorded")
+			}
+			if l.N > res.Committed {
+				t.Fatalf("latency N = %d > committed %d", l.N, res.Committed)
+			}
+			if !(l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+				t.Fatalf("percentiles out of order: %+v", l)
+			}
+			if l.Mean <= 0 || l.Mean > float64(l.Max) {
+				t.Fatalf("mean %f outside (0, max=%d]", l.Mean, l.Max)
+			}
+			var cellN uint64
+			for _, c := range m.LatencyByKind() {
+				s := c.Summary
+				if s.N == 0 || s.N != c.Hist.N {
+					t.Fatalf("cell %d/%s: summary N=%d hist N=%d", c.Shard, c.Kind, s.N, c.Hist.N)
+				}
+				if !(s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+					t.Fatalf("cell %d/%s percentiles out of order: %+v", c.Shard, c.Kind, s)
+				}
+				if s.Max > l.Max {
+					t.Fatalf("cell %d/%s max %d > run max %d", c.Shard, c.Kind, s.Max, l.Max)
+				}
+				cellN += s.N
+			}
+			if cellN != l.N {
+				t.Fatalf("per-kind cells sum to %d, run-wide N = %d", cellN, l.N)
+			}
+		})
+	}
+}
+
+// TestLatencyKindLabels: each workload's per-kind breakdown uses its
+// Labeler labels, including the distributed kinds on sharded machines.
+func TestLatencyKindLabels(t *testing.T) {
+	wls := latencyWorkloads(t)
+	// ycsb expects only "read": commits are counted at completion and point
+	// reads finish orders of magnitude faster than update transactions, so
+	// a short measured window may close before any update commits.
+	want := map[string]map[int][]string{
+		"tpcb":   {1: {"tpcb"}, 2: {"tpcb", "tpcb_dist"}},
+		"ordere": {1: {"neworder", "payment"}, 2: {"neworder", "payment", "payment_dist"}},
+		"ycsb":   {1: {"read"}, 2: {"read"}},
+	}
+	for name, wl := range wls {
+		for _, shards := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/s%d", name, shards), func(t *testing.T) {
+				app, appL, kern, kernL := testImages(t, wl)
+				cfg := configFor(wl, app, appL, kern, kernL)
+				cfg.CPUs = 2
+				cfg.ProcsPerCPU = 6
+				cfg.Shards = shards
+				cfg.Transactions = 200
+				cfg.WarmupTxns = 20
+				m, err := machine.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				seen := map[string]bool{}
+				for _, c := range m.LatencyByKind() {
+					seen[c.Kind] = true
+					if shards == 1 && c.Shard != 0 {
+						t.Fatalf("single-shard cell on shard %d", c.Shard)
+					}
+				}
+				for _, kind := range want[name][shards] {
+					if !seen[kind] {
+						t.Fatalf("kind %q missing from breakdown %v", kind, seen)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLatencyDeterminism: identical seeds must produce bit-identical
+// results and latency histograms across repeated runs, for every workload,
+// at one and two shards, at every CPU count — the latency layer must not
+// perturb the machine's determinism, and its own accumulation must be
+// deterministic too.
+func TestLatencyDeterminism(t *testing.T) {
+	for name, wl := range latencyWorkloads(t) {
+		for _, shards := range []int{1, 2} {
+			for _, cpus := range []int{1, 2} {
+				t.Run(fmt.Sprintf("%s/s%d/c%d", name, shards, cpus), func(t *testing.T) {
+					app, appL, kern, kernL := testImages(t, wl)
+					run := func() (machine.Result, []machine.TxnLatency) {
+						cfg := configFor(wl, app, appL, kern, kernL)
+						cfg.CPUs = cpus
+						cfg.ProcsPerCPU = 5
+						cfg.Shards = shards
+						cfg.Transactions = 80
+						cfg.WarmupTxns = 15
+						m, err := machine.New(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := m.Run()
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res, m.LatencyByKind()
+					}
+					r1, l1 := run()
+					r2, l2 := run()
+					if r1 != r2 {
+						t.Fatalf("results diverge:\n%+v\n%+v", r1, r2)
+					}
+					if !reflect.DeepEqual(l1, l2) {
+						t.Fatalf("latency histograms diverge:\n%+v\n%+v", l1, l2)
+					}
+					if r1.Latency.N == 0 {
+						t.Fatal("no latencies recorded")
+					}
+				})
+			}
+		}
+	}
+}
+
+// tailGCConfig is the commit-heavy 2-shard TPC-B machine the tail-aware
+// group-commit regression runs on (the same shape as the flush-count
+// auto-tuner test).
+func tailGCConfig(t *testing.T) (machine.Config, workload.Workload) {
+	t.Helper()
+	wl := tpcb.NewScaled(tpcb.Scale{Branches: 48, TellersPerBranch: 4, AccountsPerBranch: 100})
+	app, appL, kern, kernL := testImages(t, wl)
+	cfg := configFor(wl, app, appL, kern, kernL)
+	cfg.Shards = 2
+	cfg.CPUs = 4
+	cfg.ProcsPerCPU = 16
+	cfg.WarmupTxns = 40
+	cfg.Transactions = 300
+	return cfg, wl
+}
+
+// TestAutoGCTargetP99BeatsPerCommit: on the commit-heavy 2-shard TPC-B mix,
+// the tail-aware auto-tuner must deliver a measured p99 transaction latency
+// no worse than the per-commit-flush baseline — the pre-group-commit
+// configuration a tail SLO would otherwise force — while still batching
+// (fewer flushes than commits). Deadlock-abort retries are inside the
+// latency, so this holds under contention, not just on a quiet machine.
+func TestAutoGCTargetP99BeatsPerCommit(t *testing.T) {
+	run := func(mutate func(*machine.Config)) (machine.Result, []uint64) {
+		cfg, _ := tailGCConfig(t)
+		mutate(&cfg)
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return res, m.GroupCommitWindows()
+	}
+	base, _ := run(func(c *machine.Config) { c.PerCommitLogFlush = true })
+	tail, win := run(func(c *machine.Config) { c.AutoGroupCommit = machine.AutoGCTargetP99 })
+	if base.Latency.N == 0 || tail.Latency.N == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if tail.Latency.P99 > base.Latency.P99 {
+		t.Fatalf("tail-aware auto-GC p99 = %d worse than per-commit baseline p99 = %d",
+			tail.Latency.P99, base.Latency.P99)
+	}
+	if tail.LogFlushes >= tail.Committed {
+		t.Fatalf("tail-aware windows did not batch: %d flushes for %d commits", tail.LogFlushes, tail.Committed)
+	}
+	t.Logf("windows=%v; p99 percommit=%d tail=%d; flushes percommit=%d tail=%d",
+		win, base.Latency.P99, tail.Latency.P99, base.LogFlushes, tail.LogFlushes)
+}
+
+// TestAutoGCTargetP99PinnedWindows pins the tuner's chosen windows for a
+// fixed seed: the model, the warmup histogram it reads and the candidate
+// grid are all deterministic, so any drift here is a behavior change that
+// must be reviewed (and this file updated) rather than noise.
+func TestAutoGCTargetP99PinnedWindows(t *testing.T) {
+	cfg, _ := tailGCConfig(t)
+	cfg.AutoGroupCommit = machine.AutoGCTargetP99
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{7500, 7500}
+	if got := m.GroupCommitWindows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tuned windows = %v, want pinned %v", got, want)
+	}
+}
+
+// TestAutoGCTargetP99NoWarmup: with nothing observed the tuner must leave
+// the immediate-flush windows in place.
+func TestAutoGCTargetP99NoWarmup(t *testing.T) {
+	cfg := testSetup(t, "tpcb")
+	cfg.WarmupTxns = 0
+	cfg.AutoGroupCommit = machine.AutoGCTargetP99
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	for i, w := range m.GroupCommitWindows() {
+		if w != 0 {
+			t.Fatalf("shard %d window %d without any warmup to observe", i, w)
+		}
+	}
+}

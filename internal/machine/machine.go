@@ -28,9 +28,43 @@ import (
 	"codelayout/internal/kernel"
 	"codelayout/internal/program"
 	"codelayout/internal/shard"
+	"codelayout/internal/stats"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 )
+
+// AutoGCMode selects how (and whether) the group-commit batching windows
+// are auto-tuned from warmup observations.
+type AutoGCMode int
+
+const (
+	// AutoGCOff disables auto-tuning: the windows come from
+	// GroupCommitWindowInstr (or stay 0).
+	AutoGCOff AutoGCMode = iota
+	// AutoGCFlushCount sizes each shard's window from its warmup commit
+	// arrival rate to batch autoGroupTarget commits per flush — the
+	// throughput-oriented tuner (fewest physical log writes).
+	AutoGCFlushCount
+	// AutoGCTargetP99 sizes each shard's window to minimize the modeled
+	// 99th-percentile transaction latency measured over the warmup latency
+	// histogram — the tail-oriented tuner. Lightly loaded shards keep
+	// immediate flushes; saturated shards widen the window to drain the
+	// log queue.
+	AutoGCTargetP99
+)
+
+// String implements fmt.Stringer (flags and reports).
+func (m AutoGCMode) String() string {
+	switch m {
+	case AutoGCOff:
+		return "off"
+	case AutoGCFlushCount:
+		return "flushcount"
+	case AutoGCTargetP99:
+		return "p99"
+	}
+	return fmt.Sprintf("AutoGCMode(%d)", int(m))
+}
 
 // Config describes one simulated run.
 type Config struct {
@@ -73,16 +107,18 @@ type Config struct {
 	// its own blocking log write. The pre-group-commit baseline; conflicts
 	// with GroupCommitWindowInstr.
 	PerCommitLogFlush bool
-	// AutoGroupCommit picks each shard's batching window from the commit
-	// arrival rate observed during warmup instead of a fixed
-	// GroupCommitWindowInstr: at the warmup/measured switch, every shard's
-	// window is set to (autoGroupTarget-1) mean inter-commit gaps, capped
-	// at twice the log-write latency, so lightly loaded shards do not
-	// trade latency for batches that never form. Warmup runs with an
-	// immediate-flush window; with WarmupTxns = 0 there is nothing to
-	// observe and the windows stay 0. Conflicts with PerCommitLogFlush and
-	// an explicit GroupCommitWindowInstr.
-	AutoGroupCommit bool
+	// AutoGroupCommit picks each shard's batching window from warmup
+	// observations instead of a fixed GroupCommitWindowInstr. At the
+	// warmup/measured switch, AutoGCFlushCount sets every shard's window to
+	// (autoGroupTarget-1) mean inter-commit gaps capped at twice the
+	// log-write latency (minimizing flush count), while AutoGCTargetP99
+	// picks the window minimizing the modeled p99 transaction latency from
+	// the shard's warmup latency histogram and commit arrival process (see
+	// tuneGroupCommitP99). Warmup runs with an immediate-flush window; with
+	// WarmupTxns = 0 there is nothing to observe and the windows stay 0.
+	// Conflicts with PerCommitLogFlush and an explicit
+	// GroupCommitWindowInstr.
+	AutoGroupCommit AutoGCMode
 
 	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
 	AppImage   *codegen.Image
@@ -162,6 +198,12 @@ type Result struct {
 	// before draining — like LogFlushes and LockConflicts).
 	Deadlocks uint64
 	BufMisses uint64
+	// Latency summarizes measured-phase per-transaction latency in
+	// instruction-times: request generation through successful commit,
+	// deadlock-abort retries and time blocked on the group-commit window
+	// included. Machine.LatencyByKind breaks it down per shard and
+	// transaction kind.
+	Latency LatencySummary
 }
 
 // KernelFrac returns the kernel share of busy instructions.
@@ -274,11 +316,22 @@ type Machine struct {
 	cpus  []*cpu
 	procs []*proc
 
-	measuring     bool
+	measuring bool
+	// warmupOver flips (permanently) at the warmup/measured switch, so the
+	// post-run drain cannot be mistaken for warmup by the latency recorder.
+	warmupOver    bool
 	warmCommitted int
 	committed     int
 	res           Result
 	failure       error
+
+	// lat accumulates measured-phase latency per (home shard, txn kind);
+	// warmLat accumulates warmup latency per home shard for the tail-aware
+	// group-commit tuner. kindOf labels inputs (workload.Labeler, or the
+	// workload name).
+	lat     map[latKey]*latRec
+	warmLat []*stats.Log2Hist
+	kindOf  func(workload.Input) string
 }
 
 // New builds the machine: per-shard engines, the loaded (and, when sharded,
@@ -290,7 +343,10 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	m := &Machine{cfg: cfg, graph: db.NewWaitGraph()}
+	m := &Machine{cfg: cfg, graph: db.NewWaitGraph(), lat: make(map[latKey]*latRec)}
+	for i := 0; i < cfg.Shards; i++ {
+		m.warmLat = append(m.warmLat, &stats.Log2Hist{})
+	}
 	graph := m.graph
 	for i := 0; i < cfg.Shards; i++ {
 		m.engs = append(m.engs, db.NewEngine(db.Config{
@@ -316,6 +372,19 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.inst = inst
+	}
+	var lab workload.Labeler
+	if m.sinst != nil {
+		lab, _ = m.sinst.(workload.Labeler)
+	} else {
+		lab, _ = m.inst.(workload.Labeler)
+	}
+	name := cfg.Workload.Name()
+	m.kindOf = func(in workload.Input) string {
+		if lab != nil {
+			return lab.KindOf(in)
+		}
+		return name
 	}
 
 	for c := 0; c < cfg.CPUs; c++ {
@@ -364,11 +433,21 @@ func New(cfg Config) (*Machine, error) {
 // gaps, so on average that many later commits join the leader's write.
 const autoGroupTarget = 4
 
-// tuneGroupCommit sets each shard's batching window from the commit arrival
-// rate observed during warmup (called once, at the warmup/measured switch).
-// A shard that committed nothing keeps the immediate-flush window — there is
-// no arrival rate to amortize against.
+// tuneGroupCommit applies the configured auto-tuner at the warmup/measured
+// switch (called exactly once).
 func (m *Machine) tuneGroupCommit() {
+	switch m.cfg.AutoGroupCommit {
+	case AutoGCFlushCount:
+		m.tuneGroupCommitFlush()
+	case AutoGCTargetP99:
+		m.tuneGroupCommitP99()
+	}
+}
+
+// tuneGroupCommitFlush sets each shard's batching window from the commit
+// arrival rate observed during warmup. A shard that committed nothing keeps
+// the immediate-flush window — there is no arrival rate to amortize against.
+func (m *Machine) tuneGroupCommitFlush() {
 	var elapsed uint64
 	for _, c := range m.cpus {
 		if c.clock > elapsed {
@@ -534,6 +613,9 @@ type waitList struct {
 func (e *machineEnv) Wait(q *db.WaitQueue) {
 	m := (*Machine)(e)
 	p := m.currentProc()
+	if p == nil {
+		panic("machine: Wait with no running process")
+	}
 	if q.Tag == nil {
 		q.Tag = &waitList{}
 	}
@@ -547,6 +629,16 @@ func (e *machineEnv) Wait(q *db.WaitQueue) {
 		p.logParkAt = p.cpu.clock
 	}
 	p.doYield(yieldMsg{kind: yWait})
+}
+
+// Now implements db.Clock: the running process's CPU clock, so the engines
+// can timestamp commits. Outside a scheduled process (load, invariant
+// checks) it returns 0, which the engine treats as "no clock".
+func (e *machineEnv) Now() uint64 {
+	if p := (*Machine)(e).currentProc(); p != nil {
+		return p.cpu.clock
+	}
+	return 0
 }
 
 // Wake implements db.Env.
@@ -577,13 +669,15 @@ func (e *machineEnv) Wake(q *db.WaitQueue) {
 	wl.procs = wl.procs[:0]
 }
 
+// currentProc returns the process currently on a CPU (nil when the
+// scheduler itself holds control — load, between steps).
 func (m *Machine) currentProc() *proc {
 	for _, c := range m.cpus {
 		if c.current != nil && c.current.state == stRunning {
 			return c.current
 		}
 	}
-	panic("machine: no running process")
+	return nil
 }
 
 // ---- Process goroutine ----
@@ -606,6 +700,16 @@ func (p *proc) run(m *Machine) {
 		} else {
 			in = m.inst.GenInput(p.client)
 		}
+		// Latency is stamped on the process's CPU clock from request
+		// generation to successful commit, so deadlock-abort retries and
+		// every block along the way (locks, group-commit windows, log
+		// writes, CPU queueing) are part of the transaction's latency.
+		home := 0
+		if m.sinst != nil {
+			home = m.sinst.Home(in)
+		}
+		start := p.cpu.clock
+		startMeasured := m.measuring
 		// A deadlock victim aborts (its locks release, unblocking the
 		// cycle) and retries the same request, as TP monitors resubmit
 		// aborted transactions. The victim yields its CPU before each
@@ -615,6 +719,7 @@ func (p *proc) run(m *Machine) {
 		for !p.tryTxn(m, in) {
 			p.doYield(yieldMsg{kind: yQuantum})
 		}
+		m.recordLatency(home, m.kindOf(in), startMeasured, p.cpu.clock-start)
 		p.doYield(yieldMsg{kind: yTxnDone})
 	}
 }

@@ -21,6 +21,7 @@ func (m *Machine) Run() (Result, error) {
 
 	if m.cfg.WarmupTxns == 0 {
 		m.measuring = true
+		m.warmupOver = true
 	}
 	steps := 0
 	for m.committed < m.cfg.Transactions {
@@ -42,7 +43,8 @@ func (m *Machine) Run() (Result, error) {
 				m.warmCommitted++
 				if m.warmCommitted >= m.cfg.WarmupTxns {
 					m.measuring = true
-					if m.cfg.AutoGroupCommit {
+					m.warmupOver = true
+					if m.cfg.AutoGroupCommit != AutoGCOff {
 						m.tuneGroupCommit()
 					}
 				}
@@ -63,6 +65,7 @@ func (m *Machine) Run() (Result, error) {
 		m.res.BufMisses += e.Pool.Misses
 	}
 	m.res.BusyInstrs = m.res.AppInstrs + m.res.KernelInstrs
+	m.res.Latency = m.latencySummary()
 	// Quiesce: run every surviving process to its next transaction boundary
 	// outside the measured phase, so the database holds no in-flight
 	// transactions (workload invariant checks audit a consistent state, the

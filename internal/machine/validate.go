@@ -66,11 +66,14 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: PerCommitLogFlush conflicts with GroupCommitWindowInstr = %d (the window batches commits; per-commit flushing forbids batching)",
 			c.GroupCommitWindowInstr)
 	}
-	if c.AutoGroupCommit && c.PerCommitLogFlush {
+	if c.AutoGroupCommit < AutoGCOff || c.AutoGroupCommit > AutoGCTargetP99 {
+		return fmt.Errorf("machine: AutoGroupCommit = %d is not a known AutoGCMode (have off, flushcount, p99)", int(c.AutoGroupCommit))
+	}
+	if c.AutoGroupCommit != AutoGCOff && c.PerCommitLogFlush {
 		return fmt.Errorf("machine: AutoGroupCommit conflicts with PerCommitLogFlush (auto-tuning picks batching windows; per-commit flushing forbids batching)")
 	}
-	if c.AutoGroupCommit && c.GroupCommitWindowInstr > 0 {
-		return fmt.Errorf("machine: AutoGroupCommit conflicts with GroupCommitWindowInstr = %d (the window is picked from the warmup arrival rate; set one or the other)",
+	if c.AutoGroupCommit != AutoGCOff && c.GroupCommitWindowInstr > 0 {
+		return fmt.Errorf("machine: AutoGroupCommit conflicts with GroupCommitWindowInstr = %d (the window is picked from warmup observations; set one or the other)",
 			c.GroupCommitWindowInstr)
 	}
 	if c.BufferPoolPages < 0 {

@@ -260,6 +260,14 @@ func (m *Bench) RunTxn(s *db.Session, in workload.Input) {
 	}
 }
 
+// KindOf implements workload.Labeler.
+func (m *Bench) KindOf(in workload.Input) string {
+	if in.(Input).Kind == NewOrder {
+		return "neworder"
+	}
+	return "payment"
+}
+
 func (m *Bench) distGlobal(in Input) uint64 {
 	return in.Warehouse*uint64(m.Scale.DistrictsPerWarehouse) + in.District
 }

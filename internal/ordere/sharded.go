@@ -88,6 +88,19 @@ func (sb *Sharded) Remote(in workload.Input) bool {
 	return sb.whShard[req.CWarehouse] != sb.whShard[req.Warehouse]
 }
 
+// KindOf implements workload.Labeler: remote Payments run the distributed
+// 2PC variant and get their own latency bucket.
+func (sb *Sharded) KindOf(in workload.Input) string {
+	req := in.(Input)
+	if req.Kind == NewOrder {
+		return "neworder"
+	}
+	if sb.whShard[req.CWarehouse] != sb.whShard[req.Warehouse] {
+		return "payment_dist"
+	}
+	return "payment"
+}
+
 // RunTxn implements workload.ShardedInstance.
 func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
 	req := in.(Input)

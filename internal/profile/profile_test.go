@@ -163,3 +163,85 @@ func TestOptimizeWithSamplingProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMergeDisjoint: merging profiles whose hot blocks do not overlap (one
+// image's blocks counted by each) must preserve every per-block and
+// per-edge count exactly — nothing is dropped, nothing double-counted. This
+// is the profile-aging/mixing building block: blended train profiles are
+// built by merging.
+func TestMergeDisjoint(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := progtest.RandProgram(r, 3)
+	n := p.NumBlocks()
+	a := profile.New("a", p)
+	b := profile.New("b", p)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a.AddBlock(program.BlockID(i), uint64(i+1))
+		} else {
+			b.AddBlock(program.BlockID(i), uint64(2*i+1))
+		}
+	}
+	a.AddEdge(0, 2, 11)
+	b.AddEdge(1, 3, 13)
+	wantTotal := a.TotalBlocks() + b.TotalBlocks()
+	a.Merge(b)
+	if a.TotalBlocks() != wantTotal {
+		t.Fatalf("merged total = %d, want %d", a.TotalBlocks(), wantTotal)
+	}
+	for i := 0; i < n; i++ {
+		want := uint64(i + 1)
+		if i%2 == 1 {
+			want = uint64(2*i + 1)
+		}
+		if got := a.Count(program.BlockID(i)); got != want {
+			t.Fatalf("block %d count = %d, want %d (disjoint merge dropped or mixed a block)", i, got, want)
+		}
+	}
+	if a.Edge(0, 2) != 11 || a.Edge(1, 3) != 13 {
+		t.Fatalf("edges after disjoint merge: %d, %d", a.Edge(0, 2), a.Edge(1, 3))
+	}
+}
+
+// TestMergeOverlapping: merging profiles that counted the same blocks must
+// sum per-block and per-edge counts, and merging a profile sized for a
+// larger image into a smaller one must grow the block table rather than
+// drop the tail blocks.
+func TestMergeOverlapping(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	p := progtest.RandProgram(r, 2)
+	a := progtest.RandProfile(r, p, 4, 80)
+	b := progtest.RandProfile(r, p, 4, 80)
+	perBlock := make([]uint64, p.NumBlocks())
+	for i := range perBlock {
+		perBlock[i] = a.Count(program.BlockID(i)) + b.Count(program.BlockID(i))
+	}
+	perEdge := make(map[uint64]uint64)
+	for k, n := range a.EdgeCount {
+		perEdge[k] += n
+	}
+	for k, n := range b.EdgeCount {
+		perEdge[k] += n
+	}
+	a.Merge(b)
+	for i, want := range perBlock {
+		if got := a.Count(program.BlockID(i)); got != want {
+			t.Fatalf("block %d count = %d, want %d (overlapping merge lost counts)", i, got, want)
+		}
+	}
+	for k, want := range perEdge {
+		if a.EdgeCount[k] != want {
+			t.Fatalf("edge %d count = %d, want %d", k, a.EdgeCount[k], want)
+		}
+	}
+
+	// A short profile (empty block table) must absorb a longer one whole.
+	short := &profile.Profile{Name: "short", EdgeCount: map[uint64]uint64{}}
+	short.Merge(a)
+	if len(short.BlockCount) != len(a.BlockCount) {
+		t.Fatalf("short merge: block table length %d, want %d", len(short.BlockCount), len(a.BlockCount))
+	}
+	if short.TotalBlocks() != a.TotalBlocks() {
+		t.Fatalf("short merge: total = %d, want %d", short.TotalBlocks(), a.TotalBlocks())
+	}
+}

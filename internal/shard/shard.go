@@ -56,7 +56,9 @@ func Route(pb probe.Probe, home int, remote bool) {
 // its shard's group commit — and the participants then resolve with
 // unforced commit records. All sessions belong to one server process, so
 // the probe stream interleaves exactly as the modeled coordinator would
-// execute.
+// execute. The extra forced log wait per participant is why the machine's
+// per-kind latency breakdown shows the distributed kinds ("tpcb_dist",
+// "payment_dist") with a visibly heavier tail than their local twins.
 func Commit2PC(coord *db.Session, parts ...*db.Session) {
 	pb := coord.PB
 	pb.Enter("dist_commit")

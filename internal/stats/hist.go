@@ -80,11 +80,44 @@ func (h *Hist) Merge(other *Hist) {
 	h.Sum += other.Sum
 }
 
+// Quantile returns the q-quantile of the recorded (clamped) observations:
+// the smallest bucket value v such that at least ceil(q*N) observations are
+// <= v. Observations below Min were clamped to Min when added; observations
+// above Max live in the overflow bucket, reported as Max+1. q is clamped to
+// [0, 1]; an empty histogram returns 0.
+func (h *Hist) Quantile(q float64) int {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.N)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			return h.Min + i // the overflow bucket lands on Max+1
+		}
+	}
+	return h.Max + 1 // unreachable while counts are consistent with N
+}
+
 // Log2Hist buckets observations by floor(log2(v)). Bucket i counts values in
 // [2^i, 2^(i+1)). Values of zero land in bucket 0.
 type Log2Hist struct {
 	Counts []uint64
 	N      uint64
+	Sum    float64
 }
 
 // Add records one observation.
@@ -101,6 +134,15 @@ func (h *Log2Hist) AddN(v uint64, n uint64) {
 	}
 	h.Counts[b] += n
 	h.N += n
+	h.Sum += float64(v) * float64(n)
+}
+
+// Mean returns the average observed value.
+func (h *Log2Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
 }
 
 // Frac returns the fraction of observations in bucket b.
@@ -120,6 +162,59 @@ func (h *Log2Hist) Merge(other *Log2Hist) {
 		h.Counts[i] += c
 	}
 	h.N += other.N
+	h.Sum += other.Sum
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Log2Hist) Clone() *Log2Hist {
+	c := &Log2Hist{N: h.N, Sum: h.Sum}
+	c.Counts = append(c.Counts, h.Counts...)
+	return c
+}
+
+// Log2Bounds returns the value range [lo, hi] of bucket b: [2^b, 2^(b+1)-1],
+// except bucket 0, which also holds zero and covers [0, 1].
+func Log2Bounds(b int) (lo, hi uint64) {
+	if b <= 0 {
+		return 0, 1
+	}
+	return 1 << uint(b), 1<<uint(b+1) - 1
+}
+
+// Quantile estimates the q-quantile: it locates the bucket holding the
+// ceil(q*N)-th observation and interpolates linearly inside the bucket's
+// value range, so the estimate always lies within the bucket that contains
+// the true sample quantile. q is clamped to [0, 1]; an empty histogram
+// returns 0.
+func (h *Log2Hist) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.N)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for b, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= target {
+			lo, hi := Log2Bounds(b)
+			frac := (target - prev) / float64(c)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+	}
+	_, hi := Log2Bounds(len(h.Counts) - 1)
+	return hi // unreachable while counts are consistent with N
 }
 
 // CumulativePoint is one point of a cumulative execution profile: after

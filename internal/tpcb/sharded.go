@@ -104,6 +104,16 @@ func (sb *Sharded) Remote(in workload.Input) bool {
 	return sb.branchShard[sb.acctBranch(req.Account)] != sb.branchShard[req.Branch]
 }
 
+// KindOf implements workload.Labeler: cross-shard requests run the
+// distributed 2PC variant, whose commit path (forced prepare plus the
+// coordinator's forced commit) has its own latency distribution.
+func (sb *Sharded) KindOf(in workload.Input) string {
+	if sb.Remote(in) {
+		return "tpcb_dist"
+	}
+	return "tpcb"
+}
+
 // RunTxn implements workload.ShardedInstance: single-shard requests run the
 // classic transaction on their home engine; cross-shard requests run the
 // distributed variant — home teller/branch/history, remote account, 2PC.

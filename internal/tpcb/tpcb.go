@@ -180,6 +180,10 @@ func (b *Bench) RunTxn(s *db.Session, in workload.Input) {
 	b.Run(s, in.(Input))
 }
 
+// KindOf implements workload.Labeler: the classic mix has one transaction
+// shape.
+func (b *Bench) KindOf(workload.Input) string { return "tpcb" }
+
 // Check implements workload.Instance: TPC-B balance conservation. Every
 // transaction applies one delta to one account, one teller and one branch,
 // so the three totals must agree.

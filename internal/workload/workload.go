@@ -41,6 +41,19 @@ type Instance interface {
 	Check(s *db.Session) error
 }
 
+// Labeler is optionally implemented by workload instances (plain and
+// sharded) that classify requests into transaction kinds. The machine keys
+// its per-transaction latency histograms by (shard, kind), so a workload
+// that labels its inputs gets a per-kind latency breakdown ("neworder" vs
+// "payment", "read" vs "update", local vs distributed); an instance without
+// labels is tracked under its workload's registry name. Labels must be a
+// pure function of the input, drawn from a small fixed set.
+type Labeler interface {
+	// KindOf returns the transaction-kind label of an input produced by the
+	// instance's own GenInput.
+	KindOf(in Input) string
+}
+
 // Workload describes one OLTP benchmark at a specific scale.
 type Workload interface {
 	// Name is the registry name ("tpcb", "ordere", ...).

@@ -79,6 +79,19 @@ func (sb *Sharded) Remote(in workload.Input) bool {
 	return req.MultiGet && sb.Map.Of(req.Key2) != sb.Map.Of(req.Key)
 }
 
+// KindOf implements workload.Labeler: scatter reads touch two shards and
+// get their own latency bucket next to plain reads and updates.
+func (sb *Sharded) KindOf(in workload.Input) string {
+	req := in.(Input)
+	switch {
+	case req.MultiGet:
+		return "mget"
+	case req.Kind == Read:
+		return "read"
+	}
+	return "update"
+}
+
 // RunTxn implements workload.ShardedInstance: everything is shard-local
 // except scatter reads, which fetch the second key on its own shard's
 // engine — still without any transaction or 2PC.

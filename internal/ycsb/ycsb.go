@@ -161,6 +161,15 @@ func (b *Bench) RunTxn(s *db.Session, in workload.Input) {
 	}
 }
 
+// KindOf implements workload.Labeler: lock-free point reads and
+// single-row update transactions have very different latency shapes.
+func (b *Bench) KindOf(in workload.Input) string {
+	if in.(Input).Kind == Read {
+		return "read"
+	}
+	return "update"
+}
+
 // runRead executes one point read: a B-tree search and a heap fetch with no
 // transaction, no locks and no log traffic — read-committed row reads under
 // page latches, the way a key-value GET executes.
