@@ -432,6 +432,77 @@ func BenchmarkGroupCommit(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictFastPath is the predictive fast path acceptance bench: at
+// 8 shards under a low-cross-shard TPC-B mix, it compares transaction cost
+// with the fast path off (every transaction routed, cross-shard ones through
+// the 2PC coordinator) and on (predicted-local transactions commit through
+// the plain per-shard session). The printed line records the instr/txn and
+// p99 deltas plus the mispredict count.
+func BenchmarkPredictFastPath(b *testing.B) {
+	s := session(b)
+	kimg := s.KernelImage()
+	kernL, err := codelayout.BaselineLayout(kimg.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := tpcb.NewScaled(tpcb.Scale{Branches: 24, TellersPerBranch: 3, AccountsPerBranch: 100})
+	wl.CrossShardPct = 1
+	img, err := appmodel.Build(appmodel.Config{
+		Seed: 42, LibScale: 0.25, ColdWords: 200_000, Workload: wl, FastPath: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	appL, err := codelayout.BaselineLayout(img.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	results := map[string]machine.Result{}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res machine.Result
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{
+					CPUs: 2, ProcsPerCPU: 8, Seed: 7, Shards: 8,
+					PredictFastPath: mode.fast,
+					WarmupTxns:      80, Transactions: 400,
+					Workload: wl,
+					AppImage: img, AppLayout: appL, KernImage: kimg, KernLayout: kernL,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			results[mode.name] = res
+			b.ReportMetric(float64(res.BusyInstrs)/float64(res.Committed), "instr/txn")
+			b.ReportMetric(float64(res.Latency.P99), "p99-instr")
+			b.ReportMetric(float64(res.Mispredicted), "mispredicts")
+		})
+	}
+	off, on := results["off"], results["on"]
+	if off.Committed > 0 && on.Committed > 0 {
+		if _, done := printed.LoadOrStore("fastpath", true); !done {
+			fmt.Fprintf(os.Stdout,
+				"predictive fast path (8 shards, 1%% cross): instr/txn %.0f -> %.0f (%.1f%% less), p99 %.2fM -> %.2fM instr, %d/%d predicted local, %d mispredicted\n",
+				float64(off.BusyInstrs)/float64(off.Committed),
+				float64(on.BusyInstrs)/float64(on.Committed),
+				100*(1-(float64(on.BusyInstrs)/float64(on.Committed))/(float64(off.BusyInstrs)/float64(off.Committed))),
+				float64(off.Latency.P99)/1e6, float64(on.Latency.P99)/1e6,
+				on.Predicted, on.Committed, on.Mispredicted)
+		}
+	}
+}
+
 // BenchmarkPixieCollection measures profiling overhead.
 func BenchmarkPixieCollection(b *testing.B) {
 	s := session(b)

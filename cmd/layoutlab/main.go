@@ -6,7 +6,8 @@
 //	layoutlab -run all -full        # everything at paper scale
 //	layoutlab -run fig04 -csv out/  # also dump CSV files
 //	layoutlab -table robustness -matrix tpcb,ordere,ycsb -shardlist 1,4
-//	layoutlab -table shardsweep -sweep 1,2,4,8
+//	layoutlab -table shardsweep -shards 1,2,4,8,16,32,64
+//	layoutlab -table shardsweep -shards 1,4,16 -fastpath=false -gc off
 //	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
 package main
 
@@ -19,12 +20,12 @@ import (
 	"strings"
 
 	"codelayout/internal/expt"
+	"codelayout/internal/machine"
+	"codelayout/internal/ordere"
 	"codelayout/internal/stats"
+	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
-
-	_ "codelayout/internal/ordere" // register the order-entry workload
-	_ "codelayout/internal/tpcb"   // register the TPC-B workload
-	_ "codelayout/internal/ycsb"   // register the key-value workload
+	"codelayout/internal/ycsb"
 )
 
 func main() {
@@ -36,15 +37,17 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override workload seed")
 		txns   = flag.Int("txns", 0, "override measured transactions")
 		cpus   = flag.Int("cpus", 0, "override processor count")
-		shards = flag.Int("shards", 0, "override shard count (partitioned engines)")
+		shards = flag.String("shards", "", "shard count (partitioned engines); for -table shardsweep, a comma-separated list to sweep (default 1,2,4,8,16,32,64)")
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 
 		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep or latency (percentiles)")
 		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness/latency: comma-separated workloads to measure")
 		shardlist = flag.String("shardlist", "1,4", "robustness/latency: comma-separated shard counts to measure")
-		sweep     = flag.String("sweep", "1,2,4,8", "shardsweep: comma-separated shard counts to sweep")
 		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate")
+		fastpath  = flag.Bool("fastpath", true, "shardsweep: measure the predictive single-shard fast path against the routed baseline (on/off delta columns)")
+		gcMode    = flag.String("gc", "", "shardsweep: group-commit tuning mode (off, flushcount, p99; default p99)")
+		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage (0 = workload default, negative disables)")
 	)
 	flag.Parse()
 
@@ -73,12 +76,21 @@ func main() {
 	if *cpus != 0 {
 		opts.CPUs = *cpus
 	}
-	if *shards != 0 {
-		opts.Shards = *shards
+	var shardCounts []int
+	if *shards != "" {
+		var err error
+		if shardCounts, err = parseInts(*shards); err != nil {
+			fatal(err)
+		}
+		if len(shardCounts) == 1 {
+			opts.Shards = shardCounts[0]
+		} else if *table != "shardsweep" {
+			fatal(fmt.Errorf("-shards accepts a list only with -table shardsweep"))
+		}
 	}
 
 	if *table != "" {
-		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *sweep, *layout)
+		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, shardCounts, *fastpath, *gcMode, *crossPct)
 		if err != nil {
 			fatal(err)
 		}
@@ -128,7 +140,7 @@ func resolveWorkload(name string, full bool) (workload.Workload, error) {
 
 // extensionTables runs the cross-workload/cross-shard tables that need more
 // configuration than one session carries.
-func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, sweep, layout string) ([]*stats.Table, error) {
+func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, layout string, sweep []int, fastpath bool, gcMode string, crossPct int) ([]*stats.Table, error) {
 	switch kind {
 	case "robustness":
 		var wls []workload.Workload
@@ -155,12 +167,33 @@ func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, 
 		if err != nil {
 			return nil, err
 		}
-		opts.Workload = wl
-		shards, err := parseInts(sweep)
-		if err != nil {
+		if err := setCrossShardPct(wl, crossPct); err != nil {
 			return nil, err
 		}
-		t, err := expt.ShardSweep(opts, shards, []string{"base", layout})
+		opts.Workload = wl
+		if len(sweep) == 0 {
+			sweep = []int{1, 2, 4, 8, 16, 32, 64}
+		}
+		layouts := []string{"base"}
+		if layout != "base" {
+			layouts = append(layouts, layout)
+		}
+		spec := expt.ShardSweepSpec{
+			Shards:   sweep,
+			Layouts:  layouts,
+			FastPath: fastpath,
+		}
+		switch gcMode {
+		case "", "p99":
+			// ShardSweepTable's default: the tail-aware p99 tuner.
+		case "off":
+			spec.NoAutoGC = true
+		case "flushcount":
+			spec.AutoGC = machine.AutoGCFlushCount
+		default:
+			return nil, fmt.Errorf("unknown -gc mode %q (have off, flushcount, p99)", gcMode)
+		}
+		t, err := expt.ShardSweepTable(opts, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -183,6 +216,25 @@ func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, 
 		})
 	}
 	return nil, fmt.Errorf("unknown table %q (have robustness, shardsweep, latency)", kind)
+}
+
+// setCrossShardPct overrides a workload's cross-shard transaction fraction
+// (0 leaves the workload's own setting in place).
+func setCrossShardPct(wl workload.Workload, pct int) error {
+	if pct == 0 {
+		return nil
+	}
+	switch w := wl.(type) {
+	case *tpcb.Workload:
+		w.CrossShardPct = pct
+	case *ordere.Workload:
+		w.CrossShardPct = pct
+	case *ycsb.Workload:
+		w.CrossShardPct = pct
+	default:
+		return fmt.Errorf("-cross: workload %s has no cross-shard override", wl.Name())
+	}
+	return nil
 }
 
 func splitList(s string) []string {

@@ -48,6 +48,7 @@ func main() {
 		gcAuto    = flag.Bool("gcauto", false, "pick each shard's group-commit window from the warmup commit arrival rate (fewest flushes)")
 		gcP99     = flag.Bool("gcp99", false, "pick each shard's group-commit window to minimize modeled p99 latency from the warmup histogram")
 		perCommit = flag.Bool("percommit", false, "disable group commit: every commit pays its own log write")
+		fastPath  = flag.Bool("fastpath", false, "enable the predictive single-shard fast path (needs -shards > 1): predicted-local transactions skip the router and 2PC coordinator")
 		pctiles   = flag.Bool("percentiles", false, "report per-transaction latency percentiles (overall and per shard × kind)")
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *gcAuto && *gcP99 {
 		fatal(fmt.Errorf("-gcauto and -gcp99 conflict: pick one auto-tuning mode"))
+	}
+	if *fastPath && *shards <= 1 {
+		fatal(fmt.Errorf("-fastpath needs -shards > 1 (a single engine has no router to skip)"))
 	}
 	gcMode := machine.AutoGCOff
 	if *gcAuto {
@@ -101,6 +105,7 @@ func main() {
 
 	app, err := appmodel.Build(appmodel.Config{
 		Seed: *seed, LibScale: *libScale, ColdWords: *cold, Workload: wl, ExtraWorkloads: extra,
+		FastPath: *fastPath,
 	})
 	if err != nil {
 		fatal(err)
@@ -180,8 +185,8 @@ func main() {
 	cfg := machine.Config{
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
 		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
-		AutoGroupCommit: gcMode,
-		WarmupTxns:      *warmup, Transactions: *txns,
+		AutoGroupCommit: gcMode, PredictFastPath: *fastPath,
+		WarmupTxns: *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		Sinks: sinks, DataSinks: dataSinks,
@@ -204,11 +209,15 @@ func main() {
 	fmt.Printf("workload:         %s\n", wl.Name())
 	if *shards > 1 {
 		part := wl.(workload.ShardedWorkload).Partitioning()
-		fmt.Printf("shards:           %d engines by %s, %d%% cross-shard (%d cross-shard txns, %d deadlock aborts)\n",
+		fmt.Printf("shards:           %d engines by %s, %d%% cross-shard (%d cross-shard txns, %d aborts)\n",
 			*shards, part.Key, part.CrossShardPct, res.CrossShard, res.Aborted)
 	}
 	if gcMode != machine.AutoGCOff {
 		fmt.Printf("gc windows:       %v (auto-tuned, mode %s)\n", m.GroupCommitWindows(), gcMode)
+	}
+	if *fastPath {
+		fmt.Printf("fast path:        %d predicted local, %d mispredicted (aborted and retried distributed)\n",
+			res.Predicted, res.Mispredicted)
 	}
 	fmt.Printf("committed:        %d transactions\n", res.Committed)
 	fmt.Printf("instructions:     %d app + %d kernel (%.1f%% kernel)\n",

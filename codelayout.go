@@ -139,6 +139,10 @@ type (
 	// Partitioning declares a workload's shard scheme and cross-shard
 	// transaction fraction.
 	Partitioning = workload.Partitioning
+	// Predictor classifies transactions as single-shard or distributed for
+	// the predictive fast path (MachineConfig.PredictFastPath); the default
+	// is a per-class frequency/Markov model trained from warmup.
+	Predictor = workload.Predictor
 )
 
 // Workloads lists the registered workload names ("tpcb", "ordere", "ycsb",
@@ -254,6 +258,9 @@ type (
 	RobustnessResult = expt.RobustnessResult
 	// LatencySpec configures the latency percentile tables.
 	LatencySpec = expt.LatencySpec
+	// ShardSweepSpec configures the shard-count sweep table (shard list,
+	// layouts, fast-path delta columns, group-commit tuning mode).
+	ShardSweepSpec = expt.ShardSweepSpec
 )
 
 // DefaultSessionOptions is the paper-scale configuration.
@@ -289,6 +296,13 @@ func Robustness(o SessionOptions, spec RobustnessSpec) (*RobustnessResult, error
 // each count, and reports throughput, blocked-on-log time and miss ratios.
 func ShardSweep(o SessionOptions, shardCounts []int, layouts []string) (*Table, error) {
 	return expt.ShardSweep(o, shardCounts, layouts)
+}
+
+// ShardSweepTable is the configurable shard sweep: an explicit shard list
+// (up to 64), a group-commit tuning mode, and optional predictive fast-path
+// on/off delta columns (instr/txn, p99, predicted/mispredicted counts).
+func ShardSweepTable(o SessionOptions, spec ShardSweepSpec) (*Table, error) {
+	return expt.ShardSweepTable(o, spec)
 }
 
 // LatencyTables measures every workload × shard count cell under the

@@ -18,6 +18,7 @@ import (
 
 	"codelayout/internal/codegen"
 	"codelayout/internal/isa"
+	"codelayout/internal/predict"
 	"codelayout/internal/shard"
 	"codelayout/internal/workload"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	// single-workload build. Workloads duplicating Workload's name (or an
 	// earlier extra's) are skipped.
 	ExtraWorkloads []workload.Workload
+	// FastPath adds the predictive fast-path decision models
+	// (predict_check/predict_train) to the image, so machines running with
+	// Config.PredictFastPath have modeled code to execute — and the layout
+	// passes optimize the prediction path along with everything else. Off
+	// leaves the image bit-identical to the pre-fast-path build.
+	FastPath bool
 }
 
 // DefaultConfig returns the paper-calibrated image shape for a workload.
@@ -285,6 +292,14 @@ func Build(cfg Config) (*codegen.Image, error) {
 		imgName += "+" + w.Name()
 	}
 	wlSpecs = append(wlSpecs, shard.Models(env)...)
+	if cfg.FastPath {
+		// Appended after everything the non-fast-path image contains, with
+		// no library picks, so the shared generation RNG stream — and hence
+		// the rest of the image — is untouched: FastPath=false stays
+		// bit-identical to the historical build.
+		wlSpecs = append(wlSpecs, predict.Models(env)...)
+		imgName += "+fastpath"
+	}
 
 	// 4. Cold complement.
 	var cold []codegen.FnSpec

@@ -43,6 +43,7 @@ type Engine struct {
 
 	trees     map[string]*BTree
 	tables    map[string]*Table
+	pageBase  PageID
 	nextPage  PageID
 	pageLimit PageID
 	nextTxn   uint64
@@ -64,8 +65,9 @@ type Engine struct {
 	lastCommitAt uint64
 }
 
-// ShardPageStride is the page-ID distance between consecutive shards'
-// allocation ranges (64 MB of page addresses per shard).
+// ShardPageStride is the default page-ID distance between consecutive
+// shards' allocation ranges (64 MB of page addresses per shard; see
+// Config.PageStride for groups that pack more shards into the region).
 const ShardPageStride PageID = 1 << 13
 
 // Config sizes the engine.
@@ -86,9 +88,13 @@ type Config struct {
 	// PerCommitFlush disables group commit (see Engine.PerCommitFlush).
 	PerCommitFlush bool
 	// PageLimit caps the engine's page allocations (0 = unlimited). A
-	// sharded group sets it to ShardPageStride so a growing shard cannot
+	// sharded group sets it to its stride so a growing shard cannot
 	// silently spill page addresses into its neighbor's modeled window.
 	PageLimit PageID
+	// PageStride is the page-ID distance between consecutive shards'
+	// allocation bases (0 = ShardPageStride). Wide sharded groups shrink it
+	// so every shard's window still fits below the shared log buffers.
+	PageStride PageID
 }
 
 // NewEngine creates an empty database.
@@ -104,6 +110,10 @@ func NewEngine(cfg Config) *Engine {
 	if graph == nil {
 		graph = NewWaitGraph()
 	}
+	stride := cfg.PageStride
+	if stride == 0 {
+		stride = ShardPageStride
+	}
 	disk := NewDisk()
 	return &Engine{
 		Disk:              disk,
@@ -117,7 +127,8 @@ func NewEngine(cfg Config) *Engine {
 		graph:             graph,
 		trees:             make(map[string]*BTree),
 		tables:            make(map[string]*Table),
-		nextPage:          PageID(cfg.Shard) * ShardPageStride,
+		pageBase:          PageID(cfg.Shard) * stride,
+		nextPage:          PageID(cfg.Shard) * stride,
 		pageLimit:         cfg.PageLimit,
 		nextTxn:           1,
 	}
@@ -162,7 +173,7 @@ func (e *Engine) TakeWindowPending() (uint64, bool) {
 
 // AllocPage reserves a fresh page ID.
 func (e *Engine) AllocPage() PageID {
-	if e.pageLimit > 0 && e.nextPage >= PageID(e.Shard)*ShardPageStride+e.pageLimit {
+	if e.pageLimit > 0 && e.nextPage >= e.pageBase+e.pageLimit {
 		panic(fmt.Sprintf("db: shard %d exhausted its %d-page address window (database grew past the per-shard region; use fewer shards or a smaller scale)",
 			e.Shard, e.pageLimit))
 	}

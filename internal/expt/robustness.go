@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"codelayout/internal/machine"
 	"codelayout/internal/stats"
 	"codelayout/internal/workload"
 )
@@ -201,52 +202,179 @@ func Robustness(o Options, spec RobustnessSpec) (*RobustnessResult, error) {
 	return res, nil
 }
 
+// ShardSweepSpec configures the shard-count sweep.
+type ShardSweepSpec struct {
+	// Shards are the counts to sweep; empty means {1, 2, 4, 8}.
+	Shards []int
+	// Layouts are the layout names measured at each count; empty means
+	// {"base", "all"}.
+	Layouts []string
+	// FastPath adds the predictive single-shard fast path to the sweep:
+	// each sharded count is measured with the fast path off and on over
+	// one shared fastpath-capable image, and the table gains the on
+	// columns and the on/off deltas. Single-shard rows have no router to
+	// skip and report only the off side.
+	FastPath bool
+	// AutoGC is the group-commit tuning mode the sweep's measurement runs
+	// use; the zero value selects the tail-aware machine.AutoGCTargetP99
+	// tuner (high shard counts starve fixed windows), unless the options
+	// already pin an explicit window, per-commit flushing, or a tuner of
+	// their own. NoAutoGC forces fixed windows regardless.
+	AutoGC   machine.AutoGCMode
+	NoAutoGC bool
+	// CPUs overrides the measurement processor count (0 = Options.CPUs).
+	CPUs int
+}
+
+// resolveGC picks the sweep's group-commit mode: an explicit spec choice
+// wins; otherwise options that configure batching themselves are left
+// alone, and everything else defaults to the tail-aware p99 tuner.
+func (sp ShardSweepSpec) resolveGC(o Options) machine.AutoGCMode {
+	switch {
+	case sp.NoAutoGC:
+		return machine.AutoGCOff
+	case sp.AutoGC != machine.AutoGCOff:
+		return sp.AutoGC
+	case o.AutoGroupCommit != machine.AutoGCOff:
+		return o.AutoGroupCommit
+	case o.GroupCommitWindowInstr > 0 || o.PerCommitLogFlush:
+		return machine.AutoGCOff
+	}
+	return machine.AutoGCTargetP99
+}
+
 // ShardSweep sweeps the shard count over the given workload, self-training
 // at each count, and reports the speed levers the router adds: throughput
 // (busy instructions per transaction and committed txns per million
 // instruction-times of wall clock), blocked-on-log time, and app/kernel
-// miss ratios.
+// miss ratios. It is the legacy entry point — ShardSweepTable with a zero
+// spec except for the given counts and layouts.
 func ShardSweep(o Options, shardCounts []int, layouts []string) (*stats.Table, error) {
+	return ShardSweepTable(o, ShardSweepSpec{Shards: shardCounts, Layouts: layouts})
+}
+
+// sweepRow aggregates one (shards, layout) measurement for the table.
+type sweepRow struct {
+	perTxn, perM float64
+	m            *Measure
+}
+
+func newSweepRow(m *Measure, cpus int) sweepRow {
+	r := sweepRow{m: m}
+	if m.Res.Committed > 0 {
+		r.perTxn = float64(m.Res.BusyInstrs) / float64(m.Res.Committed)
+	}
+	if wall := m.Res.BusyInstrs + m.Res.IdleInstrs; wall > 0 {
+		r.perM = float64(m.Res.Committed) / (float64(wall) / 1e6) * float64(cpus)
+	}
+	return r
+}
+
+// delta renders the relative change from off to on (negative = improvement
+// for cost metrics).
+func delta(off, on float64) string {
+	if off == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(on/off-1))
+}
+
+// ShardSweepTable runs the configured shard-count sweep. With spec.FastPath
+// every sharded count is measured twice — fast path off and on — over one
+// shared image that carries the predictor models, so the off/on pair
+// differs only in the runtime toggle and the table's delta columns isolate
+// what skipping the router and coordinator buys.
+func ShardSweepTable(o Options, spec ShardSweepSpec) (*stats.Table, error) {
+	shardCounts := spec.Shards
 	if len(shardCounts) == 0 {
 		shardCounts = []int{1, 2, 4, 8}
 	}
+	layouts := spec.Layouts
 	if len(layouts) == 0 {
 		layouts = []string{"base", "all"}
 	}
+	cpus := spec.CPUs
+	if cpus == 0 {
+		cpus = o.CPUs
+	}
+	o.AutoGroupCommit = spec.resolveGC(o)
+	if o.AutoGroupCommit != machine.AutoGCOff {
+		o.GroupCommitWindowInstr = 0
+		o.PerCommitLogFlush = false
+	}
+	o.PredictFastPath = spec.FastPath
 	src, err := NewProfileSource(o)
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable(
-		fmt.Sprintf("Shard sweep: %s, %d cpus (self-trained per shard count)", src.opt.Workload.Name(), o.CPUs),
-		"shards", "layout", "instr/txn", "txns/Minstr", "blocked-on-log", "log flushes", "cross-shard", "app miss %", "kern miss %")
+
+	title := fmt.Sprintf("Shard sweep: %s, %d cpus, group commit %s (self-trained per shard count)",
+		src.opt.Workload.Name(), cpus, o.AutoGroupCommit)
+	cols := []string{"shards", "layout", "instr/txn", "txns/Minstr", "blocked-on-log", "log flushes", "cross-shard", "app miss %", "kern miss %"}
+	if spec.FastPath {
+		title = fmt.Sprintf("Shard sweep: %s, %d cpus, group commit %s, fast path off vs on (self-trained per shard count)",
+			src.opt.Workload.Name(), cpus, o.AutoGroupCommit)
+		cols = []string{"shards", "layout",
+			"instr/txn off", "instr/txn on", "Δinstr",
+			"p99 off", "p99 on", "Δp99",
+			"blocked-on-log", "predicted", "mispredicted", "cross-shard"}
+	}
+	t := stats.NewTable(title, cols...)
+
 	for _, n := range shardCounts {
 		eo := o
 		eo.Shards = n
-		s, err := NewSessionFrom(src, eo)
+		eo.PredictFastPath = false
+		off, err := NewSessionFrom(src, eo)
 		if err != nil {
 			return nil, err
 		}
+		var on *Session
+		if spec.FastPath && shardKey(n) > 1 {
+			po := eo
+			po.PredictFastPath = true
+			if on, err = NewSessionFrom(src, po); err != nil {
+				return nil, err
+			}
+		}
 		for _, layout := range layouts {
-			m, err := s.Measure(layout, o.CPUs)
+			mOff, err := off.Measure(layout, cpus)
 			if err != nil {
 				return nil, fmt.Errorf("shards=%d layout=%s: %w", n, layout, err)
 			}
-			perTxn := 0.0
-			if m.Res.Committed > 0 {
-				perTxn = float64(m.Res.BusyInstrs) / float64(m.Res.Committed)
+			rOff := newSweepRow(mOff, cpus)
+			if !spec.FastPath {
+				t.AddRow(shardKey(n), layout,
+					fmt.Sprintf("%.0f", rOff.perTxn),
+					fmt.Sprintf("%.2f", rOff.perM),
+					mOff.Res.LogBlockedInstr, mOff.Res.LogFlushes, mOff.Res.CrossShard,
+					stats.Pct(mOff.App4W[64].MissRate()), stats.Pct(mOff.Kern4W[64].MissRate()))
+				continue
 			}
-			perM := 0.0
-			if wall := m.Res.BusyInstrs + m.Res.IdleInstrs; wall > 0 {
-				perM = float64(m.Res.Committed) / (float64(wall) / 1e6) * float64(o.CPUs)
+			if on == nil {
+				t.AddRow(shardKey(n), layout,
+					fmt.Sprintf("%.0f", rOff.perTxn), "-", "-",
+					mOff.Res.Latency.P99, "-", "-",
+					mOff.Res.LogBlockedInstr, "-", "-", mOff.Res.CrossShard)
+				continue
 			}
+			mOn, err := on.Measure(layout, cpus)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d layout=%s fastpath: %w", n, layout, err)
+			}
+			rOn := newSweepRow(mOn, cpus)
 			t.AddRow(shardKey(n), layout,
-				fmt.Sprintf("%.0f", perTxn),
-				fmt.Sprintf("%.2f", perM),
-				m.Res.LogBlockedInstr, m.Res.LogFlushes, m.Res.CrossShard,
-				stats.Pct(m.App4W[64].MissRate()), stats.Pct(m.Kern4W[64].MissRate()))
+				fmt.Sprintf("%.0f", rOff.perTxn), fmt.Sprintf("%.0f", rOn.perTxn),
+				delta(rOff.perTxn, rOn.perTxn),
+				mOff.Res.Latency.P99, mOn.Res.Latency.P99,
+				delta(float64(mOff.Res.Latency.P99), float64(mOn.Res.Latency.P99)),
+				mOn.Res.LogBlockedInstr, mOn.Res.Predicted, mOn.Res.Mispredicted, mOn.Res.CrossShard)
 		}
 	}
-	t.Note("per-shard group commit and the router split the log force across engines; blocked-on-log falls as shards rise")
+	if spec.FastPath {
+		t.Note("on-side runs share the off side's image and seed; Δ columns are on/off-1, negative = the fast path wins")
+	} else {
+		t.Note("per-shard group commit and the router split the log force across engines; blocked-on-log falls as shards rise")
+	}
 	return t, nil
 }

@@ -131,3 +131,39 @@ func TestShardSweepTable(t *testing.T) {
 		t.Fatalf("rows = %d, want 3", len(tb.Rows))
 	}
 }
+
+// TestShardSweepFastPathColumns drives the configurable sweep with the
+// fast-path delta columns on: the single-shard row must print the off-side
+// numbers with dashes on the on side (no predictor at one shard), and the
+// multi-shard rows must carry real on-side measurements.
+func TestShardSweepFastPathColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	o := tinyMatrixOptions()
+	o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 8, TellersPerBranch: 4, AccountsPerBranch: 150})
+	tb, err := expt.ShardSweepTable(o, expt.ShardSweepSpec{
+		Shards:   []int{1, 2},
+		Layouts:  []string{"base"},
+		FastPath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Cols) != 12 {
+		t.Fatalf("cols = %d (%v), want 12", len(tb.Cols), tb.Cols)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tb.Rows))
+	}
+	one, two := tb.Rows[0], tb.Rows[1]
+	if one[0] != "1" || two[0] != "2" {
+		t.Fatalf("shard column: %q, %q", one[0], two[0])
+	}
+	if one[3] != "-" || one[9] != "-" {
+		t.Fatalf("single-shard row must dash the on-side columns: %v", one)
+	}
+	if two[3] == "-" || two[9] == "-" || two[9] == "0" {
+		t.Fatalf("multi-shard row must carry on-side measurements: %v", two)
+	}
+}

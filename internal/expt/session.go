@@ -54,6 +54,12 @@ type Options struct {
 	// it keys the measurement memos, so runs under different tuning modes
 	// never collide.
 	AutoGroupCommit machine.AutoGCMode
+	// PredictFastPath enables the predictive single-shard fast path (see
+	// machine.Config.PredictFastPath) on the session's sharded measurement
+	// runs, adds the predictor models to the source's app image, and keys
+	// the measurement memos, so fast-path-on and -off runs never collide.
+	// Single-shard measurements ignore it (there is no router to skip).
+	PredictFastPath bool
 
 	Transactions int
 	WarmupTxns   int
@@ -193,6 +199,7 @@ type measKey struct {
 	gcWindow  uint64
 	perCommit bool
 	gcMode    machine.AutoGCMode
+	fastPath  bool
 }
 
 // NewSession builds a private profile source (images and baseline layouts)
@@ -221,6 +228,9 @@ func NewSessionFrom(src *ProfileSource, o Options) (*Session, error) {
 	if !src.Covers(o.Workload.Name()) {
 		return nil, fmt.Errorf("expt: eval workload %q is not modeled in the source image (covers %v); list it in NewProfileSource",
 			o.Workload.Name(), src.WorkloadNames())
+	}
+	if o.PredictFastPath && shardKey(o.Shards) > 1 && src.appImg.Fns["predict_check"] == nil {
+		return nil, fmt.Errorf("expt: PredictFastPath needs the predictor models in the source image; build the ProfileSource with Options.PredictFastPath set")
 	}
 	s := &Session{
 		Opt:      o,
@@ -322,6 +332,14 @@ func (s *Session) KernLayout(name string) (*program.Layout, error) {
 	return s.src.kernLayout(s.defTrain, name)
 }
 
+// fastPath normalizes the session's fast-path setting: single-shard
+// measurements have no router to skip, so the flag is effective only on
+// sharded configurations (this also keeps shards=1 memo keys and machine
+// configs bit-identical with the flag set).
+func (s *Session) fastPath() bool {
+	return s.Opt.PredictFastPath && shardKey(s.Opt.Shards) > 1
+}
+
 func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.Config {
 	return machine.Config{
 		CPUs:                   cpus,
@@ -331,6 +349,7 @@ func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.C
 		GroupCommitWindowInstr: s.Opt.GroupCommitWindowInstr,
 		PerCommitLogFlush:      s.Opt.PerCommitLogFlush,
 		AutoGroupCommit:        s.Opt.AutoGroupCommit,
+		PredictFastPath:        s.fastPath(),
 		WarmupTxns:             s.Opt.WarmupTxns,
 		Transactions:           s.Opt.Transactions,
 		Workload:               s.Opt.Workload,
@@ -379,6 +398,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 		gcWindow:  s.Opt.GroupCommitWindowInstr,
 		perCommit: s.Opt.PerCommitLogFlush,
 		gcMode:    s.Opt.AutoGroupCommit,
+		fastPath:  s.fastPath(),
 	}
 	for {
 		s.mu.Lock()

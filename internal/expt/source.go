@@ -132,6 +132,7 @@ func NewProfileSource(o Options, extra ...workload.Workload) (*ProfileSource, er
 	ps.appImg, err = appmodel.Build(appmodel.Config{
 		Seed: o.Seed, LibScale: o.LibScale, ColdWords: o.ColdWords,
 		Workload: o.Workload, ExtraWorkloads: extras,
+		FastPath: o.PredictFastPath,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("expt: app image: %w", err)
@@ -358,6 +359,7 @@ func (ps *ProfileSource) runTraining(tc TrainConfig, spec string) (*trainRun, er
 		Shards:                 tc.Shards,
 		GroupCommitWindowInstr: ps.opt.GroupCommitWindowInstr,
 		PerCommitLogFlush:      ps.opt.PerCommitLogFlush,
+		PredictFastPath:        ps.opt.PredictFastPath && shardKey(tc.Shards) > 1,
 		WarmupTxns:             tc.WarmupTxns,
 		Transactions:           tc.Txns,
 		Workload:               tc.Workload,

@@ -26,6 +26,7 @@ import (
 	"codelayout/internal/codegen"
 	"codelayout/internal/db"
 	"codelayout/internal/kernel"
+	"codelayout/internal/predict"
 	"codelayout/internal/program"
 	"codelayout/internal/shard"
 	"codelayout/internal/stats"
@@ -120,6 +121,21 @@ type Config struct {
 	// GroupCommitWindowInstr.
 	AutoGroupCommit AutoGCMode
 
+	// PredictFastPath enables the predictive single-shard fast path on
+	// sharded machines: transactions the predictor expects to stay local
+	// skip the instrumented shard router and the 2PC coordinator and run on
+	// their home engine's session alone. A misprediction aborts through the
+	// modeled txn_abort path (like a deadlock victim) and retries on the
+	// full distributed path. Requires Shards > 1, a workload implementing
+	// workload.FastPath, and an app image built with
+	// appmodel.Config.FastPath (the decision code is modeled too).
+	PredictFastPath bool
+	// Predictor overrides the fast path's model (tests inject stubs to
+	// force mispredictions); nil uses predict.New(). The machine trains it
+	// online from every finished transaction, warmup included, so by the
+	// measured phase the model has seen the mix.
+	Predictor workload.Predictor
+
 	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
 	AppImage   *codegen.Image
 	AppLayout  *program.Layout
@@ -180,7 +196,14 @@ type Result struct {
 	Aborted uint64
 	// CrossShard counts measured-phase transactions that touched a remote
 	// shard (committed through two-phase commit).
-	CrossShard     uint64
+	CrossShard uint64
+	// Predicted counts measured-phase transactions committed on the
+	// predictive single-shard fast path (router and 2PC coordinator
+	// skipped); Mispredicted counts fast-path attempts that discovered a
+	// remote touch, aborted, and retried distributed (those retries are
+	// also counted in Aborted, and in Committed once they succeeded).
+	Predicted      uint64
+	Mispredicted   uint64
 	AppInstrs      uint64
 	KernelInstrs   uint64
 	IdleInstrs     uint64
@@ -270,6 +293,11 @@ type proc struct {
 	logParked       bool
 	logParkMeasured bool
 	logParkAt       uint64
+
+	// forceSlow pins the current transaction to the full distributed path
+	// after a fast-path misprediction (reset per generated request), so the
+	// deterministic retry cannot mispredict forever.
+	forceSlow bool
 }
 
 // inCritical reports whether any of the process's sessions is inside a
@@ -313,8 +341,12 @@ type Machine struct {
 	engs  []*db.Engine
 	inst  workload.Instance        // single-shard machines
 	sinst workload.ShardedInstance // sharded machines (Shards > 1)
-	cpus  []*cpu
-	procs []*proc
+	// fastInst/pred drive the predictive single-shard fast path (nil
+	// unless Config.PredictFastPath).
+	fastInst workload.FastPath
+	pred     workload.Predictor
+	cpus     []*cpu
+	procs    []*proc
 
 	measuring bool
 	// warmupOver flips (permanently) at the warmup/measured switch, so the
@@ -357,6 +389,7 @@ func New(cfg Config) (*Machine, error) {
 			GroupCommitWindow: cfg.GroupCommitWindowInstr,
 			PerCommitFlush:    cfg.PerCommitLogFlush,
 			PageLimit:         pageLimit(cfg.Shards),
+			PageStride:        pageStride(cfg.Shards),
 		}))
 	}
 	if cfg.Shards > 1 {
@@ -366,6 +399,18 @@ func New(cfg Config) (*Machine, error) {
 			return nil, err
 		}
 		m.sinst = sinst
+		if cfg.PredictFastPath {
+			fp, ok := sinst.(workload.FastPath)
+			if !ok {
+				return nil, fmt.Errorf("machine: workload %q does not implement workload.FastPath (required by PredictFastPath)",
+					cfg.Workload.Name())
+			}
+			m.fastInst = fp
+			m.pred = cfg.Predictor
+			if m.pred == nil {
+				m.pred = predict.New()
+			}
+		}
 	} else {
 		inst, err := cfg.Workload.Load(m.engs[0])
 		if err != nil {
@@ -710,6 +755,7 @@ func (p *proc) run(m *Machine) {
 		}
 		start := p.cpu.clock
 		startMeasured := m.measuring
+		p.forceSlow = false
 		// A deadlock victim aborts (its locks release, unblocking the
 		// cycle) and retries the same request, as TP monitors resubmit
 		// aborted transactions. The victim yields its CPU before each
@@ -720,21 +766,40 @@ func (p *proc) run(m *Machine) {
 			p.doYield(yieldMsg{kind: yQuantum})
 		}
 		m.recordLatency(home, m.kindOf(in), startMeasured, p.cpu.clock-start)
+		if m.fastInst != nil {
+			// Online training: fold the committed transaction's observed
+			// outcome back into the model (and emit the modeled table
+			// update). Warmup transactions train too, so the model is warm
+			// when measurement starts.
+			remote := m.sinst.Remote(in)
+			predict.Train(p.emit, home, remote)
+			m.pred.Observe(m.fastInst.Class(in), home, remote)
+		}
 		p.doYield(yieldMsg{kind: yTxnDone})
 	}
 }
 
 // tryTxn routes and executes one transaction. It reports false when the
-// process was chosen as a deadlock victim: the engine's longjmp
-// (db.ErrDeadlock) is recovered here, the emitter reset, and every in-flight
-// branch of the transaction aborted through the instrumented txn_abort path.
+// attempt must be retried: the process was chosen as a deadlock victim, or
+// its fast-path attempt discovered a remote touch. Either way the engine's
+// longjmp (db.ErrDeadlock or workload.ErrMispredict) is recovered here, the
+// emitter reset, and every in-flight branch of the transaction aborted
+// through the instrumented txn_abort path; a misprediction additionally
+// pins the retry to the full distributed path.
 func (p *proc) tryTxn(m *Machine, in workload.Input) (ok bool) {
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
-		if r != db.ErrDeadlock {
+		switch r {
+		case db.ErrDeadlock:
+		case workload.ErrMispredict:
+			p.forceSlow = true
+			if m.measuring {
+				m.res.Mispredicted++
+			}
+		default:
 			panic(r)
 		}
 		p.emit.Reset()
@@ -751,8 +816,23 @@ func (p *proc) tryTxn(m *Machine, in workload.Input) (ok bool) {
 		m.inst.RunTxn(p.sessions[0], in)
 		return true
 	}
+	home := m.sinst.Home(in)
+	if m.fastInst != nil && !p.forceSlow {
+		// The fast-path decision replaces the router for predicted-local
+		// transactions: a prediction-table probe costing a dozen modeled
+		// instructions against the router's library-dispatching hundreds.
+		local := m.pred.Local(m.fastInst.Class(in), home)
+		predict.Check(p.emit, home, local)
+		if local {
+			m.fastInst.RunLocal(p.sessions[home], in)
+			if m.measuring {
+				m.res.Predicted++
+			}
+			return true
+		}
+	}
 	remote := m.sinst.Remote(in)
-	shard.Route(p.emit, m.sinst.Home(in), remote)
+	shard.Route(p.emit, home, remote)
 	m.sinst.RunTxn(p.sessions, in)
 	if remote && m.measuring {
 		m.res.CrossShard++

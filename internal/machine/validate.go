@@ -7,9 +7,15 @@ import (
 	"codelayout/internal/workload"
 )
 
-// MaxShards bounds the shard count: each shard owns a 64 MB page-address
-// window below the shared log-buffer region, and 16 shards fill it.
-const MaxShards = 16
+// MaxShards bounds the shard count. The shards' page-address windows share
+// the 1 GB region below the log buffers: up to 16 shards keep the historical
+// 64 MB (8192-page) stride — existing results stay bit-identical — and wider
+// groups divide the region evenly (64 shards get 16 MB windows each).
+const MaxShards = 64
+
+// wideShardThreshold is the largest shard count that keeps the historical
+// db.ShardPageStride windows; above it the region is divided evenly.
+const wideShardThreshold = 16
 
 // minBufferPoolPages is the smallest explicit pool that cannot wedge the
 // run: pages pinned concurrently by a transaction (tree root-to-leaf path
@@ -58,9 +64,17 @@ func (c Config) Validate() error {
 	if shards <= 0 {
 		shards = 1
 	}
-	if need := c.Workload.DataPages()/shards + 4096; need > int(pageLimit(shards)) {
+	if need := c.Workload.DataPages()/shards + growthHeadroom(shards); need > int(pageLimit(shards)) {
 		return fmt.Errorf("machine: workload needs ~%d pages per shard but each of %d shards owns a %d-page window; use more shards, a smaller scale, or one shard",
 			need, shards, pageLimit(shards))
+	}
+	if c.PredictFastPath {
+		if shards <= 1 {
+			return fmt.Errorf("machine: PredictFastPath needs Shards > 1 (a single engine has no router to skip)")
+		}
+		if c.AppImage.Fns["predict_check"] == nil || c.AppImage.Fns["predict_train"] == nil {
+			return fmt.Errorf("machine: PredictFastPath needs the predictor models in the app image; build it with appmodel.Config.FastPath")
+		}
 	}
 	if c.PerCommitLogFlush && c.GroupCommitWindowInstr > 0 {
 		return fmt.Errorf("machine: PerCommitLogFlush conflicts with GroupCommitWindowInstr = %d (the window batches commits; per-commit flushing forbids batching)",
@@ -86,11 +100,36 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// pageRegion is the whole page-address region below the shared log buffers.
+func pageRegion() db.PageID { return db.PageID(0x4000_0000 / db.PageBytes) }
+
+// pageStride is the page-ID distance between consecutive shards' allocation
+// bases: the historical 64 MB stride up to wideShardThreshold shards (so
+// existing sharded results stay bit-identical), an even division of the
+// region above it.
+func pageStride(shards int) db.PageID {
+	if shards <= wideShardThreshold {
+		return db.ShardPageStride
+	}
+	return pageRegion() / db.PageID(shards)
+}
+
 // pageLimit is the page-allocation cap per shard: the inter-shard stride
 // when sharded, the whole region below the shared log buffer when single.
 func pageLimit(shards int) db.PageID {
 	if shards > 1 {
-		return db.ShardPageStride
+		return pageStride(shards)
 	}
-	return db.PageID(0x4000_0000 / db.PageBytes)
+	return pageRegion()
+}
+
+// growthHeadroom is the per-shard page allowance, beyond the loaded data,
+// for tables that grow during a run (history, orders) and index pages. Wide
+// groups have narrow windows and proportionally less per-shard growth, so
+// they budget less.
+func growthHeadroom(shards int) int {
+	if shards <= wideShardThreshold {
+		return 4096
+	}
+	return 1024
 }

@@ -125,6 +125,47 @@ func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
 	shard.Commit2PC(hs, rs)
 }
 
+// Class implements workload.FastPath: New-Orders and Payments predict
+// separately (New-Orders are always local; Payments carry the cross-shard
+// fraction), but the class must not leak the routing outcome, so local and
+// remote Payments share one class.
+func (sb *Sharded) Class(in workload.Input) string {
+	if in.(Input).Kind == NewOrder {
+		return "neworder"
+	}
+	return "payment"
+}
+
+// RunLocal implements workload.FastPath: the plain transaction on the home
+// engine alone. A Payment whose customer turns out to live on another shard
+// runs its home-side warehouse and district updates for real (the modeled
+// txn_abort undo pays for them on misprediction), then discovers the miss
+// honestly when the customer search comes up empty on the home shard's
+// tree, and unwinds through workload.Mispredict before touching any foreign
+// engine.
+func (sb *Sharded) RunLocal(s *db.Session, in workload.Input) {
+	req := in.(Input)
+	home := sb.whShard[req.Warehouse]
+	if req.Kind == NewOrder || sb.whShard[req.CWarehouse] == home {
+		sb.Shards[home].RunTxn(s, req)
+		return
+	}
+	b := sb.Shards[home]
+	pb := s.PB
+	pb.Enter("payment_txn")
+	defer pb.Leave("payment_txn")
+	pb.Data(s.ScratchAddr(1024), 256, true)
+	s.Begin()
+	b.payWarehouse(s, req)
+	b.payDistrict(s, req)
+	pb.Enter("pay_customer")
+	defer pb.Leave("pay_customer")
+	if _, ok := b.Customers.Search(s, b.custGlobal(req)); ok {
+		panic(fmt.Sprintf("ordere: remote customer %d found on home shard %d", b.custGlobal(req), home))
+	}
+	workload.Mispredict(pb)
+}
+
 // Check implements workload.ShardedInstance: per-shard order/order-line
 // consistency plus payment-flow conservation over the union of shards
 // (remote Payments split warehouse/district YTDs and the customer balance

@@ -1,0 +1,124 @@
+// Package predict implements the per-transaction-kind locality model behind
+// the machine's single-shard fast path, after Pavlo et al.'s predictive
+// transaction modeling: a cheap frequency/Markov estimator, keyed by
+// (transaction class, home shard), that answers "will this transaction stay
+// on its home shard?" before the router runs. Transactions predicted local
+// skip the instrumented shard_route and the 2PC coordinator entirely;
+// mispredictions abort through the modeled txn_abort path and retry
+// distributed, so a wrong answer costs latency but never correctness.
+//
+// The predictor's own decision code is part of the modeled application
+// binary (see Models and appmodel.Config.FastPath), so the layout passes
+// optimize the prediction path along with the transaction paths it guards —
+// the source paper's loop, closed over the new code.
+package predict
+
+// cellKey identifies one prediction cell: a transaction class on one home
+// shard. Cross-shard fractions can differ per shard (hash partitions are
+// uneven at small scales), so the model keeps shards separate.
+type cellKey struct {
+	class string
+	home  int
+}
+
+// outcome indexes of a cell's counters.
+const (
+	outLocal  = 0
+	outRemote = 1
+)
+
+// cell accumulates one class×shard's observed outcomes: marginal counts for
+// the frequency estimate and a 2×2 transition matrix for the first-order
+// Markov refinement (consecutive remote transactions of one class cluster
+// when clients walk partition-crossing key ranges).
+type cell struct {
+	n     [2]uint64    // marginal local/remote counts
+	trans [2][2]uint64 // trans[prev][next] transition counts
+	last  int          // most recent outcome
+	seen  bool         // any observation yet
+}
+
+// Model is the trained predictor. It is deterministic — same observation
+// sequence, same answers — and not safe for concurrent use; the machine
+// owns one and runs one process at a time.
+type Model struct {
+	// MinObs is the observation floor: below it a cell answers "not local",
+	// keeping cold classes on the always-correct distributed path.
+	MinObs uint64
+	// Threshold is the minimum estimated P(local) to take the fast path.
+	Threshold float64
+
+	cells map[cellKey]*cell
+}
+
+// Default model shape: three observations before the model trusts a cell,
+// and a 0.9 confidence floor (a 10% misprediction rate roughly prices one
+// abort+retry per ten saved coordinator trips).
+const (
+	DefaultMinObs    = 3
+	DefaultThreshold = 0.9
+)
+
+// New returns an empty model with the default shape.
+func New() *Model {
+	return &Model{
+		MinObs:    DefaultMinObs,
+		Threshold: DefaultThreshold,
+		cells:     make(map[cellKey]*cell),
+	}
+}
+
+// Observe implements workload.Predictor: record one finished transaction's
+// outcome.
+func (m *Model) Observe(class string, home int, remote bool) {
+	if m.cells == nil {
+		m.cells = make(map[cellKey]*cell)
+	}
+	k := cellKey{class, home}
+	c := m.cells[k]
+	if c == nil {
+		c = &cell{}
+		m.cells[k] = c
+	}
+	out := outLocal
+	if remote {
+		out = outRemote
+	}
+	if c.seen {
+		c.trans[c.last][out]++
+	}
+	c.n[out]++
+	c.last = out
+	c.seen = true
+}
+
+// Local implements workload.Predictor: predict whether the next transaction
+// of this class on this home shard stays single-shard. The Markov row for
+// the cell's most recent outcome is preferred once it has enough mass;
+// otherwise the marginal frequency decides. Unknown or under-observed cells
+// answer false — the distributed path is always correct.
+func (m *Model) Local(class string, home int) bool {
+	c := m.cells[cellKey{class, home}]
+	if c == nil {
+		return false
+	}
+	total := c.n[outLocal] + c.n[outRemote]
+	if total < m.MinObs {
+		return false
+	}
+	row := c.trans[c.last]
+	if rowTotal := row[outLocal] + row[outRemote]; rowTotal >= m.MinObs {
+		return float64(row[outLocal]) >= m.Threshold*float64(rowTotal)
+	}
+	return float64(c.n[outLocal]) >= m.Threshold*float64(total)
+}
+
+// Observations returns the total outcomes recorded for a class×shard cell
+// (tests and reports).
+func (m *Model) Observations(class string, home int) uint64 {
+	c := m.cells[cellKey{class, home}]
+	if c == nil {
+		return 0
+	}
+	return c.n[outLocal] + c.n[outRemote]
+}

@@ -140,6 +140,39 @@ func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
 	shard.Commit2PC(hs, rs)
 }
 
+// Class implements workload.FastPath: every TPC-B request has one shape;
+// whether it crosses shards is exactly what the predictor must guess, so the
+// class cannot depend on it.
+func (sb *Sharded) Class(workload.Input) string { return "tpcb" }
+
+// RunLocal implements workload.FastPath: the classic transaction on the
+// home engine alone. A request whose account turns out to live on another
+// shard is discovered honestly — the account search misses on the home
+// shard's tree (a modeled bt_found=false path, exactly what a real engine
+// would execute) — and unwinds through workload.Mispredict before touching
+// any foreign engine.
+func (sb *Sharded) RunLocal(s *db.Session, in workload.Input) {
+	req := in.(Input)
+	home := sb.branchShard[req.Branch]
+	if sb.branchShard[sb.acctBranch(req.Account)] == home {
+		sb.Shards[home].Run(s, req)
+		return
+	}
+	b := sb.Shards[home]
+	pb := s.PB
+	pb.Enter("tpcb_txn")
+	defer pb.Leave("tpcb_txn")
+	pb.Data(s.ScratchAddr(1024), 256, true)
+	s.Begin()
+	pb.Enter("upd_account")
+	defer pb.Leave("upd_account")
+	pb.Data(s.ScratchAddr(0), 192, true)
+	if _, ok := b.Accounts.Search(s, req.Account); ok {
+		panic(fmt.Sprintf("tpcb: remote account %d found on home shard %d", req.Account, home))
+	}
+	workload.Mispredict(pb)
+}
+
 // Check implements workload.ShardedInstance: TPC-B balance conservation
 // over the union of shards. Cross-shard transactions split their delta
 // between two engines, so no single shard balances — only the global sums

@@ -14,10 +14,12 @@
 package workload
 
 import (
+	"errors"
 	"math/rand"
 
 	"codelayout/internal/codegen"
 	"codelayout/internal/db"
+	"codelayout/internal/probe"
 )
 
 // Input is one transaction request drawn by GenInput and consumed by
@@ -144,6 +146,61 @@ type ShardedInstance interface {
 	// of shards (uninstrumented sessions, ss[i] on engine i); cross-shard
 	// conservation must hold globally even though no single shard balances.
 	Check(ss []*db.Session) error
+}
+
+// Predictor decides whether a transaction class is safe to run on the
+// single-shard fast path (skipping the router and the 2PC coordinator). The
+// machine trains it online from every finished transaction's observed
+// cross-shard outcome and consults it before each new transaction.
+// Implementations must be deterministic: given the same observation
+// sequence, Local must return the same answers.
+type Predictor interface {
+	// Observe records one finished transaction's outcome: its class label,
+	// home shard, and whether it actually touched a remote shard.
+	Observe(class string, home int, remote bool)
+
+	// Local predicts whether the next transaction of this class on this
+	// home shard will stay single-shard. False routes the transaction down
+	// the full distributed path, so false is always safe.
+	Local(class string, home int) bool
+}
+
+// ErrMispredict is the longjmp value of the predictive fast path: a
+// transaction predicted single-shard discovered mid-run that it needs a
+// remote shard. The machine recovers it exactly like db.ErrDeadlock — abort
+// every open branch through the modeled txn_abort path, then retry — except
+// the retry is forced onto the slow distributed path.
+var ErrMispredict = errors.New("workload: fast-path misprediction (transaction touches a remote shard)")
+
+// Mispredict unwinds a fast-path transaction that turned out to need a
+// remote shard: the probe suppresses the panic's deferred Leave events (the
+// modeled engine longjmps, it does not return through every frame) and the
+// machine recovers ErrMispredict to abort and re-route.
+func Mispredict(pb probe.Probe) {
+	if a, ok := pb.(db.Aborter); ok {
+		a.AbortUnwind()
+	}
+	panic(ErrMispredict)
+}
+
+// FastPath is implemented by sharded instances that can run
+// predicted-single-shard transactions on their home engine alone, without
+// the router or the 2PC coordinator. A transaction that turns out to touch
+// a remote shard after all must call Mispredict the moment it discovers
+// this — before reading or writing anything on the foreign shard's engine —
+// so the machine can abort the home branch and rerun it distributed.
+type FastPath interface {
+	ShardedInstance
+
+	// Class labels an input with its prediction class. Classes are coarser
+	// than or equal to Labeler kinds: they must be computable from the
+	// client request alone, without peeking at the routing outcome (a
+	// "tpcb" request's class is "tpcb" whether or not it crosses shards).
+	Class(in Input) string
+
+	// RunLocal executes in on its home engine's session assuming it stays
+	// single-shard, calling Mispredict on discovery of a remote touch.
+	RunLocal(s *db.Session, in Input)
 }
 
 // ModelEnv gives workload model builders access to the image's generated

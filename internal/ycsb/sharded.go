@@ -111,6 +111,24 @@ func (sb *Sharded) RunTxn(ss []*db.Session, in workload.Input) {
 	sb.Shards[remote].runRead(ss[remote], req.Key2)
 }
 
+// Class implements workload.FastPath. Scatter reads are declared in the
+// client request itself (the second key is part of the input), so "mget" is
+// an honestly separate class the predictor learns is never local; plain
+// reads and updates are always local.
+func (sb *Sharded) Class(in workload.Input) string { return sb.KindOf(in) }
+
+// RunLocal implements workload.FastPath: point operations on the home
+// engine. Scatter reads can never be predicted local — their class always
+// observes remote — so reaching the mget arm means the predictor was driven
+// by a stub; unwind rather than touch the remote shard.
+func (sb *Sharded) RunLocal(s *db.Session, in workload.Input) {
+	req := in.(Input)
+	if req.MultiGet {
+		workload.Mispredict(s.PB)
+	}
+	sb.Shards[sb.Map.Of(req.Key)].RunTxn(s, req)
+}
+
 // Check implements workload.ShardedInstance: the per-record invariant is
 // shard-local (no operation ever writes across shards), so the union audit
 // is each shard's own audit.
