@@ -10,6 +10,7 @@
 package codelayout_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -500,6 +501,105 @@ func BenchmarkPredictFastPath(b *testing.B) {
 				float64(off.Latency.P99)/1e6, float64(on.Latency.P99)/1e6,
 				on.Predicted, on.Committed, on.Mispredicted)
 		}
+	}
+}
+
+// fusionBenchRow is one layout's entry in the BENCH_fusion.json snapshot.
+type fusionBenchRow struct {
+	InstrPerTxn  float64 `json:"instr_per_txn"`
+	L1IMissRatio float64 `json:"l1i_miss_ratio"`
+	P50          uint64  `json:"p50_instr"`
+	P99          uint64  `json:"p99_instr"`
+}
+
+// BenchmarkTxFuse is the transaction-fusion acceptance bench: base vs
+// ipchain vs the fusion combo on TPC-B and order entry under the
+// fetch-stall clock (40 instr-times per L1I miss), one sub-bench per
+// workload × layout. A full pass over every sub-bench writes the
+// machine-readable BENCH_fusion.json snapshot that pins the fusion pass's
+// perf trajectory.
+func BenchmarkTxFuse(b *testing.B) {
+	const stall = 40
+	fusionOpts := func(wl workload.Workload) expt.Options {
+		o := expt.QuickOptions()
+		o.Transactions = 60
+		o.WarmupTxns = 15
+		o.Train.Txns = 150
+		o.CPUs = 2
+		o.ProcsPerCPU = 4
+		o.LibScale = 0.3
+		o.ColdWords = 400_000
+		o.KernColdWords = 100_000
+		o.FetchStallPenaltyInstr = stall
+		o.Workload = wl
+		return o
+	}
+	twl := tpcb.NewScaled(tpcb.Scale{Branches: 6, TellersPerBranch: 3, AccountsPerBranch: 120})
+	owl := ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120})
+	src, err := expt.NewProfileSource(fusionOpts(twl), owl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layouts := []string{"base", "ipchain", "fusion"}
+	snapshot := map[string]map[string]fusionBenchRow{}
+	for _, w := range []struct {
+		name string
+		wl   workload.Workload
+	}{{"tpcb", twl}, {"ordere", owl}} {
+		eo := fusionOpts(w.wl)
+		s, err := expt.NewSessionFrom(src, eo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := map[string]fusionBenchRow{}
+		for _, layout := range layouts {
+			b.Run(w.name+"/"+layout, func(b *testing.B) {
+				var m *expt.Measure
+				for i := 0; i < b.N; i++ {
+					var err error
+					if m, err = s.Measure(layout, eo.CPUs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				row := fusionBenchRow{
+					InstrPerTxn:  float64(m.Res.BusyInstrs) / float64(m.Res.Committed),
+					L1IMissRatio: m.App4W[64].MissRate(),
+					P50:          m.Res.Latency.P50,
+					P99:          m.Res.Latency.P99,
+				}
+				rows[layout] = row
+				b.ReportMetric(row.InstrPerTxn, "instr/txn")
+				b.ReportMetric(row.L1IMissRatio*100, "miss%")
+				b.ReportMetric(float64(row.P50), "p50-instr")
+				b.ReportMetric(float64(row.P99), "p99-instr")
+			})
+		}
+		if len(rows) == len(layouts) {
+			snapshot[w.name] = rows
+		}
+	}
+	// Only a complete sweep (no -bench sub-filter) refreshes the snapshot.
+	if len(snapshot) != 2 {
+		return
+	}
+	if _, done := printed.LoadOrStore("txfuse-json", true); !done {
+		out := struct {
+			Note    string                               `json:"note"`
+			Stall   uint64                               `json:"fetch_stall_penalty_instr"`
+			Layouts map[string]map[string]fusionBenchRow `json:"workloads"`
+		}{
+			Note:    "base vs ipchain vs txfuse (fusion combo); latencies in instruction-times under the fetch-stall clock",
+			Stall:   stall,
+			Layouts: snapshot,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_fusion.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintln(os.Stdout, "wrote BENCH_fusion.json")
 	}
 }
 

@@ -9,6 +9,7 @@
 //	layoutlab -table shardsweep -shards 1,2,4,8,16,32,64
 //	layoutlab -table shardsweep -shards 1,4,16 -fastpath=false -gc off
 //	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
+//	layoutlab -table latency -matrix tpcb,ordere -layout fusion -stall 40
 package main
 
 import (
@@ -44,7 +45,8 @@ func main() {
 		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep or latency (percentiles)")
 		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness/latency: comma-separated workloads to measure")
 		shardlist = flag.String("shardlist", "1,4", "robustness/latency: comma-separated shard counts to measure")
-		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate")
+		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate (latency with 'fusion' also measures ipchain and emits per-kind deltas)")
+		stall     = flag.Uint64("stall", 0, "instruction-times of stall per L1 icache miss on the measurement clock (layout latency comparisons need a non-zero penalty, e.g. 40)")
 		fastpath  = flag.Bool("fastpath", true, "shardsweep: measure the predictive single-shard fast path against the routed baseline (on/off delta columns)")
 		gcMode    = flag.String("gc", "", "shardsweep: group-commit tuning mode (off, flushcount, p99; default p99)")
 		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage (0 = workload default, negative disables)")
@@ -66,6 +68,7 @@ func main() {
 	if *full {
 		opts = expt.DefaultOptions()
 	}
+	opts.FetchStallPenaltyInstr = *stall
 	if *seed != 0 {
 		opts.Seed = *seed
 		opts.Train.Seed = *seed + 7

@@ -23,6 +23,7 @@ import (
 	"codelayout/internal/appmodel"
 	"codelayout/internal/cache"
 	"codelayout/internal/core"
+	"codelayout/internal/isa"
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
@@ -55,7 +56,8 @@ func main() {
 		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
 		quick     = flag.Bool("quick", false, "use the workload's quick scale")
 		layoutIn  = flag.String("layout", "", "optimized layout file (from spike); default baseline")
-		optCombo  = flag.String("opt", "", "train in-process and optimize with this combo (e.g. all, ipchain) before measuring")
+		optCombo  = flag.String("opt", "", "train in-process and optimize with this combo (e.g. all, ipchain, fusion) before measuring")
+		stall     = flag.Uint64("stall", 0, "instruction-times of stall charged per L1 icache miss on the fetch clock (0 = pure fetch-bandwidth clock)")
 		trainWl   = flag.String("train-workload", "", "workload to profile when -opt is set (default: the evaluated workload)")
 		trainSh   = flag.Int("train-shards", 0, "shard count of the -opt training run (default: -shards)")
 		trainTxns = flag.Int("train-txns", 2000, "profiled transactions of the -opt training run")
@@ -155,9 +157,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		appL, _, err = pl.Run(app.Prog, px.Profile)
-		if err != nil {
-			fatal(err)
+		if *optCombo == "fusion" {
+			// Fusion clones procedures, so it runs over a specialized copy
+			// of the image; the grown image is what the measurement runs.
+			simg := app.Specialize()
+			roots, err := appmodel.FusionRoots(simg, wl, train)
+			if err != nil {
+				fatal(err)
+			}
+			if len(roots) == 0 {
+				fatal(fmt.Errorf("-opt fusion: workload %q declares no transaction-kind roots", wl.Name()))
+			}
+			var rep *core.Report
+			appL, rep, err = pl.RunFused(simg.Prog, px.Profile, roots, simg)
+			if err != nil {
+				fatal(err)
+			}
+			if appL.TotalBytes() > isa.AppTextLimitBytes {
+				fatal(fmt.Errorf("fused layout is %d bytes, past the %d-byte app text map", appL.TotalBytes(), isa.AppTextLimitBytes))
+			}
+			app = simg
+			fmt.Printf("fused:            %d transaction kinds, %d procedures cloned (%.1f KB growth)\n",
+				rep.FusedKinds, rep.ClonedProcs, float64(rep.CloneWords*isa.WordBytes)/1024)
+		} else {
+			appL, _, err = pl.Run(app.Prog, px.Profile)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("trained on:       %d %s txns at %d shard(s), optimized with %q (%s)\n",
 			tres.Committed, train.Name(), trainShards, *optCombo, pl.String())
@@ -186,6 +212,7 @@ func main() {
 		CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed,
 		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
 		AutoGroupCommit: gcMode, PredictFastPath: *fastPath,
+		FetchStallPenaltyInstr: *stall,
 		WarmupTxns: *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
@@ -227,6 +254,9 @@ func main() {
 	fmt.Printf("icache 64KB/128B/4-way: %d misses (%.3f%% of line accesses)\n",
 		ic.Stats().Misses, ic.Stats().MissRate()*100)
 	fmt.Printf("mean fetch sequence:    %.2f instructions\n", seq.Hist.Mean())
+	if *stall > 0 {
+		fmt.Printf("fetch stalls:     %d instr-times (%d per L1I miss)\n", res.FetchStallInstr, *stall)
+	}
 	fmt.Printf("log: %d flushes, %d grouped commits, %d blocked instr-time; %d lock conflicts; idle %d\n",
 		res.LogFlushes, res.GroupedCommits, res.LogBlockedInstr, res.LockConflicts, res.IdleInstrs)
 	if *pctiles {

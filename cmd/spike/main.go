@@ -7,6 +7,12 @@
 //
 //	spike -prog images/app.prog -profile oltp.prof -combo all -out app.layout
 //	spike -prog images/app.prog -profile oltp.prof -passes chain,split:fine,porder:ph
+//	spike -list-passes
+//
+// Standalone txfuse runs derive transaction roots from the profile's call
+// graph (hot procedures nothing calls) and skip cloning — full fusion with
+// kind roots and procedure cloning needs the image-aware drivers
+// (oltpbench -opt fusion, layoutlab).
 package main
 
 import (
@@ -24,12 +30,19 @@ func main() {
 	var (
 		progPath = flag.String("prog", "", "program file (from oltpgen)")
 		profPath = flag.String("profile", "", "profile file (from pixie)")
-		combo    = flag.String("combo", "all", "optimization combo: base|porder|chain|chain+split|chain+porder|all|hotcold|cfa|ipchain")
+		combo    = flag.String("combo", "all", "optimization combo: base|porder|chain|chain+split|chain+porder|all|hotcold|cfa|ipchain|fusion")
 		passes   = flag.String("passes", "", "comma-separated pass pipeline (overrides -combo), e.g. chain,split:fine,porder:ph")
+		list     = flag.Bool("list-passes", false, "list the registered passes with their descriptions and exit")
 		out      = flag.String("out", "", "layout output file (optional)")
 		dump     = flag.Bool("dump", false, "dump the laid-out program (small programs only)")
 	)
 	flag.Parse()
+	if *list {
+		for _, d := range core.PassDocs() {
+			fmt.Printf("%-12s %s\n", d.Name, d.Doc)
+		}
+		return
+	}
 	if *progPath == "" || *profPath == "" {
 		fatal(fmt.Errorf("need -prog and -profile"))
 	}
@@ -70,6 +83,11 @@ func main() {
 	fmt.Printf("%s: %d chains, %d units (%d hot), hot text %.1f KB\n",
 		name, rep.Chains, rep.Units, rep.HotUnits,
 		float64(rep.HotWords*isa.WordBytes)/1024)
+	if rep.FusedKinds > 0 {
+		fmt.Printf("%s: fused %d transaction kinds (%d procedures cloned, %.1f KB growth)\n",
+			name, rep.FusedKinds, rep.ClonedProcs,
+			float64(rep.CloneWords*isa.WordBytes)/1024)
+	}
 	fmt.Printf("image: %.2f MB -> %.2f MB (padding %.1f KB, %d long branches)\n",
 		float64(base.TotalBytes())/(1<<20), float64(l.TotalBytes())/(1<<20),
 		float64(rep.PadWords*isa.WordBytes)/1024, rep.LongBranches)

@@ -109,8 +109,21 @@ func Combos() []core.Combo { return core.Combos() }
 // "name:arg".
 func RegisterPass(name string, f PassFactory) error { return core.RegisterPass(name, f) }
 
+// RegisterPassDoc is RegisterPass with a one-line description shown by
+// PassDocs and spike -list-passes.
+func RegisterPassDoc(name, doc string, f PassFactory) error {
+	return core.RegisterPassDoc(name, doc, f)
+}
+
 // RegisteredPasses lists the registered pass names, sorted.
 func RegisteredPasses() []string { return core.RegisteredPasses() }
+
+// PassDoc describes one registered pass for listings.
+type PassDoc = core.PassDoc
+
+// PassDocs returns every registered pass sorted by name with its one-line
+// description.
+func PassDocs() []PassDoc { return core.PassDocs() }
 
 // ParsePipeline parses a comma-separated pass spec such as
 // "chain,split:fine,porder:ph" into a runnable pipeline (materialization
@@ -121,8 +134,24 @@ func ParsePipeline(spec string) (Pipeline, error) { return core.ParsePipeline(sp
 func PipelineFor(o OptimizeOptions) (Pipeline, error) { return core.PipelineFor(o) }
 
 // ComboPipeline resolves a combo name (the paper's six plus "hotcold",
-// "cfa" and "ipchain") to its pass pipeline.
+// "cfa", "ipchain" and "fusion") to its pass pipeline.
 func ComboPipeline(name string) (Pipeline, error) { return core.ComboPipeline(name) }
+
+// TxFuseSpec is the pipeline spec of the "fusion" combo: per-transaction-kind
+// program fusion (the txfuse pass) between chaining and Pettis–Hansen
+// ordering. Run it through Pipeline.RunFused with kind roots (FusionRoots)
+// and a specialized image (Image.Specialize) to enable procedure cloning.
+const TxFuseSpec = core.TxFuseSpec
+
+// KindRoot seeds one fused placement unit: a transaction-kind label and the
+// procedure of the kind's entry model.
+type KindRoot = core.KindRoot
+
+// FusionRoots resolves the transaction-kind roots the given workloads declare
+// against an image, for Pipeline.RunFused.
+func FusionRoots(img *Image, wls ...Workload) ([]KindRoot, error) {
+	return appmodel.FusionRoots(img, wls...)
+}
 
 // BaselineLayout materializes the original (source-order) binary layout.
 func BaselineLayout(p *Program) (*Layout, error) { return program.BaselineLayout(p) }

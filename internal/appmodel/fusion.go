@@ -1,0 +1,38 @@
+package appmodel
+
+import (
+	"fmt"
+
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/program"
+	"codelayout/internal/workload"
+)
+
+// FusionRoots resolves the transaction-kind roots the given workloads
+// declare (workload.KindRoots) against an image, in argument order, for the
+// txfuse pipeline's RunFused entry. Workloads that declare no roots
+// contribute nothing; a declared root function missing from the image is an
+// error. Two kinds naming one model resolve to a single root.
+func FusionRoots(img *codegen.Image, wls ...workload.Workload) ([]core.KindRoot, error) {
+	var roots []core.KindRoot
+	seen := make(map[program.ProcID]bool)
+	for _, w := range wls {
+		kr, ok := w.(workload.KindRoots)
+		if !ok {
+			continue
+		}
+		for _, r := range kr.KindRoots() {
+			fn, ok := img.Fns[r.Root]
+			if !ok {
+				return nil, fmt.Errorf("appmodel: fusion root %q (workload %s, kind %s) is not modeled in the image", r.Root, w.Name(), r.Kind)
+			}
+			if seen[fn.Proc.ID] {
+				continue
+			}
+			seen[fn.Proc.ID] = true
+			roots = append(roots, core.KindRoot{Kind: r.Kind, Proc: fn.Proc.ID})
+		}
+	}
+	return roots, nil
+}

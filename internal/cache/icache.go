@@ -217,6 +217,14 @@ func (c *ICache) Fetch(r trace.FetchRun) {
 	}
 }
 
+// FetchMisses is Fetch plus the number of misses this run took, for inline
+// stall models that charge miss latency to a CPU clock as it fetches.
+func (c *ICache) FetchMisses(r trace.FetchRun) int {
+	before := c.stats.Misses
+	c.Fetch(r)
+	return int(c.stats.Misses - before)
+}
+
 // access looks up one line and returns the frame index holding it.
 func (c *ICache) access(line uint64, kernel bool) int {
 	c.clock++

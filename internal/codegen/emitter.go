@@ -116,7 +116,7 @@ func (e *Emitter) transition(b *program.Block, succ program.BlockID) {
 func (e *Emitter) enterCall(b *program.Block, callee *Fn) {
 	e.emit(e.L.Addr[b.ID], e.L.ExecWords(b, b.Fall))
 	e.stack = append(e.stack, eframe{
-		name:      callee.Name,
+		name:      callee.EventName(),
 		auto:      callee.Auto,
 		callBlock: b.ID,
 		cont:      b.Fall,
@@ -228,11 +228,14 @@ func (e *Emitter) Enter(fn string) {
 		panic(fmt.Sprintf("codegen: Enter(%q) but model at %s block b%d of %s",
 			fn, b.Kind, b.ID, e.frameName()))
 	}
+	// A fused image may have rewired the call to a per-kind clone; the clone
+	// replays the original's events, so entering it under the original name
+	// is the expected path.
 	callee := e.Img.FnOf(b.Callee)
-	if callee != f {
+	if callee != f && callee.EventName() != fn {
 		panic(fmt.Sprintf("codegen: Enter(%q) but model expects call to %q", fn, callee.Name))
 	}
-	e.enterCall(b, f)
+	e.enterCall(b, callee)
 	e.advance()
 }
 

@@ -12,6 +12,20 @@ type Fn struct {
 	Name string
 	Auto bool
 	Proc *program.Procedure
+	// CloneOf names the original function this Fn was cloned from by the
+	// fusion specializer (empty for functions built from a spec). Clones
+	// replay the original's probe events under the original's name.
+	CloneOf string
+}
+
+// EventName returns the probe-event name this function answers to: its own
+// name, or — for a fusion clone — the name of the function it was cloned
+// from.
+func (fn *Fn) EventName() string {
+	if fn.CloneOf != "" {
+		return fn.CloneOf
+	}
+	return fn.Name
 }
 
 // Image is a modeled binary: the program plus the annotations the emitter

@@ -47,6 +47,18 @@ type LayoutState struct {
 
 	// Layout is the materialized result; set by the materialize pass.
 	Layout *program.Layout
+
+	// KindRoots seed the txfuse pass with one fused unit per transaction
+	// kind (nil lets txfuse derive roots from the profile's call graph).
+	KindRoots []KindRoot
+
+	// Cloner, if non-nil, lets txfuse clone shared procedures into fused
+	// units (image-aware runs install the specialized image here); nil
+	// disables cloning.
+	Cloner ProcCloner
+
+	// fused guards against running txfuse twice over one state.
+	fused bool
 }
 
 // EnsureChains installs the source-order chains for every procedure if no
@@ -130,15 +142,28 @@ type Pass interface {
 // pipeline spec (empty when the spec is the bare name).
 type PassFactory func(arg string) (Pass, error)
 
+// passEntry is one registry slot: the factory plus the one-line
+// description PassDocs renders.
+type passEntry struct {
+	factory PassFactory
+	doc     string
+}
+
 var (
 	passMu       sync.RWMutex
-	passRegistry = map[string]PassFactory{}
+	passRegistry = map[string]passEntry{}
 )
 
 // RegisterPass adds a pass factory to the registry under the given base name
 // (the part of a spec before the optional ":arg"). Registering a name twice
 // is an error, as is a name containing the spec separators.
 func RegisterPass(name string, f PassFactory) error {
+	return RegisterPassDoc(name, "", f)
+}
+
+// RegisterPassDoc registers a pass factory together with a one-line
+// description, shown by PassDocs and the spike -list-passes listing.
+func RegisterPassDoc(name, doc string, f PassFactory) error {
 	if name == "" || strings.ContainsAny(name, ":,") || f == nil {
 		return fmt.Errorf("core: invalid pass registration %q", name)
 	}
@@ -147,7 +172,7 @@ func RegisterPass(name string, f PassFactory) error {
 	if _, dup := passRegistry[name]; dup {
 		return fmt.Errorf("core: pass %q already registered", name)
 	}
-	passRegistry[name] = f
+	passRegistry[name] = passEntry{factory: f, doc: doc}
 	return nil
 }
 
@@ -163,6 +188,30 @@ func RegisteredPasses() []string {
 	return names
 }
 
+// PassDoc describes one registered pass for listings.
+type PassDoc struct {
+	Name string
+	Doc  string
+}
+
+// PassDocs returns every registered pass sorted by name with its one-line
+// description, so pipeline specs are discoverable (spike -list-passes).
+// Passes registered without a description report "(no description)".
+func PassDocs() []PassDoc {
+	passMu.RLock()
+	defer passMu.RUnlock()
+	docs := make([]PassDoc, 0, len(passRegistry))
+	for n, e := range passRegistry {
+		doc := e.doc
+		if doc == "" {
+			doc = "(no description)"
+		}
+		docs = append(docs, PassDoc{Name: n, Doc: doc})
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	return docs
+}
+
 // NewPass builds one pass from a "name" or "name:arg" spec.
 func NewPass(spec string) (Pass, error) {
 	name, arg := spec, ""
@@ -171,13 +220,13 @@ func NewPass(spec string) (Pass, error) {
 	}
 	name = strings.TrimSpace(name)
 	passMu.RLock()
-	f, ok := passRegistry[name]
+	e, ok := passRegistry[name]
 	passMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown pass %q (registered passes: %s)",
 			name, strings.Join(RegisteredPasses(), ", "))
 	}
-	p, err := f(strings.TrimSpace(arg))
+	p, err := e.factory(strings.TrimSpace(arg))
 	if err != nil {
 		return nil, fmt.Errorf("core: pass %q: %w", spec, err)
 	}
@@ -225,8 +274,16 @@ func (pl Pipeline) String() string {
 // the pipeline ends without one. Edge weights are estimated first when the
 // profile is sampling-based, exactly as Optimize always did.
 func (pl Pipeline) Run(p *program.Program, pf *profile.Profile) (*program.Layout, *Report, error) {
+	return pl.RunFused(p, pf, nil, nil)
+}
+
+// RunFused is the image-aware pipeline entry: it executes the pipeline with
+// transaction-kind roots and an optional procedure cloner threaded through
+// the state for the txfuse pass. The cloner must mutate the same program p
+// (codegen's specialized images do); passes other than txfuse ignore both.
+func (pl Pipeline) RunFused(p *program.Program, pf *profile.Profile, roots []KindRoot, cl ProcCloner) (*program.Layout, *Report, error) {
 	pf.EnsureEdges(p)
-	st := &LayoutState{Prog: p, Prof: pf, Report: &Report{}}
+	st := &LayoutState{Prog: p, Prof: pf, Report: &Report{}, KindRoots: roots, Cloner: cl}
 	for _, pass := range pl {
 		if err := pass.Run(st); err != nil {
 			return nil, nil, fmt.Errorf("core: pass %s: %w", pass.Name(), err)
@@ -393,18 +450,18 @@ func (materializePass) Run(st *LayoutState) error {
 }
 
 func init() {
-	mustRegister := func(name string, f PassFactory) {
-		if err := RegisterPass(name, f); err != nil {
+	mustRegister := func(name, doc string, f PassFactory) {
+		if err := RegisterPassDoc(name, doc, f); err != nil {
 			panic(err)
 		}
 	}
-	mustRegister("chain", func(arg string) (Pass, error) {
+	mustRegister("chain", "greedy basic-block chaining within each procedure (falls through hot edges)", func(arg string) (Pass, error) {
 		if arg != "" {
 			return nil, fmt.Errorf("takes no argument, got %q", arg)
 		}
 		return chainPass{}, nil
 	})
-	mustRegister("split", func(arg string) (Pass, error) {
+	mustRegister("split", "cut chains into placement units: none (whole procedure), fine (per chain), hotcold (hot/cold halves)", func(arg string) (Pass, error) {
 		switch arg {
 		case "", "none":
 			return splitPass{SplitNone}, nil
@@ -415,7 +472,7 @@ func init() {
 		}
 		return nil, fmt.Errorf("unknown split mode %q (none|fine|hotcold)", arg)
 	})
-	mustRegister("porder", func(arg string) (Pass, error) {
+	mustRegister("porder", "order placement units: ph (Pettis\u2013Hansen call-graph ordering) or orig (link order)", func(arg string) (Pass, error) {
 		switch arg {
 		case "", "ph":
 			return porderPass{OrderPettisHansen}, nil
@@ -424,7 +481,7 @@ func init() {
 		}
 		return nil, fmt.Errorf("unknown order mode %q (ph|orig)", arg)
 	})
-	mustRegister("cfa", func(arg string) (Pass, error) {
+	mustRegister("cfa", "reserve a conflict-free instruction-cache area for the hottest units (cachebytes/reservedbytes)", func(arg string) (Pass, error) {
 		o := CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}
 		if arg != "" {
 			if _, err := fmt.Sscanf(arg, "%d/%d", &o.CacheBytes, &o.ReservedBytes); err != nil {
@@ -437,7 +494,7 @@ func init() {
 		}
 		return cfaPass{o}, nil
 	})
-	mustRegister("align", func(arg string) (Pass, error) {
+	mustRegister("align", "set the unit-start alignment in words used at materialization (default 4)", func(arg string) (Pass, error) {
 		words := 4
 		if arg != "" {
 			var err error
@@ -450,16 +507,29 @@ func init() {
 		}
 		return alignPass{words}, nil
 	})
-	mustRegister("materialize", func(arg string) (Pass, error) {
+	mustRegister("materialize", "flatten the ordered units into block addresses, branch materialization and padding", func(arg string) (Pass, error) {
 		if arg != "" {
 			return nil, fmt.Errorf("takes no argument, got %q", arg)
 		}
 		return materializePass{}, nil
 	})
-	mustRegister("ipchain", func(arg string) (Pass, error) {
+	mustRegister("ipchain", "inter-procedural call chaining: concatenate caller/callee units along hot call edges", func(arg string) (Pass, error) {
 		if arg != "" {
 			return nil, fmt.Errorf("takes no argument, got %q", arg)
 		}
 		return ipchainPass{}, nil
+	})
+	mustRegister("txfuse", "transaction-program fusion: one straight-line unit per transaction kind, cloning shared code within a growth budget (:N percent, default 10)", func(arg string) (Pass, error) {
+		pct := DefaultFuseBudgetPct
+		if arg != "" {
+			var err error
+			if pct, err = strconv.Atoi(arg); err != nil {
+				return nil, fmt.Errorf("want a growth budget percentage, got %q", arg)
+			}
+			if pct < 0 || pct > 100 {
+				return nil, fmt.Errorf("growth budget %d%% outside [0,100]", pct)
+			}
+		}
+		return txfusePass{budgetPct: pct}, nil
 	})
 }

@@ -79,6 +79,14 @@ type Report struct {
 	LongBranches     int
 	PadWords         int64
 	CFAReservedWords int64
+	// FusedKinds counts the transaction kinds txfuse fused into single
+	// straight-line placement units.
+	FusedKinds int
+	// ClonedProcs counts the shared procedures txfuse duplicated into
+	// fused units, and CloneWords their total size — the code growth the
+	// fusion budget caps.
+	ClonedProcs int
+	CloneWords  int64
 }
 
 // PipelineFor assembles the pass pipeline implementing the given options:
@@ -108,7 +116,8 @@ func PipelineFor(o Options) (Pipeline, error) {
 // ComboPipeline resolves a combo name to its pass pipeline. It knows the
 // paper's six combinations (ComboByName) plus the extensions measurable next
 // to them: "hotcold" (Spike-distribution splitting), "cfa" (the reserved
-// conflict-free area), and "ipchain" (inter-procedural call chaining).
+// conflict-free area), "ipchain" (inter-procedural call chaining) and
+// "fusion" (per-transaction-kind program fusion).
 func ComboPipeline(name string) (Pipeline, error) {
 	switch name {
 	case "hotcold":
@@ -118,6 +127,8 @@ func ComboPipeline(name string) (Pipeline, error) {
 			CFA: &CFAOptions{CacheBytes: 64 << 10, ReservedBytes: 16 << 10}})
 	case "ipchain":
 		return ParsePipeline(IPChainSpec)
+	case "fusion":
+		return ParsePipeline(TxFuseSpec)
 	}
 	c, err := ComboByName(name)
 	if err != nil {
@@ -130,6 +141,13 @@ func ComboPipeline(name string) (Pipeline, error) {
 // the inter-procedural call-chaining pass merging caller/callee units along
 // hot call edges before Pettis–Hansen ordering.
 const IPChainSpec = "chain,split:none,ipchain,porder:ph,materialize"
+
+// TxFuseSpec is the pipeline spec of the "fusion" combo: chain+porder with
+// the transaction-program fusion pass collapsing each kind's hot call chain
+// into one straight-line placement unit before Pettis–Hansen ordering. Run
+// it through Pipeline.RunFused to supply kind roots and a procedure cloner;
+// plain Run derives roots from the profile and skips cloning.
+const TxFuseSpec = "chain,split:none,txfuse,porder:ph,materialize"
 
 // Optimize produces a layout of the program under the given options. The
 // profile may be sampling-based (block counts only); edge weights are then

@@ -13,8 +13,9 @@ import (
 var comboNames = []string{"base", "porder", "chain", "chain+split", "chain+porder", "all"}
 
 // comboNamesExt appends the combinations this reproduction measures next to
-// the paper's six; today that is the inter-procedural call-chaining pass.
-var comboNamesExt = append(append([]string(nil), comboNames...), "ipchain")
+// the paper's six: the inter-procedural call-chaining pass and the
+// per-transaction-kind program fusion pass.
+var comboNamesExt = append(append([]string(nil), comboNames...), "ipchain", "fusion")
 
 func pctOf(opt, base uint64) string {
 	if base == 0 {

@@ -56,6 +56,15 @@ func LatencyTables(o Options, spec LatencySpec) ([]*stats.Table, error) {
 	kinds := stats.NewTable(
 		fmt.Sprintf("Transaction latency by shard and kind, orig vs %q layout", spec.Layout),
 		"workload", "shards", "layout", "shard", "kind", "txns", "p50", "p95", "p99", "max")
+	// The fusion layout additionally measures ipchain — its structural
+	// sibling (same chain+porder skeleton, per-call-edge merging instead of
+	// per-kind fusion) — and reports per-kind deltas against it.
+	var fuse *stats.Table
+	if spec.Layout == "fusion" {
+		fuse = stats.NewTable(
+			"Per-kind latency, fusion vs ipchain (negative Δ = fusion faster)",
+			"workload", "shards", "kind", "txns", "p50 fuse", "p50 ipc", "Δp50", "p99 fuse", "p99 ipc", "Δp99")
+	}
 
 	for _, wl := range spec.Workloads {
 		for _, n := range spec.Shards {
@@ -70,11 +79,16 @@ func LatencyTables(o Options, spec LatencySpec) ([]*stats.Table, error) {
 			if spec.Layout != "base" {
 				layouts = append(layouts, spec.Layout)
 			}
+			if fuse != nil {
+				layouts = append(layouts, "ipchain")
+			}
+			cell := make(map[string]*Measure, len(layouts))
 			for _, layout := range layouts {
 				m, err := s.Measure(layout, cpus)
 				if err != nil {
 					return nil, fmt.Errorf("latency %s/s%d layout=%s: %w", wl.Name(), n, layout, err)
 				}
+				cell[layout] = m
 				name := "orig"
 				if layout != "base" {
 					name = layout
@@ -87,9 +101,61 @@ func LatencyTables(o Options, spec LatencySpec) ([]*stats.Table, error) {
 						c.Summary.N, c.Summary.P50, c.Summary.P95, c.Summary.P99, c.Summary.Max)
 				}
 			}
+			if fuse != nil {
+				addFusionRows(fuse, wl.Name(), shardKey(n), cell["fusion"], cell["ipchain"])
+			}
 		}
 	}
 	sum.Note("latency = request generation through successful commit on the simulated clock (1 instr-time ≈ 1 ns); deadlock retries and group-commit waits included")
 	kinds.Note("cells are keyed by the transaction's home shard and the workload's kind label (_dist kinds commit through 2PC)")
-	return []*stats.Table{sum, kinds}, nil
+	out := []*stats.Table{sum, kinds}
+	if fuse != nil {
+		if o.FetchStallPenaltyInstr == 0 {
+			fuse.Note("FetchStallPenaltyInstr is 0: the clock charges no miss stalls, so layout locality cannot move latency — set a penalty to see fusion's win")
+		} else {
+			fuse.Note(fmt.Sprintf("per-kind cells merged across home shards; clock charges %d instr-times per L1I miss", o.FetchStallPenaltyInstr))
+		}
+		out = append(out, fuse)
+	}
+	return out, nil
+}
+
+// addFusionRows emits one per-kind comparison row per transaction kind,
+// merging each layout's latency cells across home shards.
+func addFusionRows(t *stats.Table, wl string, shards int, fuse, ipc *Measure) {
+	fh, order := kindHists(fuse)
+	ih, _ := kindHists(ipc)
+	for _, kind := range order {
+		f, i := fh[kind], ih[kind]
+		if f == nil || i == nil || f.N == 0 || i.N == 0 {
+			continue
+		}
+		f50, f99 := f.Quantile(0.50), f.Quantile(0.99)
+		i50, i99 := i.Quantile(0.50), i.Quantile(0.99)
+		t.AddRow(wl, shards, kind, f.N, f50, i50, deltaPct(f50, i50), f99, i99, deltaPct(f99, i99))
+	}
+}
+
+// kindHists merges a measure's latency histograms across shards per kind and
+// returns them with the kinds in first-seen (shard-then-kind) order.
+func kindHists(m *Measure) (map[string]*stats.Log2Hist, []string) {
+	out := make(map[string]*stats.Log2Hist)
+	var order []string
+	for _, c := range m.Latency {
+		h := out[c.Kind]
+		if h == nil {
+			h = &stats.Log2Hist{}
+			out[c.Kind] = h
+			order = append(order, c.Kind)
+		}
+		h.Merge(c.Hist)
+	}
+	return out, order
+}
+
+func deltaPct(a, b uint64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(float64(a)-float64(b))/float64(b))
 }

@@ -64,6 +64,14 @@ type Options struct {
 	Transactions int
 	WarmupTxns   int
 
+	// FetchStallPenaltyInstr charges each L1 instruction-cache miss this
+	// many instruction-times of stall on the fetching CPU's clock (see
+	// machine.Config.FetchStallPenaltyInstr). 0 keeps the pure
+	// fetch-bandwidth clock. It keys the measurement memos: latency
+	// comparisons between layouts (fusion vs ipchain) need a non-zero
+	// penalty for locality to show up in per-transaction latency at all.
+	FetchStallPenaltyInstr uint64
+
 	// Workload is the transaction mix every measured run in the session
 	// uses; nil defaults to TPC-B at paper scale. Callers replacing the
 	// workload choose its scale: QuickOptions quick-scales only its own
@@ -200,6 +208,7 @@ type measKey struct {
 	perCommit bool
 	gcMode    machine.AutoGCMode
 	fastPath  bool
+	stall     uint64
 }
 
 // NewSession builds a private profile source (images and baseline layouts)
@@ -249,6 +258,13 @@ func (s *Session) Source() *ProfileSource { return s.src }
 
 // AppImage exposes the application image (facade and tools).
 func (s *Session) AppImage() *codegen.Image { return s.src.appImg }
+
+// AppImageFor returns the app image measurements of the named layout run
+// over: the specialized (clone-grown) image for "fusion" once the layout is
+// built, the shared image for everything else.
+func (s *Session) AppImageFor(name string) *codegen.Image {
+	return s.src.appImageFor(s.defTrain, name)
+}
 
 // KernelImage exposes the kernel image.
 func (s *Session) KernelImage() *codegen.Image { return s.src.kernImg }
@@ -301,7 +317,10 @@ func (s *Session) PipelineSpec(name string) (string, error) {
 
 // Layout returns (building if needed) a named app layout trained under the
 // session's default train config. Known names: base, porder, chain,
-// chain+split, chain+porder, all, hotcold, cfa, dcpi-all, ipchain.
+// chain+split, chain+porder, all, hotcold, cfa, dcpi-all, ipchain, fusion.
+// "fusion" is special: it runs txfuse over a specialized copy of the app
+// image (AppImageFor returns it) so shared procedures can be cloned into
+// each transaction kind's fused unit.
 func (s *Session) Layout(name string) (*program.Layout, error) {
 	return s.src.layout(s.defTrain, name)
 }
@@ -340,7 +359,7 @@ func (s *Session) fastPath() bool {
 	return s.Opt.PredictFastPath && shardKey(s.Opt.Shards) > 1
 }
 
-func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.Config {
+func (s *Session) machineConfig(appImg *codegen.Image, appL, kernL *program.Layout, cpus int) machine.Config {
 	return machine.Config{
 		CPUs:                   cpus,
 		ProcsPerCPU:            s.Opt.ProcsPerCPU,
@@ -350,10 +369,11 @@ func (s *Session) machineConfig(appL, kernL *program.Layout, cpus int) machine.C
 		PerCommitLogFlush:      s.Opt.PerCommitLogFlush,
 		AutoGroupCommit:        s.Opt.AutoGroupCommit,
 		PredictFastPath:        s.fastPath(),
+		FetchStallPenaltyInstr: s.Opt.FetchStallPenaltyInstr,
 		WarmupTxns:             s.Opt.WarmupTxns,
 		Transactions:           s.Opt.Transactions,
 		Workload:               s.Opt.Workload,
-		AppImage:               s.src.appImg,
+		AppImage:               appImg,
 		AppLayout:              appL,
 		KernImage:              s.src.kernImg,
 		KernLayout:             kernL,
@@ -399,6 +419,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 		perCommit: s.Opt.PerCommitLogFlush,
 		gcMode:    s.Opt.AutoGroupCommit,
 		fastPath:  s.fastPath(),
+		stall:     s.Opt.FetchStallPenaltyInstr,
 	}
 	for {
 		s.mu.Lock()
@@ -444,7 +465,9 @@ func (s *Session) measure(tc TrainConfig, layout, kern string, cpus int) (*Measu
 		return nil, err
 	}
 	bat := newBattery(cpus)
-	cfg := s.machineConfig(appL, kernL, cpus)
+	// The fusion layout addresses cloned blocks that exist only in its
+	// specialized image; every other layout runs over the shared image.
+	cfg := s.machineConfig(s.src.appImageFor(tc, layout), appL, kernL, cpus)
 	cfg.Sinks = bat.sinks()
 	cfg.DataSinks = bat.dataSinks()
 	mach, err := machine.New(cfg)

@@ -8,6 +8,7 @@ import (
 	"codelayout/internal/appmodel"
 	"codelayout/internal/codegen"
 	"codelayout/internal/core"
+	"codelayout/internal/isa"
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
@@ -98,6 +99,10 @@ type ProfileSource struct {
 	layouts  map[layoutKey]*program.Layout
 	reports  map[layoutKey]*core.Report
 	kernLay  map[layoutKey]*program.Layout
+	// images holds per-layout specialized app images: the fusion layout
+	// clones procedures, so its layout addresses blocks the shared image
+	// does not have, and measurements must run over the grown image.
+	images map[layoutKey]*codegen.Image
 }
 
 // NewProfileSource builds the images and baseline layouts for o's workload
@@ -119,6 +124,7 @@ func NewProfileSource(o Options, extra ...workload.Workload) (*ProfileSource, er
 		layouts:   make(map[layoutKey]*program.Layout),
 		reports:   make(map[layoutKey]*core.Report),
 		kernLay:   make(map[layoutKey]*program.Layout),
+		images:    make(map[layoutKey]*codegen.Image),
 	}
 	var extras []workload.Workload
 	for _, w := range extra {
@@ -254,6 +260,11 @@ func (ps *ProfileSource) layoutSpec(tc TrainConfig, name string) (core.Pipeline,
 	case "ipchain":
 		pl, err := core.ComboPipeline("ipchain")
 		return pl, run.app, err
+	case "fusion":
+		// Resolved here only for PipelineSpec; layout() builds fusion
+		// through fusedLayout, which supplies kind roots and a cloner.
+		pl, err := core.ComboPipeline("fusion")
+		return pl, run.app, err
 	default:
 		return nil, nil, fmt.Errorf("expt: unknown layout %q", name)
 	}
@@ -274,6 +285,9 @@ func (ps *ProfileSource) layout(tc TrainConfig, name string) (*program.Layout, e
 	ps.mu.Unlock()
 	if ok {
 		return l, nil
+	}
+	if name == "fusion" {
+		return ps.fusedLayout(tc, key)
 	}
 	pl, prof, err := ps.layoutSpec(tc, name)
 	if err != nil {
@@ -300,6 +314,85 @@ func (ps *ProfileSource) layout(tc TrainConfig, name string) (*program.Layout, e
 	ps.layouts[key] = l
 	ps.reports[key] = rep
 	return l, nil
+}
+
+// fusedLayout builds the "fusion" layout: the txfuse pipeline run over a
+// specialized copy of the app image, so cloned procedures become real code
+// the simulator can fetch. The specialized image is memoized next to the
+// layout (appImageFor); the shared image is never mutated.
+func (ps *ProfileSource) fusedLayout(tc TrainConfig, key layoutKey) (*program.Layout, error) {
+	run, err := ps.train(tc)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.ComboPipeline("fusion")
+	if err != nil {
+		return nil, err
+	}
+	simg := ps.appImg.Specialize()
+	roots, err := ps.fusionRoots(simg)
+	if err != nil {
+		return nil, err
+	}
+	// txfuse moves counts and edges onto clones, so it needs a private deep
+	// copy of the training profile, not the shared instance.
+	pf := &profile.Profile{
+		Name:       run.app.Name,
+		BlockCount: append([]uint64(nil), run.app.BlockCount...),
+		EdgeCount:  make(map[uint64]uint64, len(run.app.EdgeCount)),
+	}
+	for k, v := range run.app.EdgeCount {
+		pf.EdgeCount[k] = v
+	}
+	l, rep, err := pl.RunFused(simg.Prog, pf, roots, simg)
+	if err != nil {
+		return nil, fmt.Errorf("expt: layout %q (train %s): %w", key.name, key.train, err)
+	}
+	if l.TotalBytes() > isa.AppTextLimitBytes {
+		return nil, fmt.Errorf("expt: fused layout is %d bytes, past the %d-byte app text map; lower the txfuse clone budget",
+			l.TotalBytes(), isa.AppTextLimitBytes)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if prev, ok := ps.layouts[key]; ok {
+		return prev, nil // another goroutine built it concurrently
+	}
+	ps.layouts[key] = l
+	ps.reports[key] = rep
+	ps.images[key] = simg
+	return l, nil
+}
+
+// fusionRoots resolves the kind roots of every covered workload that
+// declares them (workload.KindRoots) against an image, in sorted workload
+// order so the root list — and therefore the fused layout — is
+// deterministic.
+func (ps *ProfileSource) fusionRoots(img *codegen.Image) ([]core.KindRoot, error) {
+	wls := make([]workload.Workload, 0, len(ps.workloads))
+	for _, name := range ps.WorkloadNames() {
+		wls = append(wls, ps.workloads[name])
+	}
+	roots, err := appmodel.FusionRoots(img, wls...)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("expt: the fusion layout needs a workload declaring its kind roots; none of %v does", ps.WorkloadNames())
+	}
+	return roots, nil
+}
+
+// appImageFor returns the app image a layout's measurements must run over:
+// the specialized (grown) image when the layout built one, the shared image
+// otherwise. Valid once the layout has been built.
+func (ps *ProfileSource) appImageFor(tc TrainConfig, name string) *codegen.Image {
+	key := layoutKey{train: tc.Spec(), name: name}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if img, ok := ps.images[key]; ok {
+		return img
+	}
+	return ps.appImg
 }
 
 // report returns the optimizer report of a layout built under tc (nil if

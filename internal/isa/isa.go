@@ -111,3 +111,9 @@ const (
 	// KernelTextBase is the base virtual address of kernel text.
 	KernelTextBase uint64 = 0xFFFF_FC00_0000
 )
+
+// AppTextLimitBytes bounds the application text segment: every layout,
+// including the cloned code a fusion pass grows, must fit in
+// [AppTextBase, AppTextBase+AppTextLimitBytes) for its addresses to stay
+// inside the application's half of the address map.
+const AppTextLimitBytes int64 = 64 << 20

@@ -56,6 +56,17 @@ func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
 	return Load(eng, w.Scale)
 }
 
+// KindRoots implements workload.KindRoots: one entry model per transaction
+// kind in the mix, including the distributed Payment the sharded variant
+// labels "payment_dist".
+func (w *Workload) KindRoots() []workload.KindRoot {
+	return []workload.KindRoot{
+		{Kind: "neworder", Root: "neworder_txn"},
+		{Kind: "payment", Root: "payment_txn"},
+		{Kind: "payment_dist", Root: "payment_dist"},
+	}
+}
+
 // Models implements workload.Workload: the New-Order and Payment transaction
 // models, mirroring site for site the probe calls RunTxn emits.
 func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {

@@ -57,6 +57,16 @@ func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
 	return Load(eng, w.Scale)
 }
 
+// KindRoots implements workload.KindRoots: the local mix runs tpcb_txn, the
+// cross-shard variant runs the tpcb_dist model (sharded runs label it
+// "tpcb_dist").
+func (w *Workload) KindRoots() []workload.KindRoot {
+	return []workload.KindRoot{
+		{Kind: "tpcb", Root: "tpcb_txn"},
+		{Kind: "tpcb_dist", Root: "tpcb_dist"},
+	}
+}
+
 // Models implements workload.Workload: the TPC-B transaction models,
 // mirroring site for site the probe calls RunTxn emits against the engine.
 func (w *Workload) Models(env *workload.ModelEnv) []codegen.FnSpec {

@@ -148,6 +148,24 @@ type ShardedInstance interface {
 	Check(ss []*db.Session) error
 }
 
+// KindRoot names the entry model of one transaction kind: the fn whose
+// model roots the kind's hot call chain in the application image. Kind
+// matches the labels Labeler.KindOf produces; Root is the model fn name.
+type KindRoot struct {
+	Kind string
+	Root string
+}
+
+// KindRoots is implemented by workloads whose transaction kinds map to
+// named entry models. The txfuse layout pass seeds one fused placement
+// unit per kind at the named root and follows the profile's hottest call
+// edges from there, so each kind's code approaches a straight-line sweep.
+type KindRoots interface {
+	// KindRoots returns one (kind, entry model) pair per transaction kind,
+	// in a fixed deterministic order.
+	KindRoots() []KindRoot
+}
+
 // Predictor decides whether a transaction class is safe to run on the
 // single-shard fast path (skipping the router and the 2PC coordinator). The
 // machine trains it online from every finished transaction's observed

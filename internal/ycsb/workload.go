@@ -70,6 +70,16 @@ func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
 	return Load(eng, w.Scale, w.ReadPct)
 }
 
+// KindRoots implements workload.KindRoots: point reads, read-modify-write
+// updates, and the sharded scatter read each have their own entry model.
+func (w *Workload) KindRoots() []workload.KindRoot {
+	return []workload.KindRoot{
+		{Kind: "read", Root: "ycsb_read"},
+		{Kind: "update", Root: "ycsb_update"},
+		{Kind: "mget", Root: "ycsb_mget"},
+	}
+}
+
 // Models implements workload.Workload: the read, update and scatter-read
 // models, mirroring site for site the probe calls RunTxn emits. The read
 // root calls only bt_search and heap_fetch — no txn_begin, no lock_acquire,
