@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"codelayout"
 	"codelayout/internal/appmodel"
@@ -23,14 +24,17 @@ import (
 	"codelayout/internal/codegen"
 	"codelayout/internal/core"
 	"codelayout/internal/expt"
+	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/ordere"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/progtest"
+	"codelayout/internal/pstore"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
+	"codelayout/internal/ycsb"
 )
 
 var (
@@ -600,6 +604,197 @@ func BenchmarkTxFuse(b *testing.B) {
 			b.Fatal(err)
 		}
 		fmt.Fprintln(os.Stdout, "wrote BENCH_fusion.json")
+	}
+}
+
+// BenchmarkContinuousPGO is the continuous-PGO acceptance bench, in two
+// halves. train/cold vs train/warm time a session's training against a
+// profile store: the cold run executes the profiling simulation and
+// persists it, the warm one loads the entry from disk and skips training.
+// reopt/drift runs the forced read→update mix inversion twice — once frozen
+// on the stale read-trained layout, once with the online re-optimizer — and
+// reports the tail on each side of the hot swap. A full pass writes the
+// BENCH_pgo.json snapshot.
+func BenchmarkContinuousPGO(b *testing.B) {
+	storeOpts := func() expt.Options {
+		o := expt.QuickOptions()
+		o.Transactions = 50
+		o.WarmupTxns = 10
+		o.Train.Txns = 120
+		o.CPUs = 1
+		o.ProcsPerCPU = 4
+		o.Workload = tpcb.NewScaled(tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 200})
+		o.LibScale = 0.3
+		o.ColdWords = 400_000
+		o.KernColdWords = 100_000
+		return o
+	}
+	// trainOnce is one process's training against the store directory:
+	// fresh Store, fresh session, timed Train only (image building is
+	// identical on both sides and excluded).
+	trainOnce := func(b *testing.B, dir string) time.Duration {
+		store, err := pstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := storeOpts()
+		o.ProfileStore = store
+		s, err := expt.NewSession(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := s.Train(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var coldMs, warmMs float64
+	b.Run("train/cold", func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			total += trainOnce(b, b.TempDir())
+		}
+		coldMs = float64(total.Milliseconds()) / float64(b.N)
+		b.ReportMetric(coldMs, "ms/train")
+	})
+	b.Run("train/warm", func(b *testing.B) {
+		dir := b.TempDir()
+		trainOnce(b, dir) // populate the store outside the measured loop
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			total += trainOnce(b, dir)
+		}
+		warmMs = float64(total.Milliseconds()) / float64(b.N)
+		b.ReportMetric(warmMs, "ms/train")
+	})
+
+	var reoptRow struct {
+		Reopts         uint64 `json:"reopts"`
+		SwapStallInstr uint64 `json:"swap_stall_instr"`
+		StaleP99       uint64 `json:"stale_layout_update_p99"`
+		PreSwapP99     uint64 `json:"pre_swap_p99"`
+		PostSwapP99    uint64 `json:"post_swap_p99"`
+	}
+	b.Run("reopt/drift", func(b *testing.B) {
+		wl := func(shift int) *ycsb.Workload {
+			return &ycsb.Workload{Scale: ycsb.Scale{Records: 4000}, ReadPct: 100,
+				ShiftAfterGens: shift, ShiftReadPct: 0}
+		}
+		// Full-size library code: the conflict-miss regime where layout
+		// choice moves the tail (see internal/machine/reopt_test.go).
+		app, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 1.0, ColdWords: 400_000, Workload: wl(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		appL, err := program.BaselineLayout(app.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kern, err := kernel.Build(kernel.Config{Seed: 43, ColdWords: 50_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernL, err := program.BaselineLayout(kern.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optimize := func(pf *profile.Profile) (*program.Layout, error) {
+			l, _, err := core.Optimize(app.Prog, pf, core.Options{
+				Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+			})
+			return l, err
+		}
+		px := profile.NewPixie(app.Prog, "train")
+		tm, err := machine.New(machine.Config{
+			CPUs: 1, ProcsPerCPU: 4, Seed: 7, WarmupTxns: 10, Transactions: 120,
+			Workload: wl(0), AppImage: app, AppLayout: appL,
+			KernImage: kern, KernLayout: kernL, AppCollector: px,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tm.Run(); err != nil {
+			b.Fatal(err)
+		}
+		trainedL, err := optimize(px.Profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trainFreq := tm.KindFrequencies()
+		serving := func() machine.Config {
+			return machine.Config{
+				CPUs: 1, ProcsPerCPU: 4, Seed: 7, WarmupTxns: 10, Transactions: 900,
+				Workload: wl(180), AppImage: app, AppLayout: trainedL,
+				KernImage: kern, KernLayout: kernL,
+				FetchStallPenaltyInstr: 250,
+				LogWriteDelayInstr:     4_000, PreadDelayInstr: 4_000,
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			mBase, err := machine.New(serving())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mBase.Run(); err != nil {
+				b.Fatal(err)
+			}
+			// Pre-shift traffic is 100% reads, so the baseline's update-kind
+			// p99 is exactly the drifted traffic on the stale layout.
+			for _, c := range mBase.LatencyByKind() {
+				if c.Kind == "update" {
+					reoptRow.StaleP99 = c.Summary.P99
+				}
+			}
+			cfg := serving()
+			cfg.ReoptimizeEveryTxns = 60
+			cfg.TrainKindFreq = trainFreq
+			cfg.Reoptimize = optimize
+			mRe, err := machine.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reRes, err := mRe.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reoptRow.Reopts = reRes.Reopts
+			reoptRow.SwapStallInstr = reRes.SwapStallInstr
+			reoptRow.PreSwapP99 = reRes.PreSwapP99
+			reoptRow.PostSwapP99 = reRes.PostSwapP99
+		}
+		b.ReportMetric(float64(reoptRow.StaleP99), "stale-p99")
+		b.ReportMetric(float64(reoptRow.PostSwapP99), "postswap-p99")
+		b.ReportMetric(float64(reoptRow.Reopts), "swaps")
+	})
+
+	// Only a complete sweep (no -bench sub-filter) refreshes the snapshot.
+	if coldMs == 0 || warmMs == 0 || reoptRow.PostSwapP99 == 0 {
+		return
+	}
+	if _, done := printed.LoadOrStore("pgo-json", true); !done {
+		out := struct {
+			Note  string `json:"note"`
+			Store struct {
+				ColdTrainMs float64 `json:"cold_train_ms"`
+				WarmTrainMs float64 `json:"warm_train_ms"`
+			} `json:"profile_store"`
+			Reopt interface{} `json:"online_reopt"`
+		}{
+			Note:  "cold vs warm-store training wall time, and the online re-optimizer's tail on each side of the hot swap under a forced read-to-update mix inversion (latencies in instruction-times)",
+			Reopt: &reoptRow,
+		}
+		out.Store.ColdTrainMs = coldMs
+		out.Store.WarmTrainMs = warmMs
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_pgo.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(os.Stdout, "wrote BENCH_pgo.json (train %.0fms cold -> %.0fms warm; update p99 %d stale -> %d post-swap)\n",
+			coldMs, warmMs, reoptRow.StaleP99, reoptRow.PostSwapP99)
 	}
 }
 

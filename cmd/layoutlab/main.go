@@ -10,6 +10,8 @@
 //	layoutlab -table shardsweep -shards 1,4,16 -fastpath=false -gc off
 //	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
 //	layoutlab -table latency -matrix tpcb,ordere -layout fusion -stall 40
+//	layoutlab -table blend -ratios 0,0.5,1
+//	layoutlab -run fig04 -profile-store /var/cache/pgo   # second run skips training
 package main
 
 import (
@@ -17,12 +19,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"codelayout/internal/expt"
 	"codelayout/internal/machine"
 	"codelayout/internal/ordere"
+	"codelayout/internal/pstore"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
@@ -50,6 +55,8 @@ func main() {
 		fastpath  = flag.Bool("fastpath", true, "shardsweep: measure the predictive single-shard fast path against the routed baseline (on/off delta columns)")
 		gcMode    = flag.String("gc", "", "shardsweep: group-commit tuning mode (off, flushcount, p99; default p99)")
 		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage (0 = workload default, negative disables)")
+		ratios    = flag.String("ratios", "", "blend: comma-separated new-mix weights to sweep (default 0,0.25,0.5,0.75,1)")
+		storeDir  = flag.String("profile-store", "", "directory of the persistent profile store; training runs already in the store are loaded instead of re-run")
 	)
 	flag.Parse()
 
@@ -69,6 +76,14 @@ func main() {
 		opts = expt.DefaultOptions()
 	}
 	opts.FetchStallPenaltyInstr = *stall
+	var store *pstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = pstore.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+		opts.ProfileStore = store
+	}
 	if *seed != 0 {
 		opts.Seed = *seed
 		opts.Train.Seed = *seed + 7
@@ -93,11 +108,12 @@ func main() {
 	}
 
 	if *table != "" {
-		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, shardCounts, *fastpath, *gcMode, *crossPct)
+		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, *ratios, shardCounts, *fastpath, *gcMode, *crossPct)
 		if err != nil {
 			fatal(err)
 		}
 		emit(tables, *csvDir)
+		reportStore(store, nil)
 		return
 	}
 
@@ -127,6 +143,24 @@ func main() {
 		}
 		emit(tables, *csvDir)
 	}
+	reportStore(store, s.Source())
+}
+
+// reportStore prints the grep-able profile-store summary: every store miss is
+// a training run this invocation had to execute, every hit one it skipped.
+func reportStore(store *pstore.Store, src *expt.ProfileSource) {
+	if store == nil {
+		return
+	}
+	st := store.Stats()
+	line := fmt.Sprintf("profile store: hits=%d misses=%d evictions=%d trained=%d",
+		st.Hits, st.Misses, st.Evictions, st.Misses)
+	if src != nil {
+		if e := src.LastStoreHit(); e != nil {
+			line += fmt.Sprintf(" last-hit-age=%s", e.Age(time.Now()).Round(time.Second))
+		}
+	}
+	fmt.Println(line)
 }
 
 // resolveWorkload looks a workload up by name at paper or quick scale.
@@ -141,10 +175,24 @@ func resolveWorkload(name string, full bool) (workload.Workload, error) {
 	return wl, nil
 }
 
+// validTables lists every -table value extensionTables accepts, sorted; the
+// unknown-table error quotes it so a typo fails fast with the full menu.
+var validTables = []string{"blend", "latency", "robustness", "shardsweep"}
+
 // extensionTables runs the cross-workload/cross-shard tables that need more
 // configuration than one session carries.
-func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, layout string, sweep []int, fastpath bool, gcMode string, crossPct int) ([]*stats.Table, error) {
+func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, layout, ratios string, sweep []int, fastpath bool, gcMode string, crossPct int) ([]*stats.Table, error) {
 	switch kind {
+	case "blend":
+		rs, err := parseFloats(ratios)
+		if err != nil {
+			return nil, err
+		}
+		res, err := expt.BlendTable(opts, expt.BlendSpec{Ratios: rs})
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{res.Table}, nil
 	case "robustness":
 		var wls []workload.Workload
 		for _, name := range splitList(matrix) {
@@ -218,7 +266,21 @@ func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, 
 			Workloads: wls, Shards: shards, Layout: layout,
 		})
 	}
-	return nil, fmt.Errorf("unknown table %q (have robustness, shardsweep, latency)", kind)
+	sorted := append([]string(nil), validTables...)
+	sort.Strings(sorted)
+	return nil, fmt.Errorf("unknown table %q (valid tables: %s)", kind, strings.Join(sorted, ", "))
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ratio %q: %w", part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 // setCrossShardPct overrides a workload's cross-shard transaction fraction

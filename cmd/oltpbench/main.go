@@ -13,12 +13,15 @@
 //	oltpbench -workload tpcb -shards 4 -gcauto
 //	oltpbench -workload tpcb -shards 4 -gcp99 -percentiles
 //	oltpbench -workload tpcb -opt all -train-workload ycsb -train-shards 4
+//	oltpbench -workload tpcb -opt all -profile-store /var/cache/pgo   # warm store skips training
+//	oltpbench -workload ycsb -opt all -reopt 200 -stall 40            # online drift re-optimization
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"codelayout/internal/appmodel"
 	"codelayout/internal/cache"
@@ -28,6 +31,7 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
+	"codelayout/internal/pstore"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 
@@ -62,11 +66,20 @@ func main() {
 		trainSh   = flag.Int("train-shards", 0, "shard count of the -opt training run (default: -shards)")
 		trainTxns = flag.Int("train-txns", 2000, "profiled transactions of the -opt training run")
 		tracePath = flag.String("trace", "", "write the measured trace to this file")
+		storeDir  = flag.String("profile-store", "", "directory of the persistent profile store; an -opt training already in the store is loaded instead of re-run")
+		reoptN    = flag.Int("reopt", 0, "re-optimize the app layout online every N committed transactions when the kind mix drifts from the training mix (needs -opt; not fusion)")
+		driftT    = flag.Float64("drift", 0, "L1 kind-mix distance past which -reopt retrains (0 selects the default threshold)")
 	)
 	flag.Parse()
 
 	if *optCombo != "" && *layoutIn != "" {
 		fatal(fmt.Errorf("-opt and -layout conflict: one trains in-process, the other loads a layout file"))
+	}
+	if *reoptN > 0 && *optCombo == "" {
+		fatal(fmt.Errorf("-reopt needs -opt: online re-optimization retrains with the same combo pipeline"))
+	}
+	if *reoptN > 0 && *optCombo == "fusion" {
+		fatal(fmt.Errorf("-reopt cannot hot-swap fused layouts: fusion grows the program image, which is fixed once the run starts"))
 	}
 	if *gcAuto && *gcP99 {
 		fatal(fmt.Errorf("-gcauto and -gcp99 conflict: pick one auto-tuning mode"))
@@ -131,27 +144,71 @@ func main() {
 		fatal(err)
 	}
 
+	var store *pstore.Store
+	if *storeDir != "" {
+		if store, err = pstore.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	// reoptFn and trainFreq are set by the -opt path and wire -reopt into
+	// the measurement config: the hook re-runs the same combo pipeline over
+	// the online profile, and trainFreq anchors the drift detector.
+	var reoptFn func(*profile.Profile) (*program.Layout, error)
+	var trainFreq map[string]float64
+
 	if *optCombo != "" {
 		trainShards := *trainSh
 		if trainShards == 0 {
 			trainShards = *shards
 		}
-		px := profile.NewPixie(app.Prog, "pixie-train")
-		tcfg := machine.Config{
-			CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed + 7,
-			Shards:     trainShards,
-			WarmupTxns: *warmup, Transactions: *trainTxns,
-			Workload: train,
-			AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
-			AppCollector: px,
+		// The store key resolves everything that shapes the training run:
+		// spec parameters plus both image fingerprints, so a stored profile
+		// can never be applied to a differently built program.
+		key := pstore.Key{
+			Spec: fmt.Sprintf("oltpbench|%s|sh%d|c%d/p%d|seed%d|w%d|t%d",
+				train.Name(), trainShards, *cpus, *procs, *runSeed+7, *warmup, *trainTxns),
+			Image: fmt.Sprintf("%016x-%016x", app.Prog.Fingerprint(), kern.Prog.Fingerprint()),
 		}
-		tm, err := machine.New(tcfg)
-		if err != nil {
-			fatal(fmt.Errorf("training: %w", err))
+		var prof *profile.Profile
+		if store != nil {
+			if e, ok := store.Get(key); ok {
+				prof, trainFreq = e.App, e.KindFreq
+				fmt.Printf("profile store:    hit (trained %s ago), training run skipped\n",
+					e.Age(time.Now()).Round(time.Second))
+			}
 		}
-		tres, err := tm.Run()
-		if err != nil {
-			fatal(fmt.Errorf("training: %w", err))
+		if prof == nil {
+			px := profile.NewPixie(app.Prog, "pixie-train")
+			kx := profile.NewPixie(kern.Prog, "pixie-train-kern")
+			tcfg := machine.Config{
+				CPUs: *cpus, ProcsPerCPU: *procs, Seed: *runSeed + 7,
+				Shards:     trainShards,
+				WarmupTxns: *warmup, Transactions: *trainTxns,
+				Workload: train,
+				AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
+				AppCollector: px, KernCollector: kx,
+			}
+			tm, err := machine.New(tcfg)
+			if err != nil {
+				fatal(fmt.Errorf("training: %w", err))
+			}
+			tres, err := tm.Run()
+			if err != nil {
+				fatal(fmt.Errorf("training: %w", err))
+			}
+			prof = px.Profile
+			trainFreq = tm.KindFrequencies()
+			if store != nil {
+				if err := store.Put(&pstore.Entry{
+					Spec: key.Spec, Image: key.Image, CreatedAt: time.Now(),
+					KindFreq: trainFreq, App: px.Profile, Kern: kx.Profile,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "oltpbench: warning:", err)
+				}
+			}
+			fmt.Printf("trained on:       %d %s txns at %d shard(s)\n",
+				tres.Committed, train.Name(), trainShards)
 		}
 		pl, err := core.ComboPipeline(*optCombo)
 		if err != nil {
@@ -169,7 +226,7 @@ func main() {
 				fatal(fmt.Errorf("-opt fusion: workload %q declares no transaction-kind roots", wl.Name()))
 			}
 			var rep *core.Report
-			appL, rep, err = pl.RunFused(simg.Prog, px.Profile, roots, simg)
+			appL, rep, err = pl.RunFused(simg.Prog, prof, roots, simg)
 			if err != nil {
 				fatal(err)
 			}
@@ -180,13 +237,16 @@ func main() {
 			fmt.Printf("fused:            %d transaction kinds, %d procedures cloned (%.1f KB growth)\n",
 				rep.FusedKinds, rep.ClonedProcs, float64(rep.CloneWords*isa.WordBytes)/1024)
 		} else {
-			appL, _, err = pl.Run(app.Prog, px.Profile)
+			appL, _, err = pl.Run(app.Prog, prof)
 			if err != nil {
 				fatal(err)
 			}
+			reoptFn = func(pf *profile.Profile) (*program.Layout, error) {
+				l, _, err := pl.Run(app.Prog, pf)
+				return l, err
+			}
 		}
-		fmt.Printf("trained on:       %d %s txns at %d shard(s), optimized with %q (%s)\n",
-			tres.Committed, train.Name(), trainShards, *optCombo, pl.String())
+		fmt.Printf("optimized with:   %q (%s)\n", *optCombo, pl.String())
 	}
 
 	ic := cache.New(cache.Config{SizeBytes: 64 << 10, LineBytes: 128, Assoc: 4})
@@ -217,6 +277,12 @@ func main() {
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		Sinks: sinks, DataSinks: dataSinks,
+	}
+	if *reoptN > 0 {
+		cfg.ReoptimizeEveryTxns = *reoptN
+		cfg.DriftThreshold = *driftT
+		cfg.TrainKindFreq = trainFreq
+		cfg.Reoptimize = reoptFn
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -259,6 +325,15 @@ func main() {
 	}
 	fmt.Printf("log: %d flushes, %d grouped commits, %d blocked instr-time; %d lock conflicts; idle %d\n",
 		res.LogFlushes, res.GroupedCommits, res.LogBlockedInstr, res.LockConflicts, res.IdleInstrs)
+	if *reoptN > 0 {
+		fmt.Printf("reopt:            %d layout swap(s), %d instr swap stall; pre-swap p99=%d post-swap p99=%d\n",
+			res.Reopts, res.SwapStallInstr, res.PreSwapP99, res.PostSwapP99)
+	}
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("profile store:    hits=%d misses=%d evictions=%d trained=%d\n",
+			st.Hits, st.Misses, st.Evictions, st.Misses)
+	}
 	if *pctiles {
 		l := res.Latency
 		fmt.Printf("latency (instr-times): mean=%.0f p50=%d p95=%d p99=%d max=%d over %d txns\n",

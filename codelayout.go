@@ -31,6 +31,7 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
+	"codelayout/internal/pstore"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
@@ -353,3 +354,60 @@ func RunAllExperiments(s *Session, w io.Writer) error { return s.RunAll(w) }
 // NewPixie creates an exact (instrumentation) profile collector for the
 // program; attach it as a machine's AppCollector.
 func NewPixie(p *Program, name string) *profile.Pixie { return profile.NewPixie(p, name) }
+
+// Continuous-PGO surface: the persistent profile store, aged-profile
+// blending, and the online drift re-optimizer.
+type (
+	// ProfileStore is the persistent profile store: an in-memory LRU front
+	// over content-hashed files, written atomically and tolerant of
+	// corruption (a bad file is evicted and retrained, never fatal). Set
+	// SessionOptions.ProfileStore to make repeated sessions skip training.
+	ProfileStore = pstore.Store
+	// ProfileStoreKey identifies one training run: the resolved train spec
+	// plus the program-image fingerprints the profile's block IDs index.
+	ProfileStoreKey = pstore.Key
+	// ProfileStoreEntry is one stored training run (profiles plus the
+	// observed transaction-kind mix the drift detector compares against).
+	ProfileStoreEntry = pstore.Entry
+	// ProfileStoreStats counts store traffic: every miss is a training run
+	// executed, every hit one skipped.
+	ProfileStoreStats = pstore.Stats
+	// BlendSpec configures the aged-profile blending sweep.
+	BlendSpec = expt.BlendSpec
+	// BlendResult carries the sweep's measured cells and rendered table.
+	BlendResult = expt.BlendResult
+)
+
+// ErrProfileStoreCorrupt is the sentinel wrapped by profile-store loads that
+// find a damaged file (errors.Is-matchable; the store self-heals by evicting).
+var ErrProfileStoreCorrupt = pstore.ErrCorrupt
+
+// DefaultDriftThreshold is the L1 kind-mix distance past which the online
+// re-optimizer retrains (MachineConfig.DriftThreshold = 0 selects it).
+const DefaultDriftThreshold = machine.DefaultDriftThreshold
+
+// OpenProfileStore opens the store rooted at dir, creating it if needed; an
+// empty dir makes a memory-only store.
+func OpenProfileStore(dir string) (*ProfileStore, error) { return pstore.Open(dir) }
+
+// ReadProfileStoreEntry loads and verifies one store file; damaged files
+// return an error wrapping ErrProfileStoreCorrupt.
+func ReadProfileStoreEntry(path string) (*ProfileStoreEntry, error) { return pstore.ReadEntry(path) }
+
+// BlendProfiles merges stored training runs under the given weights — the
+// continuous-PGO answer to aging profiles: keep part of the stale mix while
+// folding in the fresh one.
+func BlendProfiles(entries []*ProfileStoreEntry, weights []float64) (*ProfileStoreEntry, error) {
+	return pstore.Blend(entries, weights)
+}
+
+// BlendTable sweeps layouts built from stale/fresh profile blends across mix
+// ratios and measures each under the drifted-to workload.
+func BlendTable(o SessionOptions, spec BlendSpec) (*BlendResult, error) {
+	return expt.BlendTable(o, spec)
+}
+
+// KindDistance is the L1 distance between two normalized transaction-kind
+// mixes, in [0, 2]; the drift detector triggers when the live mix moves past
+// MachineConfig.DriftThreshold from the training mix.
+func KindDistance(a, b map[string]float64) float64 { return machine.KindDistance(a, b) }

@@ -76,6 +76,20 @@ func NewEmitter(img *Image, l *program.Layout, seed int64) *Emitter {
 // Idle reports whether the emitter has no in-flight function.
 func (e *Emitter) Idle() bool { return e.cur == program.NoBlock && len(e.stack) == 0 }
 
+// SetLayout swaps the emitter onto a new layout of the same program — the
+// machine's epoch-fenced hot-swap point. Mid-function the walker's notion of
+// "current address" would go stale, so the emitter must be idle (between
+// transactions); swapping while busy is a scheduling bug and panics.
+func (e *Emitter) SetLayout(l *program.Layout) {
+	if !e.Idle() {
+		panic("codegen: SetLayout while a function is in flight")
+	}
+	if l.Prog != e.Img.Prog {
+		panic("codegen: SetLayout with a layout of a different program")
+	}
+	e.L = l
+}
+
 // AbortUnwind implements db.Aborter: it suppresses all probe events until
 // Reset, modeling the engine's longjmp out of a deadlock victim — the
 // deferred Leave calls that run while the panic propagates reflect Go stack

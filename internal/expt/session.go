@@ -18,6 +18,7 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
+	"codelayout/internal/pstore"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
 )
@@ -84,6 +85,14 @@ type Options struct {
 
 	// DCPIPeriod is the sampling period for the DCPI-profile ablation.
 	DCPIPeriod uint64
+
+	// ProfileStore, when non-nil, backs the source's training memo with a
+	// persistent profile store: training runs whose key (resolved train
+	// spec, training-relevant options, and the content fingerprints of both
+	// program images) is already in the store are loaded instead of re-run,
+	// and fresh runs are written back. Profiles are exact, so a store hit
+	// yields bit-identical layouts and measurements to retraining.
+	ProfileStore *pstore.Store
 
 	// Quick shrinks the workload and image for fast CI/bench runs while
 	// keeping every shape qualitatively intact.

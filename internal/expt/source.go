@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"codelayout/internal/appmodel"
 	"codelayout/internal/codegen"
@@ -13,6 +14,7 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
+	"codelayout/internal/pstore"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 )
@@ -68,11 +70,13 @@ func (tc TrainConfig) Spec() string {
 }
 
 // trainRun is one memoized training run: the exact Pixie profiles of the app
-// and kernel plus the DCPI-style sampling profile over the same run.
+// and kernel plus the DCPI-style sampling profile over the same run, and the
+// observed transaction-kind mix (the drift monitor's reference).
 type trainRun struct {
-	app  *profile.Profile
-	kern *profile.Profile
-	dcpi *profile.Profile
+	app      *profile.Profile
+	kern     *profile.Profile
+	dcpi     *profile.Profile
+	kindFreq map[string]float64
 }
 
 // ProfileSource owns the built images, their baseline layouts, and memos of
@@ -92,8 +96,16 @@ type ProfileSource struct {
 	baseApp  *program.Layout
 	baseKern *program.Layout
 
-	mu       sync.Mutex
-	runs     map[string]*trainRun
+	// store, when non-nil, persists training runs across processes
+	// (Options.ProfileStore); imageID fingerprints both program images so a
+	// stored profile can never be applied to a different build.
+	store   *pstore.Store
+	imageID string
+
+	mu        sync.Mutex
+	trainExec uint64 // training runs actually executed (not served by a memo or the store)
+	lastHit   *pstore.Entry
+	runs      map[string]*trainRun
 	trainErr map[string]error
 	inflight map[string]chan struct{}
 	layouts  map[layoutKey]*program.Layout
@@ -157,7 +169,68 @@ func NewProfileSource(o Options, extra ...workload.Workload) (*ProfileSource, er
 	}
 	ps.layouts[layoutKey{name: "base"}] = ps.baseApp
 	ps.kernLay[layoutKey{name: "kbase"}] = ps.baseKern
+	ps.store = o.ProfileStore
+	ps.imageID = fmt.Sprintf("%016x-%016x", ps.appImg.Prog.Fingerprint(), ps.kernImg.Prog.Fingerprint())
 	return ps, nil
+}
+
+// storeKey is a training run's identity in the persistent store: the resolved
+// train spec, every option that shapes the profiling run beyond the spec, and
+// the content fingerprints of both program images (a profile indexes the
+// blocks of one specific build).
+func (ps *ProfileSource) storeKey(spec string) pstore.Key {
+	return pstore.Key{
+		Spec: fmt.Sprintf("%s|p%d/gc%d/pc%t/fp%t/dcpi%d",
+			spec, ps.opt.ProcsPerCPU, ps.opt.GroupCommitWindowInstr,
+			ps.opt.PerCommitLogFlush, ps.opt.PredictFastPath, ps.opt.DCPIPeriod),
+		Image: ps.imageID,
+	}
+}
+
+// TrainRunsExecuted reports how many training simulations this source has
+// actually run — memo and store hits do not count, which is what the pinned
+// warm-store regression asserts on.
+func (ps *ProfileSource) TrainRunsExecuted() uint64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.trainExec
+}
+
+// StoreStats reports the persistent store's hit/miss counters (zero Stats
+// and false when the source has no store).
+func (ps *ProfileSource) StoreStats() (pstore.Stats, bool) {
+	if ps.store == nil {
+		return pstore.Stats{}, false
+	}
+	return ps.store.Stats(), true
+}
+
+// LastStoreHit returns the most recent entry served from the persistent
+// store (nil if every training so far was executed) — commands report its
+// age next to the hit counters.
+func (ps *ProfileSource) LastStoreHit() *pstore.Entry {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.lastHit
+}
+
+// trainEntry trains (or loads) tc and packages the run as a store entry —
+// the currency of the persistent store and of profile blending.
+func (ps *ProfileSource) trainEntry(tc TrainConfig) (*pstore.Entry, error) {
+	tc = ps.opt.resolveTrain(tc)
+	run, err := ps.train(tc)
+	if err != nil {
+		return nil, err
+	}
+	k := ps.storeKey(tc.Spec())
+	return &pstore.Entry{
+		Spec:     k.Spec,
+		Image:    k.Image,
+		KindFreq: run.kindFreq,
+		App:      run.app,
+		Kern:     run.kern,
+		DCPI:     run.dcpi,
+	}, nil
 }
 
 // AppImage exposes the shared application image.
@@ -213,7 +286,7 @@ func (ps *ProfileSource) train(tc TrainConfig) (*trainRun, error) {
 		ps.inflight[spec] = ch
 		ps.mu.Unlock()
 
-		run, err := ps.runTraining(tc, spec)
+		run, err := ps.trainOrLoad(tc, spec)
 		ps.mu.Lock()
 		if err != nil {
 			ps.trainErr[spec] = err
@@ -439,6 +512,33 @@ func (ps *ProfileSource) kernLayout(tc TrainConfig, name string) (*program.Layou
 	return l, nil
 }
 
+// trainOrLoad serves a training run from the persistent store when one is
+// configured and holds the key, and executes (then persists) it otherwise.
+// Stored profiles are exact, so either path yields the same trainRun.
+func (ps *ProfileSource) trainOrLoad(tc TrainConfig, spec string) (*trainRun, error) {
+	if ps.store == nil {
+		return ps.runTraining(tc, spec)
+	}
+	key := ps.storeKey(spec)
+	if e, ok := ps.store.Get(key); ok {
+		ps.mu.Lock()
+		ps.lastHit = e
+		ps.mu.Unlock()
+		return &trainRun{app: e.App, kern: e.Kern, dcpi: e.DCPI, kindFreq: e.KindFreq}, nil
+	}
+	run, err := ps.runTraining(tc, spec)
+	if err != nil {
+		return nil, err
+	}
+	// Persistence is best-effort: a full disk must not fail the experiment,
+	// and the in-memory memo still carries the run.
+	_ = ps.store.Put(&pstore.Entry{
+		Spec: key.Spec, Image: key.Image, CreatedAt: time.Now(),
+		KindFreq: run.kindFreq, App: run.app, Kern: run.kern, DCPI: run.dcpi,
+	})
+	return run, nil
+}
+
 // runTraining executes one profiling run: Pixie instrumentation on app and
 // kernel plus a DCPI-style sampler over the same run.
 func (ps *ProfileSource) runTraining(tc TrainConfig, spec string) (*trainRun, error) {
@@ -471,5 +571,9 @@ func (ps *ProfileSource) runTraining(tc TrainConfig, spec string) (*trainRun, er
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("expt: training %s: %w", spec, err)
 	}
-	return &trainRun{app: px.Profile, kern: kx.Profile, dcpi: dcpi.Finish("dcpi-train")}, nil
+	ps.mu.Lock()
+	ps.trainExec++
+	ps.mu.Unlock()
+	return &trainRun{app: px.Profile, kern: kx.Profile, dcpi: dcpi.Finish("dcpi-train"),
+		kindFreq: m.KindFrequencies()}, nil
 }

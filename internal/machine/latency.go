@@ -100,6 +100,12 @@ func (m *Machine) recordLatency(shard int, kind string, startMeasured bool, d ui
 			m.lat[k] = r
 		}
 		r.add(d)
+		if m.ro != nil {
+			m.ro.windowKinds[kind]++
+			if m.ro.postSwap != nil {
+				m.ro.postSwap.add(d)
+			}
+		}
 	case !m.warmupOver && !startMeasured:
 		m.warmLat[shard].Add(d)
 	}

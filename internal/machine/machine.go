@@ -28,6 +28,7 @@ import (
 	"codelayout/internal/db"
 	"codelayout/internal/kernel"
 	"codelayout/internal/predict"
+	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/shard"
 	"codelayout/internal/stats"
@@ -149,6 +150,30 @@ type Config struct {
 	// measured phase the model has seen the mix.
 	Predictor workload.Predictor
 
+	// ReoptimizeEveryTxns enables continuous re-optimization: every N
+	// measured commits the machine compares the live transaction-kind mix
+	// against the training mix (TrainKindFreq, or the first measured
+	// window) and, once the L1 distance exceeds DriftThreshold, retrains
+	// through the Reoptimize hook on a clean window of the online profile
+	// and hot-swaps every app emitter to the new layout at an epoch fence —
+	// all processes parked at a transaction boundary, where strict 2PL
+	// guarantees no locks are held and every emitter is idle. 0 disables
+	// the loop entirely; disabled runs are bit-identical to builds without
+	// the feature.
+	ReoptimizeEveryTxns int
+	// DriftThreshold is the L1 kind-mix distance (0..2) that triggers a
+	// retrain; 0 selects DefaultDriftThreshold.
+	DriftThreshold float64
+	// Reoptimize retrains the app layout from the accumulated online
+	// profile (a private copy; the hook may keep it). It runs on the
+	// scheduler's goroutine between transactions, modeling a background
+	// trainer whose result lands one check period after drift detection.
+	// Required when ReoptimizeEveryTxns > 0.
+	Reoptimize func(*profile.Profile) (*program.Layout, error)
+	// TrainKindFreq is the kind mix the current layout was trained on (the
+	// drift reference). Unset, the first measured window stands in.
+	TrainKindFreq map[string]float64
+
 	// AppImage/AppLayout and KernImage/KernLayout are the binaries to run.
 	AppImage   *codegen.Image
 	AppLayout  *program.Layout
@@ -238,6 +263,17 @@ type Result struct {
 	// stalled on L1 instruction-cache misses (zero unless
 	// Config.FetchStallPenaltyInstr enables the inline fetch-stall model).
 	FetchStallInstr uint64
+	// Reopts counts completed layout hot-swaps (Config.ReoptimizeEveryTxns).
+	Reopts uint64
+	// SwapStallInstr is the instruction-time processes spent parked at
+	// epoch fences waiting for the layout swap — the measured cost of the
+	// transition.
+	SwapStallInstr uint64
+	// PreSwapP99 is the measured p99 at the moment of the most recent
+	// hot-swap; PostSwapP99 is the p99 of transactions completed after it
+	// (both 0 when no swap happened).
+	PreSwapP99  uint64
+	PostSwapP99 uint64
 	// Latency summarizes measured-phase per-transaction latency in
 	// instruction-times: request generation through successful commit,
 	// deadlock-abort retries and time blocked on the group-commit window
@@ -377,6 +413,11 @@ type Machine struct {
 	res           Result
 	failure       error
 
+	// ro carries the continuous re-optimization loop; nil unless
+	// Config.ReoptimizeEveryTxns > 0, and every hook checks for nil first,
+	// so disabled runs take exactly the historical paths.
+	ro *reoptState
+
 	// lat accumulates measured-phase latency per (home shard, txn kind);
 	// warmLat accumulates warmup latency per home shard for the tail-aware
 	// group-commit tuner. kindOf labels inputs (workload.Labeler, or the
@@ -466,6 +507,10 @@ func New(cfg Config) (*Machine, error) {
 		m.cpus = append(m.cpus, cp)
 	}
 
+	if cfg.ReoptimizeEveryTxns > 0 {
+		m.ro = newReoptState(cfg)
+	}
+
 	pid := 0
 	for c := 0; c < cfg.CPUs; c++ {
 		for i := 0; i < cfg.ProcsPerCPU; i++ {
@@ -483,8 +528,22 @@ func New(cfg Config) (*Machine, error) {
 			p.emit.Sink = func(addr uint64, words int32) { m.appFetch(pp, addr, words) }
 			p.emit.OnData = func(addr uint64, bytes int, write bool) { m.data(pp, addr, bytes, write) }
 			p.emit.OnSyscall = func(name string) { m.syscall(pp, name) }
+			var col codegen.Collector
 			if cfg.AppCollector != nil {
-				p.emit.Collector = &gatedCollector{m: m, next: cfg.AppCollector}
+				col = &gatedCollector{m: m, next: cfg.AppCollector}
+			}
+			if m.ro != nil {
+				// The online profile observes every phase ungated; it is
+				// reset to a clean window when drift is detected, so the
+				// retrainer only ever sees post-drift behavior.
+				if col != nil {
+					col = multiCollector{m.ro, col}
+				} else {
+					col = m.ro
+				}
+			}
+			if col != nil {
+				p.emit.Collector = col
 			}
 			for s := 0; s < cfg.Shards; s++ {
 				p.sessions = append(p.sessions, m.engs[s].NewSession(p.id, p.emit))
@@ -577,6 +636,16 @@ type gatedCollector struct {
 func (g *gatedCollector) Block(prev, cur program.BlockID) {
 	if g.m.measuring {
 		g.next.Block(prev, cur)
+	}
+}
+
+// multiCollector fans one emitter's block events out to several collectors
+// (the online re-optimization profile alongside a configured AppCollector).
+type multiCollector []codegen.Collector
+
+func (mc multiCollector) Block(prev, cur program.BlockID) {
+	for _, c := range mc {
+		c.Block(prev, cur)
 	}
 }
 

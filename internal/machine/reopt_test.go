@@ -1,0 +1,342 @@
+package machine_test
+
+import (
+	"testing"
+
+	"codelayout/internal/appmodel"
+	"codelayout/internal/codegen"
+	"codelayout/internal/core"
+	"codelayout/internal/kernel"
+	"codelayout/internal/machine"
+	"codelayout/internal/profile"
+	"codelayout/internal/program"
+	"codelayout/internal/ycsb"
+)
+
+// reoptWorkload is the forced-drift setup the re-optimization tests share: a
+// read-only key-value mix that flips to pure updates mid-run. The update
+// path (txn_begin, locks, heap update, commit, log) is code a read-trained
+// layout scattered into the cold text, so the drift genuinely degrades
+// fetch locality until a retrain.
+func reoptWorkload(shiftAfter int) *ycsb.Workload {
+	return &ycsb.Workload{
+		Scale:          ycsb.Scale{Records: 4000},
+		ReadPct:        100,
+		ShiftAfterGens: shiftAfter,
+		ShiftReadPct:   0,
+	}
+}
+
+// reoptImages builds one app+kernel image pair shared by the training and
+// serving runs (hot-swapped layouts must belong to the same program). Unlike
+// the smaller testImages build, this one uses full-size library code so the
+// hot working set pressures the 64 KB L1I — the conflict-miss regime where
+// layout choice actually moves the tail, which the drift tests depend on.
+func reoptImages(t *testing.T) (*codegen.Image, *program.Layout, *codegen.Image, *program.Layout) {
+	t.Helper()
+	app, err := appmodel.Build(appmodel.Config{Seed: 42, LibScale: 1.0, ColdWords: 400_000, Workload: reoptWorkload(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appL, err := program.BaselineLayout(app.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := kernel.Build(kernel.Config{Seed: 43, ColdWords: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernL, err := program.BaselineLayout(kern.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, appL, kern, kernL
+}
+
+// trainReadOnlyLayout runs the pre-drift (read-only) mix under a Pixie
+// collector and optimizes a layout from it, returning the layout and the
+// training kind mix — exactly what a profile-store entry would supply.
+func trainReadOnlyLayout(t *testing.T, app *codegen.Image, appL *program.Layout, kern *codegen.Image, kernL *program.Layout) (*program.Layout, map[string]float64) {
+	t.Helper()
+	px := profile.NewPixie(app.Prog, "train")
+	cfg := machine.Config{
+		CPUs: 1, ProcsPerCPU: 4, Seed: 7,
+		WarmupTxns: 10, Transactions: 120,
+		Workload: reoptWorkload(0),
+		AppImage: app, AppLayout: appL,
+		KernImage: kern, KernLayout: kernL,
+		AppCollector: px,
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := core.Optimize(app.Prog, px.Profile, core.Options{
+		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, m.KindFrequencies()
+}
+
+// servingConfig is the drifting serving run: the read-trained layout, the
+// inline fetch-stall clock so layout quality reaches latency, and a log
+// write cheap enough that code locality (not the log) owns the tail.
+func servingConfig(app *codegen.Image, trained *program.Layout, kern *codegen.Image, kernL *program.Layout) machine.Config {
+	return machine.Config{
+		CPUs: 1, ProcsPerCPU: 4, Seed: 7,
+		WarmupTxns: 10, Transactions: 900,
+		Workload:               reoptWorkload(180),
+		AppImage:               app,
+		AppLayout:              trained,
+		KernImage:              kern,
+		KernLayout:             kernL,
+		FetchStallPenaltyInstr: 250,
+		LogWriteDelayInstr:     4_000,
+		PreadDelayInstr:        4_000,
+	}
+}
+
+func reoptimizer(t *testing.T, app *codegen.Image, retrained *int) func(*profile.Profile) (*program.Layout, error) {
+	return func(pf *profile.Profile) (*program.Layout, error) {
+		*retrained++
+		if pf.TotalBlocks() == 0 {
+			t.Error("Reoptimize called with an empty online profile")
+		}
+		return coreOptimize(app, pf)
+	}
+}
+
+// kindP99 pulls one transaction kind's p99 out of a finished run.
+func kindP99(t *testing.T, m *machine.Machine, kind string) uint64 {
+	t.Helper()
+	for _, c := range m.LatencyByKind() {
+		if c.Kind == kind {
+			return c.Summary.P99
+		}
+	}
+	t.Fatalf("no %q latency cell recorded", kind)
+	return 0
+}
+
+func coreOptimize(app *codegen.Image, pf *profile.Profile) (*program.Layout, error) {
+	l, _, err := core.Optimize(app.Prog, pf, core.Options{
+		Chain: true, Split: core.SplitFine, Order: core.OrderPettisHansen,
+	})
+	return l, err
+}
+
+// TestReoptRecoversP99AfterDrift is the pinned headline regression: under a
+// forced read→update mix shift, the re-optimizing run's post-swap p99 must
+// strictly beat the frozen-layout baseline's p99 at the same seed.
+func TestReoptRecoversP99AfterDrift(t *testing.T) {
+	app, appL, kern, kernL := reoptImages(t)
+	trained, trainFreq := trainReadOnlyLayout(t, app, appL, kern, kernL)
+	if trainFreq["read"] < 0.99 {
+		t.Fatalf("training mix should be read-only, got %v", trainFreq)
+	}
+
+	base := servingConfig(app, trained, kern, kernL)
+	mBase, err := machine.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := mBase.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mBase.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-shift mix is 100% reads, so every update the baseline observed
+	// ran post-shift on the stale layout: its update-kind p99 is exactly the
+	// drifted-traffic tail the re-optimizing run's post-swap window covers.
+	baseUpdateP99 := kindP99(t, mBase, "update")
+
+	retrained := 0
+	reopt := servingConfig(app, trained, kern, kernL)
+	reopt.ReoptimizeEveryTxns = 60
+	reopt.TrainKindFreq = trainFreq
+	reopt.Reoptimize = reoptimizer(t, app, &retrained)
+	mRe, err := machine.New(reopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reRes, err := mRe.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mRe.CheckInvariants(); err != nil {
+		t.Fatalf("invariants broken after hot-swap: %v", err)
+	}
+
+	if baseRes.Reopts != 0 || baseRes.SwapStallInstr != 0 || baseRes.PostSwapP99 != 0 {
+		t.Fatalf("baseline reported reopt activity: %+v", baseRes)
+	}
+	if reRes.Reopts == 0 || retrained == 0 {
+		t.Fatalf("drift never triggered a retrain (Reopts=%d, retrained=%d)", reRes.Reopts, retrained)
+	}
+	if reRes.SwapStallInstr == 0 {
+		t.Error("hot-swap reported zero stall — the fence charged nothing")
+	}
+	if reRes.PreSwapP99 == 0 || reRes.PostSwapP99 == 0 {
+		t.Fatalf("swap percentiles missing: pre=%d post=%d", reRes.PreSwapP99, reRes.PostSwapP99)
+	}
+	if reRes.PostSwapP99 >= baseUpdateP99 {
+		t.Fatalf("post-swap p99 = %d, want strictly below the no-reopt baseline's post-shift (update) p99 = %d",
+			reRes.PostSwapP99, baseUpdateP99)
+	}
+	t.Logf("baseline update p99 = %d (overall %d); reopt: pre-swap p99 = %d, post-swap p99 = %d, reopts = %d, swap stall = %d",
+		baseUpdateP99, baseRes.Latency.P99, reRes.PreSwapP99, reRes.PostSwapP99, reRes.Reopts, reRes.SwapStallInstr)
+}
+
+// TestReoptDisabledBitIdentical: ReoptimizeEveryTxns = 0 must leave the run
+// bit-identical to one that never heard of re-optimization, even with the
+// other knobs populated.
+func TestReoptDisabledBitIdentical(t *testing.T) {
+	app, appL, kern, kernL := reoptImages(t)
+	plain := servingConfig(app, appL, kern, kernL)
+	mP, err := machine.New(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := mP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armed := servingConfig(app, appL, kern, kernL)
+	armed.ReoptimizeEveryTxns = 0 // disabled
+	armed.DriftThreshold = 0.5
+	armed.TrainKindFreq = map[string]float64{"read": 1}
+	armed.Reoptimize = func(pf *profile.Profile) (*program.Layout, error) {
+		t.Error("Reoptimize called with ReoptimizeEveryTxns = 0")
+		return nil, nil
+	}
+	mA, err := machine.New(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := mA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resP != resA {
+		t.Fatalf("disabled re-optimization changed the run:\n plain: %+v\n armed: %+v", resP, resA)
+	}
+}
+
+// TestReoptDeterministic: the whole drift-retrain-swap cycle replays
+// bit-identically for a fixed seed.
+func TestReoptDeterministic(t *testing.T) {
+	app, appL, kern, kernL := reoptImages(t)
+	trained, trainFreq := trainReadOnlyLayout(t, app, appL, kern, kernL)
+	run := func() machine.Result {
+		n := 0
+		cfg := servingConfig(app, trained, kern, kernL)
+		cfg.ReoptimizeEveryTxns = 60
+		cfg.TrainKindFreq = trainFreq
+		cfg.Reoptimize = reoptimizer(t, app, &n)
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("re-optimizing runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+	if a.Reopts == 0 {
+		t.Fatal("determinism check exercised no swap")
+	}
+}
+
+// TestReoptStableMixNoSwap: without drift the monitor must never fire.
+func TestReoptStableMixNoSwap(t *testing.T) {
+	app, appL, kern, kernL := reoptImages(t)
+	cfg := servingConfig(app, appL, kern, kernL)
+	cfg.Workload = reoptWorkload(0) // no shift
+	cfg.Transactions = 300
+	cfg.ReoptimizeEveryTxns = 60
+	cfg.TrainKindFreq = map[string]float64{"read": 1}
+	cfg.Reoptimize = func(pf *profile.Profile) (*program.Layout, error) {
+		t.Error("Reoptimize called on a stable mix")
+		return coreOptimize(app, pf)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reopts != 0 || res.SwapStallInstr != 0 {
+		t.Fatalf("stable mix swapped: %+v", res)
+	}
+}
+
+func TestReoptValidation(t *testing.T) {
+	app, appL, kern, kernL := reoptImages(t)
+	ok := servingConfig(app, appL, kern, kernL)
+
+	bad := ok
+	bad.ReoptimizeEveryTxns = 50 // no hook
+	if _, err := machine.New(bad); err == nil {
+		t.Error("ReoptimizeEveryTxns without Reoptimize: want error")
+	}
+	bad = ok
+	bad.ReoptimizeEveryTxns = -1
+	if _, err := machine.New(bad); err == nil {
+		t.Error("negative ReoptimizeEveryTxns: want error")
+	}
+	bad = ok
+	bad.DriftThreshold = 2.5
+	if _, err := machine.New(bad); err == nil {
+		t.Error("DriftThreshold > 2: want error")
+	}
+	bad = ok
+	bad.DriftThreshold = -0.1
+	if _, err := machine.New(bad); err == nil {
+		t.Error("negative DriftThreshold: want error")
+	}
+	bad = ok
+	bad.TrainKindFreq = map[string]float64{"read": -1}
+	if _, err := machine.New(bad); err == nil {
+		t.Error("negative TrainKindFreq: want error")
+	}
+}
+
+func TestKindDistance(t *testing.T) {
+	cases := []struct {
+		a, b map[string]float64
+		want float64
+	}{
+		{map[string]float64{"r": 1}, map[string]float64{"r": 1}, 0},
+		{map[string]float64{"r": 1}, map[string]float64{"u": 1}, 2},
+		{map[string]float64{"r": 0.5, "u": 0.5}, map[string]float64{"r": 1}, 1},
+		{nil, nil, 0},
+	}
+	for _, tc := range cases {
+		if got := machine.KindDistance(tc.a, tc.b); !approx(got, tc.want) {
+			t.Errorf("KindDistance(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := machine.KindDistance(tc.b, tc.a); !approx(got, tc.want) {
+			t.Errorf("KindDistance not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

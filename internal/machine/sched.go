@@ -39,6 +39,11 @@ func (m *Machine) Run() (Result, error) {
 		if msg.kind == yTxnDone {
 			if m.measuring {
 				m.committed++
+				if m.ro != nil {
+					if err := m.reoptTick(); err != nil {
+						return m.res, err
+					}
+				}
 			} else {
 				m.warmCommitted++
 				if m.warmCommitted >= m.cfg.WarmupTxns {
@@ -48,6 +53,12 @@ func (m *Machine) Run() (Result, error) {
 						m.tuneGroupCommit()
 					}
 				}
+			}
+			if m.ro != nil && m.ro.fencing {
+				// Epoch fence: park at the boundary instead of requeueing;
+				// the swap fires once every live process is parked.
+				m.reoptPark(p)
+				continue
 			}
 			p.state = stRunnable
 			// Processes continue until they block; front of queue keeps the
@@ -66,6 +77,9 @@ func (m *Machine) Run() (Result, error) {
 	}
 	m.res.BusyInstrs = m.res.AppInstrs + m.res.KernelInstrs
 	m.res.Latency = m.latencySummary()
+	if m.ro != nil && m.ro.postSwap != nil {
+		m.res.PostSwapP99 = m.ro.postSwap.summary().P99
+	}
 	// Quiesce: run every surviving process to its next transaction boundary
 	// outside the measured phase, so the database holds no in-flight
 	// transactions (workload invariant checks audit a consistent state, the

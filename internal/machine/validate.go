@@ -90,6 +90,21 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: AutoGroupCommit conflicts with GroupCommitWindowInstr = %d (the window is picked from warmup observations; set one or the other)",
 			c.GroupCommitWindowInstr)
 	}
+	if c.ReoptimizeEveryTxns < 0 {
+		return fmt.Errorf("machine: ReoptimizeEveryTxns = %d; must be >= 0 (0 disables re-optimization)", c.ReoptimizeEveryTxns)
+	}
+	if c.ReoptimizeEveryTxns > 0 && c.Reoptimize == nil {
+		return fmt.Errorf("machine: ReoptimizeEveryTxns = %d needs a Reoptimize hook to retrain with", c.ReoptimizeEveryTxns)
+	}
+	if c.DriftThreshold < 0 || c.DriftThreshold > 2 {
+		return fmt.Errorf("machine: DriftThreshold = %v; the L1 kind-mix distance lies in [0, 2] (0 selects the default %v)",
+			c.DriftThreshold, DefaultDriftThreshold)
+	}
+	for kind, f := range c.TrainKindFreq {
+		if f < 0 || f != f {
+			return fmt.Errorf("machine: TrainKindFreq[%q] = %v; frequencies must be non-negative", kind, f)
+		}
+	}
 	if c.BufferPoolPages < 0 {
 		return fmt.Errorf("machine: BufferPoolPages = %d; must be >= 0 (0 sizes from the workload)", c.BufferPoolPages)
 	}

@@ -70,6 +70,19 @@ func (pf *Profile) Merge(other *Profile) {
 	}
 }
 
+// Clone returns a deep copy of the profile.
+func (pf *Profile) Clone() *Profile {
+	cp := &Profile{
+		Name:       pf.Name,
+		BlockCount: append([]uint64(nil), pf.BlockCount...),
+		EdgeCount:  make(map[uint64]uint64, len(pf.EdgeCount)),
+	}
+	for k, n := range pf.EdgeCount {
+		cp.EdgeCount[k] = n
+	}
+	return cp
+}
+
 // TotalBlocks returns the total number of block executions.
 func (pf *Profile) TotalBlocks() uint64 {
 	var t uint64

@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Scale multiplies every block and edge count by factor, rounding to the
+// nearest integer. Blending aged profiles weights each one before merging,
+// so the factor must be a sane non-negative real: negative, NaN and Inf
+// factors are rejected.
+func (pf *Profile) Scale(factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 0 {
+		return fmt.Errorf("profile: scale factor %v: must be a non-negative finite number", factor)
+	}
+	for b, n := range pf.BlockCount {
+		pf.BlockCount[b] = scaleCount(n, factor)
+	}
+	for k, n := range pf.EdgeCount {
+		if s := scaleCount(n, factor); s > 0 {
+			pf.EdgeCount[k] = s
+		} else {
+			delete(pf.EdgeCount, k)
+		}
+	}
+	return nil
+}
+
+func scaleCount(n uint64, factor float64) uint64 {
+	return uint64(math.Round(float64(n) * factor))
+}
+
+// Fingerprint returns a stable 64-bit hash of the profile's contents: name,
+// block counts, and edge counts in sorted key order. Two profiles with the
+// same counts hash identically regardless of map iteration order or how the
+// counts were accumulated. The persistent store uses it to verify that a
+// decoded entry matches what was written.
+func (pf *Profile) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	h.Write([]byte(pf.Name))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(pf.BlockCount)))
+	h.Write(buf[:])
+	for _, n := range pf.BlockCount {
+		binary.LittleEndian.PutUint64(buf[:], n)
+		h.Write(buf[:])
+	}
+	keys := pf.sortedEdgeKeys()
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], pf.EdgeCount[k])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func (pf *Profile) sortedEdgeKeys() []uint64 {
+	keys := make([]uint64, 0, len(pf.EdgeCount))
+	for k := range pf.EdgeCount {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GobEncode implements gob.GobEncoder with a deterministic byte layout:
+// gob encodes maps in random iteration order, so the edge map is flattened
+// into key/count sequences sorted by key. This makes Encode byte-stable —
+// decoding a stored profile and re-encoding it reproduces the file
+// bit-identically, which the persistent store's content hashing relies on.
+func (pf *Profile) GobEncode() ([]byte, error) {
+	keys := pf.sortedEdgeKeys()
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = pf.EdgeCount[k]
+	}
+	var buf []byte
+	buf = appendUvarintString(buf, pf.Name)
+	buf = appendUvarintSlice(buf, pf.BlockCount)
+	buf = appendUvarintSlice(buf, keys)
+	buf = appendUvarintSlice(buf, vals)
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder for the layout written by GobEncode.
+func (pf *Profile) GobDecode(data []byte) error {
+	name, data, err := readUvarintString(data)
+	if err != nil {
+		return fmt.Errorf("profile: decode name: %w", err)
+	}
+	blocks, data, err := readUvarintSlice(data)
+	if err != nil {
+		return fmt.Errorf("profile: decode block counts: %w", err)
+	}
+	keys, data, err := readUvarintSlice(data)
+	if err != nil {
+		return fmt.Errorf("profile: decode edge keys: %w", err)
+	}
+	vals, data, err := readUvarintSlice(data)
+	if err != nil {
+		return fmt.Errorf("profile: decode edge counts: %w", err)
+	}
+	if len(keys) != len(vals) {
+		return fmt.Errorf("profile: decode: %d edge keys but %d counts", len(keys), len(vals))
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("profile: decode: %d trailing bytes", len(data))
+	}
+	pf.Name = name
+	pf.BlockCount = blocks
+	pf.EdgeCount = make(map[uint64]uint64, len(keys))
+	for i, k := range keys {
+		pf.EdgeCount[k] = vals[i]
+	}
+	return nil
+}
+
+func appendUvarintString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readUvarintString(data []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > uint64(len(data)-sz) {
+		return "", nil, fmt.Errorf("bad string length")
+	}
+	return string(data[sz : sz+int(n)]), data[sz+int(n):], nil
+}
+
+func appendUvarintSlice(buf []byte, s []uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	for _, v := range s {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+func readUvarintSlice(data []byte) ([]uint64, []byte, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("bad slice length")
+	}
+	data = data[sz:]
+	if n > uint64(len(data)) { // each element takes at least one byte
+		return nil, nil, fmt.Errorf("slice length %d exceeds remaining input", n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		v, sz := binary.Uvarint(data)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("bad slice element %d", i)
+		}
+		out[i] = v
+		data = data[sz:]
+	}
+	return out, data, nil
+}

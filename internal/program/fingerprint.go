@@ -1,0 +1,49 @@
+package program
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable 64-bit hash of the program's structure: name,
+// text base, procedures (name, cold flag, block membership) and every
+// block's shape and successors. Profiles index blocks of one specific image,
+// so the persistent profile store folds this into its key — a profile
+// trained against a differently-built image must miss, not silently apply.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(p.Name))
+	put(p.TextBase)
+	put(uint64(len(p.Procs)))
+	for _, pr := range p.Procs {
+		h.Write([]byte(pr.Name))
+		cold := uint64(0)
+		if pr.Cold {
+			cold = 1
+		}
+		put(cold)
+		put(uint64(len(pr.Blocks)))
+		for _, b := range pr.Blocks {
+			put(uint64(uint32(b)))
+		}
+	}
+	put(uint64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		put(uint64(uint32(b.Proc)))
+		put(uint64(uint32(b.Body)))
+		put(uint64(b.Kind))
+		put(uint64(uint32(b.Fall)))
+		put(uint64(uint32(b.Taken)))
+		put(uint64(uint32(b.Callee)))
+		put(uint64(len(b.Targets)))
+		for _, t := range b.Targets {
+			put(uint64(uint32(t)))
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,120 @@
+package pstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Blend merges stored training runs into one synthetic entry, weighting
+// each run's counts by the matching weight (normalized to sum to 1). This
+// is profile aging: a serving layout trained on yesterday's mix can be
+// shaded toward today's by blending the two stored profiles instead of
+// retraining from scratch. All entries must index the same image. The
+// source entries are not modified.
+func Blend(entries []*Entry, weights []float64) (*Entry, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("pstore: blend: no entries")
+	}
+	if len(entries) != len(weights) {
+		return nil, fmt.Errorf("pstore: blend: %d entries but %d weights", len(entries), len(weights))
+	}
+	var sum float64
+	for _, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("pstore: blend: weight %v: must be a non-negative finite number", w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("pstore: blend: weights sum to zero")
+	}
+	image := entries[0].Image
+	var created time.Time
+	out := &Entry{
+		Spec:     blendSpec(entries, weights),
+		Image:    image,
+		KindFreq: make(map[string]float64),
+	}
+	for i, e := range entries {
+		if e.Image != image {
+			return nil, fmt.Errorf("pstore: blend: entry %d trained on image %s, first on %s", i, e.Image, image)
+		}
+		w := weights[i] / sum
+		if w == 0 {
+			continue
+		}
+		if e.CreatedAt.After(created) {
+			created = e.CreatedAt
+		}
+		app := e.App.Clone()
+		kern := e.Kern.Clone()
+		if err := app.Scale(w); err != nil {
+			return nil, err
+		}
+		if err := kern.Scale(w); err != nil {
+			return nil, err
+		}
+		if out.App == nil {
+			out.App, out.Kern = app, kern
+		} else {
+			out.App.Merge(app)
+			out.Kern.Merge(kern)
+		}
+		if e.DCPI != nil {
+			d := e.DCPI.Clone()
+			if err := d.Scale(w); err != nil {
+				return nil, err
+			}
+			if out.DCPI == nil {
+				out.DCPI = d
+			} else {
+				out.DCPI.Merge(d)
+			}
+		}
+		for kind, f := range e.KindFreq {
+			out.KindFreq[kind] += w * f
+		}
+	}
+	if out.App == nil {
+		return nil, fmt.Errorf("pstore: blend: all nonzero-weight entries missing")
+	}
+	out.CreatedAt = created
+	if len(out.KindFreq) == 0 {
+		out.KindFreq = nil
+	}
+	return out, nil
+}
+
+func blendSpec(entries []*Entry, weights []float64) string {
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = fmt.Sprintf("%s*%g", e.Spec, weights[i])
+	}
+	sort.Strings(parts)
+	s := "blend("
+	for i, p := range parts {
+		if i > 0 {
+			s += "+"
+		}
+		s += p
+	}
+	return s + ")"
+}
+
+func flattenFreq(freq map[string]float64) ([]string, []float64) {
+	if len(freq) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(freq))
+	for name := range freq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vals := make([]float64, len(names))
+	for i, name := range names {
+		vals[i] = freq[name]
+	}
+	return names, vals
+}

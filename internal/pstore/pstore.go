@@ -1,0 +1,332 @@
+// Package pstore is the persistent profile store: training runs become
+// cached artifacts keyed by their resolved train spec and image identity,
+// so a layout server restarted against the same workload skips retraining
+// entirely (the "profile once, serve everywhere" loop). Entries hold the
+// app/kernel/DCPI profiles plus the observed transaction-kind mix; an
+// in-memory LRU fronts an on-disk directory of content-hashed files written
+// atomically (temp file + rename). Loads are corruption-tolerant: a file
+// that fails to decode or whose embedded fingerprints disagree with its
+// contents is evicted from disk and reported as a miss — the caller
+// retrains, never crashes.
+package pstore
+
+import (
+	"bufio"
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"codelayout/internal/profile"
+)
+
+// ErrCorrupt is returned (wrapped) when a store file exists but cannot be
+// trusted: bad magic, failed decode, key mismatch, or fingerprint mismatch.
+var ErrCorrupt = errors.New("pstore: corrupt entry")
+
+// magic prefixes every store file; bump the version on wire changes so old
+// files read as corrupt (and therefore retrain) instead of misdecoding.
+const magic = "PSTOREv1\n"
+
+// DefaultLRUSize is the default capacity of the in-memory front.
+const DefaultLRUSize = 64
+
+// Key identifies one training run. Spec is the resolved train spec string
+// (workload, shards, seed, txns, cpus, fast-path and friends — see
+// expt.TrainConfig.Spec); Image fingerprints the exact program images the
+// profile's block IDs index, because a profile applied to a differently
+// built image would be silently wrong, not just stale.
+type Key struct {
+	Spec  string
+	Image string
+}
+
+// Filename returns the content-hashed basename for the key: profiles for
+// arbitrarily long spec strings map to fixed-size names, and distinct specs
+// cannot collide by truncation.
+func (k Key) Filename() string {
+	h := sha256.Sum256([]byte(k.Spec + "\x00" + k.Image))
+	return hex.EncodeToString(h[:]) + ".pstore"
+}
+
+// Entry is one stored training run.
+type Entry struct {
+	Spec      string
+	Image     string
+	CreatedAt time.Time
+	// KindFreq is the normalized transaction-kind mix observed while
+	// training; the drift detector compares the live mix against it.
+	KindFreq map[string]float64
+	App      *profile.Profile
+	Kern     *profile.Profile
+	DCPI     *profile.Profile // nil when sampling was off
+}
+
+// Key returns the entry's store key.
+func (e *Entry) Key() Key { return Key{Spec: e.Spec, Image: e.Image} }
+
+// Age returns how long ago the entry was trained.
+func (e *Entry) Age(now time.Time) time.Duration { return now.Sub(e.CreatedAt) }
+
+// wireEntry is the on-disk form. The kind mix is flattened to parallel
+// slices (gob map order is random) and each profile carries its fingerprint
+// so bit rot inside a structurally valid gob stream is still caught.
+type wireEntry struct {
+	Spec      string
+	Image     string
+	CreatedAt time.Time
+	KindNames []string
+	KindFreqs []float64
+	App       *profile.Profile
+	Kern      *profile.Profile
+	DCPI      *profile.Profile
+	AppFP     uint64
+	KernFP    uint64
+	DCPIFP    uint64
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits      uint64 // Get served from LRU or disk
+	Misses    uint64 // Get found nothing usable
+	Evictions uint64 // corrupt files removed from disk
+	PutErrors uint64 // best-effort persists that failed
+}
+
+// Store is a persistent profile store with an in-memory LRU front. The
+// zero-value-like memory-only form (Open with dir "") never touches disk.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *Entry
+	byKey map[Key]*list.Element
+	stats Stats
+}
+
+// Open returns a store over dir, creating it if needed. An empty dir makes
+// a memory-only store (the LRU is the whole store).
+func Open(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("pstore: open %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		dir:   dir,
+		cap:   DefaultLRUSize,
+		order: list.New(),
+		byKey: make(map[Key]*list.Element),
+	}, nil
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// SetLRUSize adjusts the in-memory front's capacity (minimum 1).
+func (s *Store) SetLRUSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cap = n
+	s.trimLocked()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Get returns the stored entry for k, consulting the LRU first and then the
+// backing directory. Corrupt disk files are deleted and counted as
+// evictions; every failure mode degrades to (nil, false) — a miss.
+func (s *Store) Get(k Key) (*Entry, bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[k]; ok {
+		s.order.MoveToFront(el)
+		s.stats.Hits++
+		e := el.Value.(*Entry)
+		s.mu.Unlock()
+		return e, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.miss()
+		return nil, false
+	}
+	path := filepath.Join(s.dir, k.Filename())
+	e, err := ReadEntry(path)
+	switch {
+	case err == nil && e.Key() == k:
+		s.mu.Lock()
+		s.insertLocked(e)
+		s.stats.Hits++
+		s.mu.Unlock()
+		return e, true
+	case errors.Is(err, os.ErrNotExist):
+		s.miss()
+		return nil, false
+	default:
+		// Corrupt (or valid bytes filed under the wrong name, which is the
+		// same betrayal): evict the file and retrain.
+		os.Remove(path)
+		s.mu.Lock()
+		s.stats.Evictions++
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+}
+
+// Put stores the entry in the LRU and, for disk-backed stores, persists it
+// atomically (write to a temp file in the same directory, fsync, rename).
+// Persistence is best-effort: a write failure is counted but the in-memory
+// entry still serves this process.
+func (s *Store) Put(e *Entry) error {
+	if e.App == nil || e.Kern == nil {
+		return fmt.Errorf("pstore: put %s: entry missing app or kernel profile", e.Spec)
+	}
+	s.mu.Lock()
+	s.insertLocked(e)
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.writeFile(e); err != nil {
+		s.mu.Lock()
+		s.stats.PutErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("pstore: put %s: %w", e.Spec, err)
+	}
+	return nil
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
+func (s *Store) insertLocked(e *Entry) {
+	k := e.Key()
+	if el, ok := s.byKey[k]; ok {
+		el.Value = e
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byKey[k] = s.order.PushFront(e)
+	s.trimLocked()
+}
+
+func (s *Store) trimLocked() {
+	for s.order.Len() > s.cap {
+		el := s.order.Back()
+		s.order.Remove(el)
+		delete(s.byKey, el.Value.(*Entry).Key())
+	}
+}
+
+func (s *Store) writeFile(e *Entry) error {
+	tmp, err := os.CreateTemp(s.dir, ".pstore-tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	if err := encodeEntry(bw, e); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dir, e.Key().Filename()))
+}
+
+func encodeEntry(w *bufio.Writer, e *Entry) error {
+	if _, err := w.WriteString(magic); err != nil {
+		return err
+	}
+	we := wireEntry{
+		Spec:      e.Spec,
+		Image:     e.Image,
+		CreatedAt: e.CreatedAt.UTC(),
+		App:       e.App,
+		Kern:      e.Kern,
+		DCPI:      e.DCPI,
+		AppFP:     e.App.Fingerprint(),
+		KernFP:    e.Kern.Fingerprint(),
+	}
+	if e.DCPI != nil {
+		we.DCPIFP = e.DCPI.Fingerprint()
+	}
+	we.KindNames, we.KindFreqs = flattenFreq(e.KindFreq)
+	return gob.NewEncoder(w).Encode(&we)
+}
+
+// ReadEntry decodes one store file, verifying the magic header and the
+// embedded profile fingerprints. Any mismatch returns an error wrapping
+// ErrCorrupt; a missing file returns the underlying os.ErrNotExist.
+func ReadEntry(path string) (*Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(raw, []byte(magic)) {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, filepath.Base(path))
+	}
+	var we wireEntry
+	if err := gob.NewDecoder(bytes.NewReader(raw[len(magic):])).Decode(&we); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+	}
+	if we.App == nil || we.Kern == nil {
+		return nil, fmt.Errorf("%w: %s: missing profile payload", ErrCorrupt, filepath.Base(path))
+	}
+	if we.App.Fingerprint() != we.AppFP || we.Kern.Fingerprint() != we.KernFP {
+		return nil, fmt.Errorf("%w: %s: profile fingerprint mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	if we.DCPI != nil && we.DCPI.Fingerprint() != we.DCPIFP {
+		return nil, fmt.Errorf("%w: %s: dcpi fingerprint mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	if len(we.KindNames) != len(we.KindFreqs) {
+		return nil, fmt.Errorf("%w: %s: kind mix length mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	e := &Entry{
+		Spec:      we.Spec,
+		Image:     we.Image,
+		CreatedAt: we.CreatedAt,
+		App:       we.App,
+		Kern:      we.Kern,
+		DCPI:      we.DCPI,
+	}
+	if len(we.KindNames) > 0 {
+		e.KindFreq = make(map[string]float64, len(we.KindNames))
+		for i, name := range we.KindNames {
+			e.KindFreq[name] = we.KindFreqs[i]
+		}
+	}
+	return e, nil
+}

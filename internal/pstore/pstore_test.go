@@ -1,0 +1,306 @@
+package pstore_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"codelayout/internal/profile"
+	"codelayout/internal/pstore"
+)
+
+func testProfile(name string, seed uint64) *profile.Profile {
+	pf := &profile.Profile{
+		Name:       name,
+		BlockCount: make([]uint64, 16),
+		EdgeCount:  map[uint64]uint64{},
+	}
+	for i := range pf.BlockCount {
+		pf.BlockCount[i] = seed * uint64(i+1)
+	}
+	pf.AddEdge(0, 1, seed)
+	pf.AddEdge(1, 3, 2*seed)
+	pf.AddEdge(3, 0, 3*seed)
+	return pf
+}
+
+func testEntry(spec string, seed uint64) *pstore.Entry {
+	return &pstore.Entry{
+		Spec:      spec,
+		Image:     "img-abc123",
+		CreatedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		KindFreq:  map[string]float64{"deposit": 0.7, "transfer": 0.3},
+		App:       testProfile("app", seed),
+		Kern:      testProfile("kern", seed+7),
+		DCPI:      testProfile("dcpi", seed+13),
+	}
+}
+
+func TestStoreRoundTripDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := pstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("tpcb/s4/c2/seed1/w20/x200", 5)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same dir must serve the entry from disk.
+	s2, err := pstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(e.Key())
+	if !ok {
+		t.Fatal("disk round-trip missed")
+	}
+	if got.App.Fingerprint() != e.App.Fingerprint() ||
+		got.Kern.Fingerprint() != e.Kern.Fingerprint() ||
+		got.DCPI.Fingerprint() != e.DCPI.Fingerprint() {
+		t.Fatal("profiles changed across disk round-trip")
+	}
+	if !got.CreatedAt.Equal(e.CreatedAt) {
+		t.Fatalf("CreatedAt = %v, want %v", got.CreatedAt, e.CreatedAt)
+	}
+	if got.KindFreq["deposit"] != 0.7 || got.KindFreq["transfer"] != 0.3 {
+		t.Fatalf("kind mix changed: %v", got.KindFreq)
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit 0 misses", st)
+	}
+	// Second Get hits the LRU, not the disk: removing the file must not
+	// matter.
+	os.Remove(filepath.Join(dir, e.Key().Filename()))
+	if _, ok := s2.Get(e.Key()); !ok {
+		t.Fatal("LRU front missed after disk file removed")
+	}
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := pstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("spec", 3)
+	if _, ok := s.Get(e.Key()); ok {
+		t.Fatal("empty store hit")
+	}
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(e.Key()); !ok {
+		t.Fatal("memory store missed after put")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreCorruptFileEvictedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := pstore.Open(dir)
+	e := testEntry("spec-corrupt", 9)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, e.Key().Filename())
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncate":  func(b []byte) []byte { return b[:len(b)/3] },
+		"garbage":   func(b []byte) []byte { return []byte("PSTOREv1\nnot gob") },
+		"bad magic": func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bit flip": func(b []byte) []byte {
+			b[len(b)-9] ^= 0x01 // inside the profile payload: fingerprint check catches it
+			return b
+		},
+	}
+	for name, corrupt := range corruptions {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			// Re-put: the previous case evicted the file.
+			if err := s.Put(e); err != nil {
+				t.Fatal(err)
+			}
+			raw, err = os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(path, corrupt(append([]byte(nil), raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// ReadEntry must surface the typed error...
+		if _, err := pstore.ReadEntry(path); !errors.Is(err, pstore.ErrCorrupt) {
+			t.Errorf("%s: ReadEntry error = %v, want ErrCorrupt", name, err)
+		}
+		// ...and a fresh store's Get must treat it as an evicting miss.
+		fresh, _ := pstore.Open(dir)
+		if _, ok := fresh.Get(e.Key()); ok {
+			t.Fatalf("%s: corrupt file served as a hit", name)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s: corrupt file not evicted", name)
+		}
+		st := fresh.Stats()
+		if st.Evictions != 1 || st.Misses != 1 {
+			t.Fatalf("%s: stats = %+v, want 1 eviction 1 miss", name, st)
+		}
+	}
+}
+
+func TestReadEntryMissingFile(t *testing.T) {
+	_, err := pstore.ReadEntry(filepath.Join(t.TempDir(), "nope.pstore"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, pstore.ErrCorrupt) {
+		t.Fatal("missing file reported as corrupt")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, _ := pstore.Open("")
+	s.SetLRUSize(2)
+	a, b, c := testEntry("a", 1), testEntry("b", 2), testEntry("c", 3)
+	for _, e := range []*pstore.Entry{a, b, c} {
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(a.Key()); ok {
+		t.Fatal("oldest entry survived past capacity in a memory-only store")
+	}
+	if _, ok := s.Get(b.Key()); !ok {
+		t.Fatal("recent entry evicted")
+	}
+	if _, ok := s.Get(c.Key()); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestStoreLRUFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := pstore.Open(dir)
+	s.SetLRUSize(1)
+	a, b := testEntry("a", 1), testEntry("b", 2)
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	// a fell out of the LRU but is still on disk.
+	if _, ok := s.Get(a.Key()); !ok {
+		t.Fatal("entry evicted from LRU not re-read from disk")
+	}
+}
+
+func TestKeyFilenameDistinct(t *testing.T) {
+	seen := map[string]pstore.Key{}
+	for _, k := range []pstore.Key{
+		{Spec: "a", Image: "x"},
+		{Spec: "a", Image: "y"},
+		{Spec: "b", Image: "x"},
+		{Spec: "ab", Image: ""}, // vs {"a","b"}: the separator must matter
+		{Spec: "a", Image: "b"},
+	} {
+		name := k.Filename()
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("keys %+v and %+v share filename %s", prev, k, name)
+		}
+		seen[name] = k
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := pstore.Open(dir)
+	s.SetLRUSize(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				e := testEntry(fmt.Sprintf("spec-%d", (g+i)%6), uint64(g*100+i+1))
+				if err := s.Put(e); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Get(e.Key())
+				s.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBlend(t *testing.T) {
+	old := testEntry("old", 10)
+	old.KindFreq = map[string]float64{"deposit": 1.0}
+	neu := testEntry("new", 30)
+	neu.KindFreq = map[string]float64{"transfer": 1.0}
+	neu.CreatedAt = old.CreatedAt.Add(time.Hour)
+
+	blended, err := pstore.Blend([]*pstore.Entry{old, neu}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 1 of app: old=20, new=60, weights 0.25/0.75 → 5+45 = 50.
+	if got := blended.App.Count(1); got != 50 {
+		t.Fatalf("blended app count = %d, want 50", got)
+	}
+	if got := blended.KindFreq["transfer"]; math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("blended transfer freq = %v, want 0.75", got)
+	}
+	if !blended.CreatedAt.Equal(neu.CreatedAt) {
+		t.Fatal("blend CreatedAt should be the newest constituent")
+	}
+	// Sources unmodified.
+	if old.App.Count(1) != 20 || neu.App.Count(1) != 60 {
+		t.Fatal("Blend mutated its inputs")
+	}
+	// Weight normalization: scaling all weights by a constant is a no-op.
+	same, err := pstore.Blend([]*pstore.Entry{old, neu}, []float64{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.App.Fingerprint() != blended.App.Fingerprint() {
+		t.Fatal("blend is not invariant under weight scaling")
+	}
+}
+
+func TestBlendRejectsBadInput(t *testing.T) {
+	a, b := testEntry("a", 1), testEntry("b", 2)
+	cases := []struct {
+		name    string
+		entries []*pstore.Entry
+		weights []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []*pstore.Entry{a, b}, []float64{1}},
+		{"negative weight", []*pstore.Entry{a, b}, []float64{1, -1}},
+		{"nan weight", []*pstore.Entry{a, b}, []float64{1, math.NaN()}},
+		{"inf weight", []*pstore.Entry{a, b}, []float64{math.Inf(1), 1}},
+		{"zero sum", []*pstore.Entry{a, b}, []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := pstore.Blend(tc.entries, tc.weights); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	c := testEntry("c", 3)
+	c.Image = "other-image"
+	if _, err := pstore.Blend([]*pstore.Entry{a, c}, []float64{1, 1}); err == nil {
+		t.Error("cross-image blend: want error")
+	}
+}

@@ -43,6 +43,9 @@ func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, err
 		if err != nil {
 			return nil, err
 		}
+		// Shards[0] is the shared generator; the others carry the knobs for
+		// consistency.
+		b.ShiftAfterGens, b.ShiftReadPct = w.ShiftAfterGens, w.ShiftReadPct
 		sb.Shards = append(sb.Shards, b)
 	}
 	return sb, nil

@@ -26,6 +26,14 @@ type Workload struct {
 	// the mix (a 50/50 read/update split, say) can register themselves
 	// under their own names without a new implementation.
 	Label string
+	// ShiftAfterGens forces mid-run workload drift: after that many
+	// generated requests the read share flips from ReadPct to
+	// ShiftReadPct (0..100; 0 is a pure-update mix). 0 disables the
+	// shift. The generator counts requests machine-wide — exactly one
+	// process runs at a time — so the flip lands at a deterministic
+	// point for a given seed, which the re-optimization tests rely on.
+	ShiftAfterGens int
+	ShiftReadPct   int
 }
 
 // New returns the YCSB-style workload at default scale (95/5 read/update).
@@ -67,7 +75,12 @@ func (w *Workload) DataPages() int {
 
 // Load implements workload.Workload.
 func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
-	return Load(eng, w.Scale, w.ReadPct)
+	b, err := Load(eng, w.Scale, w.ReadPct)
+	if err != nil {
+		return nil, err
+	}
+	b.ShiftAfterGens, b.ShiftReadPct = w.ShiftAfterGens, w.ShiftReadPct
+	return b, nil
 }
 
 // KindRoots implements workload.KindRoots: point reads, read-modify-write

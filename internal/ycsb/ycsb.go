@@ -94,6 +94,12 @@ type Bench struct {
 	Eng     *db.Engine
 	Scale   Scale
 	ReadPct int
+	// ShiftAfterGens/ShiftReadPct force mid-run drift: after ShiftAfterGens
+	// generated requests the read share becomes ShiftReadPct (see
+	// Workload.ShiftAfterGens). gens counts requests drawn so far.
+	ShiftAfterGens int
+	ShiftReadPct   int
+	gens           int
 
 	UserTable *db.Table
 	Users     *db.BTree
@@ -139,10 +145,16 @@ func loadOwned(eng *db.Engine, sc Scale, readPct int, own func(key uint64) bool)
 }
 
 // Gen draws one request: ReadPct% point reads, the rest single-row updates,
-// keys uniform.
+// keys uniform. With ShiftAfterGens set, requests past that count use
+// ShiftReadPct instead — the forced-drift mode.
 func (b *Bench) Gen(r *rand.Rand) Input {
+	b.gens++
+	pct := b.ReadPct
+	if b.ShiftAfterGens > 0 && b.gens > b.ShiftAfterGens {
+		pct = b.ShiftReadPct
+	}
 	in := Input{Key: uint64(r.Intn(b.Scale.Records))}
-	if r.Intn(100) >= b.ReadPct {
+	if r.Intn(100) >= pct {
 		in.Kind = Update
 	}
 	return in
