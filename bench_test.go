@@ -31,6 +31,7 @@ import (
 	"codelayout/internal/program"
 	"codelayout/internal/progtest"
 	"codelayout/internal/pstore"
+	"codelayout/internal/search"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
@@ -795,6 +796,139 @@ func BenchmarkContinuousPGO(b *testing.B) {
 		}
 		fmt.Fprintf(os.Stdout, "wrote BENCH_pgo.json (train %.0fms cold -> %.0fms warm; update p99 %d stale -> %d post-swap)\n",
 			coldMs, warmMs, reoptRow.StaleP99, reoptRow.PostSwapP99)
+	}
+}
+
+// searchBenchRow is one workload's winner-vs-fusion entry in the
+// BENCH_search.json snapshot.
+type searchBenchRow struct {
+	WinnerInstrPerTxn float64 `json:"winner_instr_per_txn"`
+	FusionInstrPerTxn float64 `json:"fusion_instr_per_txn"`
+	WinnerP50         uint64  `json:"winner_p50_instr"`
+	FusionP50         uint64  `json:"fusion_p50_instr"`
+}
+
+// BenchmarkPipelineSearch is the evolutionary-search acceptance bench: a
+// fixed-seed search over tpcb+ordere+ycsb at tiny scale, timed end to end.
+// The metrics record how much the memo deduplicated (simulations executed vs
+// evaluations requested); the BENCH_search.json snapshot pins the winner's
+// spec and its instr/txn and p50 against the hand-built fusion combo per
+// workload.
+func BenchmarkPipelineSearch(b *testing.B) {
+	const stall = 40
+	searchOpts := func(wl workload.Workload) expt.Options {
+		o := expt.QuickOptions()
+		o.Transactions = 60
+		o.WarmupTxns = 15
+		o.Train.Txns = 150
+		o.CPUs = 2
+		o.ProcsPerCPU = 4
+		o.LibScale = 0.3
+		o.ColdWords = 400_000
+		o.KernColdWords = 100_000
+		o.FetchStallPenaltyInstr = stall
+		o.Workload = wl
+		return o
+	}
+	mkWorkloads := func() []workload.Workload {
+		return []workload.Workload{
+			tpcb.NewScaled(tpcb.Scale{Branches: 4, TellersPerBranch: 4, AccountsPerBranch: 150}),
+			ordere.NewScaled(ordere.Scale{Warehouses: 2, DistrictsPerWarehouse: 3, CustomersPerDistrict: 40, Items: 120}),
+			ycsb.NewScaled(ycsb.Scale{Records: 4_000}),
+		}
+	}
+	var res *search.Result
+	var wallMs float64
+	for i := 0; i < b.N; i++ {
+		wls := mkWorkloads()
+		cfg := search.Config{Population: 6, Generations: 3, Seed: 7}
+		for _, wl := range wls {
+			cfg.Workloads = append(cfg.Workloads, search.WorkloadWeight{Workload: wl, Weight: 1})
+		}
+		start := time.Now()
+		r, err := search.Run(searchOpts(wls[0]), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		wallMs = float64(time.Since(start).Milliseconds())
+	}
+	b.ReportMetric(wallMs, "ms/search")
+	b.ReportMetric(res.Winner.Fitness, "fitness")
+	b.ReportMetric(float64(res.Requested), "requested")
+	b.ReportMetric(float64(res.Executed), "executed")
+
+	// Re-measure winner vs fusion per workload for the snapshot (the search's
+	// internal sessions are not exposed; these runs are identical tiny sims).
+	wls := mkWorkloads()
+	src, err := expt.NewProfileSource(searchOpts(wls[0]), wls[1:]...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snapshot := map[string]searchBenchRow{}
+	for _, wl := range wls {
+		eo := searchOpts(wl)
+		eo.Train.Workload = wls[0]
+		s, err := expt.NewSessionFrom(src, eo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		win, err := s.Measure(res.Winner.Spec, eo.CPUs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fus, err := s.Measure("fusion", eo.CPUs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapshot[wl.Name()] = searchBenchRow{
+			WinnerInstrPerTxn: float64(win.Res.BusyInstrs+win.Res.FetchStallInstr) / float64(win.Res.Committed),
+			FusionInstrPerTxn: float64(fus.Res.BusyInstrs+fus.Res.FetchStallInstr) / float64(fus.Res.Committed),
+			WinnerP50:         win.Res.Latency.P50,
+			FusionP50:         fus.Res.Latency.P50,
+		}
+	}
+	type genPoint struct {
+		Gen         int     `json:"gen"`
+		BestFitness float64 `json:"best_fitness"`
+	}
+	var trajectory []genPoint
+	for _, g := range res.Trajectory {
+		trajectory = append(trajectory, genPoint{Gen: g.Gen, BestFitness: g.Best.Fitness})
+	}
+	if _, done := printed.LoadOrStore("search-json", true); !done {
+		out := struct {
+			Note        string                    `json:"note"`
+			WallMs      float64                   `json:"wall_ms"`
+			Requested   int                       `json:"evaluations_requested"`
+			Unique      int                       `json:"unique_specs"`
+			Executed    uint64                    `json:"simulations_executed"`
+			PerWorkload uint64                    `json:"simulations_executed_per_workload"`
+			WinnerSpec  string                    `json:"winner_spec"`
+			Fitness     float64                   `json:"winner_fitness"`
+			Trajectory  []genPoint                `json:"trajectory"`
+			Workloads   map[string]searchBenchRow `json:"workloads"`
+		}{
+			Note:        "fixed-seed evolutionary pipeline search (pop 6, 3 gens, tpcb+ordere+ycsb); fitness is base-normalized instr+stall/txn; per-workload executed < requested is the memo-dedup margin",
+			WallMs:      wallMs,
+			Requested:   res.Requested,
+			Unique:      res.Unique,
+			Executed:    res.Executed,
+			PerWorkload: res.Executed / 3,
+			WinnerSpec:  res.Winner.Spec,
+			Fitness:     res.Winner.Fitness,
+			Trajectory:  trajectory,
+			Workloads:   snapshot,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_search.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(os.Stdout, "wrote BENCH_search.json (winner %s, fitness %.4f, %d executed/workload for %d requested)\n",
+			res.Winner.Spec, res.Winner.Fitness, res.Executed/3, res.Requested)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
 //	layoutlab -table latency -matrix tpcb,ordere -layout fusion -stall 40
 //	layoutlab -table blend -ratios 0,0.5,1
+//	layoutlab -table search -population 16 -generations 8 -objective instr
+//	layoutlab -table search -matrix tpcb,ordere,ycsb -search-seed 7
 //	layoutlab -run fig04 -profile-store /var/cache/pgo   # second run skips training
 package main
 
@@ -28,6 +30,7 @@ import (
 	"codelayout/internal/machine"
 	"codelayout/internal/ordere"
 	"codelayout/internal/pstore"
+	"codelayout/internal/search"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
@@ -47,7 +50,7 @@ func main() {
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 
-		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep or latency (percentiles)")
+		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep, latency (percentiles) or search (evolutionary pipeline search)")
 		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness/latency: comma-separated workloads to measure")
 		shardlist = flag.String("shardlist", "1,4", "robustness/latency: comma-separated shard counts to measure")
 		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate (latency with 'fusion' also measures ipchain and emits per-kind deltas)")
@@ -57,6 +60,13 @@ func main() {
 		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage (0 = workload default, negative disables)")
 		ratios    = flag.String("ratios", "", "blend: comma-separated new-mix weights to sweep (default 0,0.25,0.5,0.75,1)")
 		storeDir  = flag.String("profile-store", "", "directory of the persistent profile store; training runs already in the store are loaded instead of re-run")
+
+		population  = flag.Int("population", 0, "search: genomes per generation (default 16)")
+		generations = flag.Int("generations", 0, "search: maximum generations (default 8)")
+		objective   = flag.String("objective", "", "search: fitness metric to minimize (instr, miss, p50, p99; default instr)")
+		searchSeed  = flag.Int64("search-seed", 0, "search: evolution rng seed (default 1); same seed reproduces the search bit for bit")
+		workers     = flag.Int("workers", 0, "search: measurement worker-pool bound per evaluation wave (default GOMAXPROCS; never changes results)")
+		memostats   = flag.Bool("memostats", false, "print the session memo counters (measure/layout/train hits, misses, entries) after the run")
 	)
 	flag.Parse()
 
@@ -107,6 +117,23 @@ func main() {
 		}
 	}
 
+	if *table == "search" {
+		res, err := searchTable(opts, *full, *matrix, search.Config{
+			Population:  *population,
+			Generations: *generations,
+			Seed:        *searchSeed,
+			Workers:     *workers,
+		}, *objective)
+		if err != nil {
+			fatal(err)
+		}
+		emit([]*stats.Table{res.Table}, *csvDir)
+		if *memostats {
+			printMemoStats(res.Memo)
+		}
+		reportStore(store, nil)
+		return
+	}
 	if *table != "" {
 		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, *ratios, shardCounts, *fastpath, *gcMode, *crossPct)
 		if err != nil {
@@ -143,7 +170,43 @@ func main() {
 		}
 		emit(tables, *csvDir)
 	}
+	if *memostats {
+		printMemoStats(s.MemoStats())
+	}
 	reportStore(store, s.Source())
+}
+
+// searchTable runs the evolutionary pipeline search over the -matrix
+// workloads (the first is the training workload) and prints one progress
+// line per generation.
+func searchTable(opts expt.Options, full bool, matrix string, cfg search.Config, objective string) (*search.Result, error) {
+	obj, err := search.ParseObjective(objective)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Objective = obj
+	for _, name := range splitList(matrix) {
+		wl, err := resolveWorkload(name, full)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Workloads = append(cfg.Workloads, search.WorkloadWeight{Workload: wl, Weight: 1})
+	}
+	cfg.Progress = func(g search.GenerationStat) {
+		fmt.Printf("search gen %d: best %.4f (%s) unique=%d executed=%d\n",
+			g.Gen, g.Best.Fitness, g.Best.Spec, g.Unique, g.Executed)
+	}
+	return search.Run(opts, cfg)
+}
+
+// printMemoStats prints the grep-able memo-counter debug line: every measure
+// miss is a simulation this invocation executed, every hit one the memo (or
+// its in-flight dedup) absorbed.
+func printMemoStats(ms expt.MemoStats) {
+	fmt.Printf("memo: measure hits=%d misses=%d entries=%d | layout hits=%d misses=%d entries=%d | train hits=%d misses=%d entries=%d\n",
+		ms.Measure.Hits, ms.Measure.Misses, ms.Measure.Entries,
+		ms.Layout.Hits, ms.Layout.Misses, ms.Layout.Entries,
+		ms.Train.Hits, ms.Train.Misses, ms.Train.Entries)
 }
 
 // reportStore prints the grep-able profile-store summary: every store miss is
@@ -177,7 +240,7 @@ func resolveWorkload(name string, full bool) (workload.Workload, error) {
 
 // validTables lists every -table value extensionTables accepts, sorted; the
 // unknown-table error quotes it so a typo fails fast with the full menu.
-var validTables = []string{"blend", "latency", "robustness", "shardsweep"}
+var validTables = []string{"blend", "latency", "robustness", "search", "shardsweep"}
 
 // extensionTables runs the cross-workload/cross-shard tables that need more
 // configuration than one session carries.

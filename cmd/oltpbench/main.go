@@ -273,7 +273,7 @@ func main() {
 		Shards: *shards, GroupCommitWindowInstr: *gcWindow, PerCommitLogFlush: *perCommit,
 		AutoGroupCommit: gcMode, PredictFastPath: *fastPath,
 		FetchStallPenaltyInstr: *stall,
-		WarmupTxns: *warmup, Transactions: *txns,
+		WarmupTxns:             *warmup, Transactions: *txns,
 		Workload: wl,
 		AppImage: app, AppLayout: appL, KernImage: kern, KernLayout: kernL,
 		Sinks: sinks, DataSinks: dataSinks,

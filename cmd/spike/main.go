@@ -38,8 +38,8 @@ func main() {
 	)
 	flag.Parse()
 	if *list {
-		for _, d := range core.PassDocs() {
-			fmt.Printf("%-12s %s\n", d.Name, d.Doc)
+		for _, line := range core.PassListing() {
+			fmt.Println(line)
 		}
 		return
 	}

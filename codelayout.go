@@ -32,6 +32,7 @@ import (
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/pstore"
+	"codelayout/internal/search"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
@@ -411,3 +412,44 @@ func BlendTable(o SessionOptions, spec BlendSpec) (*BlendResult, error) {
 // mixes, in [0, 2]; the drift detector triggers when the live mix moves past
 // MachineConfig.DriftThreshold from the training mix.
 func KindDistance(a, b map[string]float64) float64 { return machine.KindDistance(a, b) }
+
+// Evolutionary pipeline-search surface.
+type (
+	// SearchConfig parameterizes the evolutionary layout-pipeline search
+	// (population, generations, seed, objective, weighted workloads).
+	SearchConfig = search.Config
+	// SearchResult carries the evolved winner, the hand-built baselines, the
+	// per-generation trajectory, memo counters and the rendered transfer
+	// table.
+	SearchResult = search.Result
+	// SearchObjective selects the minimized fitness metric (instr, miss,
+	// p50, p99).
+	SearchObjective = search.Objective
+	// SearchWorkload is one weighted evaluation workload; the first entry of
+	// SearchConfig.Workloads is the training workload.
+	SearchWorkload = search.WorkloadWeight
+	// PipelineGenome is a validated, parameterized pipeline spec — one point
+	// of the search space.
+	PipelineGenome = search.Genome
+	// MemoStats reports a session's memoization counters (measure, layout,
+	// train), via Session.MemoStats or SearchResult.Memo.
+	MemoStats = expt.MemoStats
+)
+
+// SearchLayout evolves layout-pass pipelines against the measured simulator:
+// genomes are pipeline specs validated against the pass registry, fitness is
+// the weighted multi-workload objective normalized by the base layout, and
+// every generation evaluates as one parallel memoized measurement wave. The
+// hand-built combos seed the population, so the winner never scores worse
+// than the best of them on the search objective.
+func SearchLayout(o SessionOptions, cfg SearchConfig) (*SearchResult, error) {
+	return search.Run(o, cfg)
+}
+
+// ParsePipelineGenome parses and validates a pipeline spec as a search
+// genome (structural legality included, not just pass-name resolution).
+func ParsePipelineGenome(spec string) (PipelineGenome, error) { return search.ParseGenome(spec) }
+
+// ParseSearchObjective resolves an objective name ("instr", "miss", "p50",
+// "p99"; empty selects instr).
+func ParseSearchObjective(s string) (SearchObjective, error) { return search.ParseObjective(s) }

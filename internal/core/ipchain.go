@@ -23,7 +23,15 @@ import (
 // chaining applies within a procedure, lifted to inter-procedural placement
 // units. The returned slice preserves the original relative order of the
 // surviving units; absorbed units disappear into their chain head.
-func CallChainUnits(p *program.Program, pf *profile.Profile, units []Unit) []Unit {
+//
+// minWeight is the merge threshold: call edges executed fewer than minWeight
+// times are not merge candidates (0 and 1 both mean any executed edge — the
+// ipchain:N pass parameter raises the bar so rare call paths stay separate
+// units).
+func CallChainUnits(p *program.Program, pf *profile.Profile, units []Unit, minWeight uint64) []Unit {
+	if minWeight == 0 {
+		minWeight = 1
+	}
 	// headOf maps a unit's first block to the unit index, so a call edge to a
 	// callee entry can find the unit that starts with that entry.
 	headOf := make(map[program.BlockID]int, len(units))
@@ -52,7 +60,7 @@ func CallChainUnits(p *program.Program, pf *profile.Profile, units []Unit) []Uni
 				continue
 			}
 			w := pf.Edge(bid, entry)
-			if w == 0 {
+			if w < minWeight {
 				continue
 			}
 			j, ok := headOf[entry]
@@ -126,16 +134,22 @@ func CallChainUnits(p *program.Program, pf *profile.Profile, units []Unit) []Uni
 
 // ipchainPass is the inter-procedural call-chaining pass: it rewrites the
 // unit list in place, so it must run after splitting and before ordering.
-type ipchainPass struct{}
+// minWeight is the merge threshold (see CallChainUnits).
+type ipchainPass struct{ minWeight uint64 }
 
-func (ipchainPass) Name() string { return "ipchain" }
+func (p ipchainPass) Name() string {
+	if p.minWeight > 1 {
+		return fmt.Sprintf("ipchain:%d", p.minWeight)
+	}
+	return "ipchain"
+}
 
-func (ipchainPass) Run(st *LayoutState) error {
+func (p ipchainPass) Run(st *LayoutState) error {
 	if st.UnitOrder != nil {
 		return fmt.Errorf("ipchain must run before units are ordered")
 	}
 	st.EnsureUnits()
-	st.Units = CallChainUnits(st.Prog, st.Prof, st.Units)
+	st.Units = CallChainUnits(st.Prog, st.Prof, st.Units, p.minWeight)
 	st.countUnits()
 	return nil
 }

@@ -77,7 +77,7 @@ func TestCallChainUnitsMergesHotCallEdges(t *testing.T) {
 			hotBefore++
 		}
 	}
-	merged := core.CallChainUnits(p, pf, units)
+	merged := core.CallChainUnits(p, pf, units, 0)
 	hotAfter := 0
 	var mergedUnit *core.Unit
 	for i, u := range merged {

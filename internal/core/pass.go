@@ -79,15 +79,15 @@ func (st *LayoutState) EnsureUnits() {
 	if st.Units != nil {
 		return
 	}
-	st.buildUnits(SplitNone)
+	st.buildUnits(SplitNone, 1)
 }
 
-func (st *LayoutState) buildUnits(mode SplitMode) {
+func (st *LayoutState) buildUnits(mode SplitMode, hotMin uint64) {
 	st.EnsureChains()
 	for _, pr := range st.Prog.Procs {
 		st.Report.Chains += len(st.Chains[pr.ID])
 	}
-	st.Units = BuildUnits(st.Prog, st.Prof, st.Chains, mode)
+	st.Units = BuildUnitsHot(st.Prog, st.Prof, st.Chains, mode, hotMin)
 	st.countUnits()
 }
 
@@ -212,7 +212,33 @@ func PassDocs() []PassDoc {
 	return docs
 }
 
-// NewPass builds one pass from a "name" or "name:arg" spec.
+// PassListing renders one "name  description" line per registered pass,
+// sorted by name — the menu spike -list-passes prints and UnknownPassError
+// embeds, so the two listings can never drift apart.
+func PassListing() []string {
+	docs := PassDocs()
+	lines := make([]string, len(docs))
+	for i, d := range docs {
+		lines[i] = fmt.Sprintf("%-12s %s", d.Name, d.Doc)
+	}
+	return lines
+}
+
+// UnknownPassError reports a pipeline spec naming a pass that is not in the
+// registry, carrying the valid names so callers fail fast with the full menu
+// (mirroring layoutlab's unknown -table error).
+type UnknownPassError struct {
+	Pass  string   // the unrecognized base pass name
+	Valid []string // the registered base names, sorted
+}
+
+func (e *UnknownPassError) Error() string {
+	return fmt.Sprintf("core: unknown pass %q (valid passes: %s)",
+		e.Pass, strings.Join(e.Valid, ", "))
+}
+
+// NewPass builds one pass from a "name" or "name:arg" spec. An unrecognized
+// base name yields an *UnknownPassError listing the registered passes.
 func NewPass(spec string) (Pass, error) {
 	name, arg := spec, ""
 	if i := strings.IndexByte(spec, ':'); i >= 0 {
@@ -223,8 +249,7 @@ func NewPass(spec string) (Pass, error) {
 	e, ok := passRegistry[name]
 	passMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("core: unknown pass %q (registered passes: %s)",
-			name, strings.Join(RegisteredPasses(), ", "))
+		return nil, &UnknownPassError{Pass: name, Valid: RegisteredPasses()}
 	}
 	p, err := e.factory(strings.TrimSpace(arg))
 	if err != nil {
@@ -317,16 +342,30 @@ func (chainPass) Run(st *LayoutState) error {
 	return nil
 }
 
-// splitPass cuts chains into placement units.
-type splitPass struct{ mode SplitMode }
+// splitPass cuts chains into placement units. hotMin is the hot/cold
+// partition threshold of SplitHotCold (a block is hot when its execution
+// count reaches hotMin); 1 is the classic executed-at-all partition.
+type splitPass struct {
+	mode   SplitMode
+	hotMin uint64
+}
 
-func (p splitPass) Name() string { return "split:" + p.mode.String() }
+func (p splitPass) Name() string {
+	if p.mode == SplitHotCold && p.hotMin > 1 {
+		return fmt.Sprintf("split:hotcold@%d", p.hotMin)
+	}
+	return "split:" + p.mode.String()
+}
 
 func (p splitPass) Run(st *LayoutState) error {
 	if st.Units != nil {
 		return fmt.Errorf("units already split")
 	}
-	st.buildUnits(p.mode)
+	hotMin := p.hotMin
+	if hotMin == 0 {
+		hotMin = 1
+	}
+	st.buildUnits(p.mode, hotMin)
 	return nil
 }
 
@@ -461,16 +500,23 @@ func init() {
 		}
 		return chainPass{}, nil
 	})
-	mustRegister("split", "cut chains into placement units: none (whole procedure), fine (per chain), hotcold (hot/cold halves)", func(arg string) (Pass, error) {
+	mustRegister("split", "cut chains into placement units: none (whole procedure), fine (per chain), hotcold (hot/cold halves; hotcold@N counts a block hot at N+ executions)", func(arg string) (Pass, error) {
 		switch arg {
 		case "", "none":
-			return splitPass{SplitNone}, nil
+			return splitPass{mode: SplitNone}, nil
 		case "fine":
-			return splitPass{SplitFine}, nil
+			return splitPass{mode: SplitFine}, nil
 		case "hotcold":
-			return splitPass{SplitHotCold}, nil
+			return splitPass{mode: SplitHotCold}, nil
 		}
-		return nil, fmt.Errorf("unknown split mode %q (none|fine|hotcold)", arg)
+		if rest, ok := strings.CutPrefix(arg, "hotcold@"); ok {
+			n, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("hotcold@N needs a positive execution-count threshold, got %q", arg)
+			}
+			return splitPass{mode: SplitHotCold, hotMin: n}, nil
+		}
+		return nil, fmt.Errorf("unknown split mode %q (none|fine|hotcold|hotcold@N)", arg)
 	})
 	mustRegister("porder", "order placement units: ph (Pettis\u2013Hansen call-graph ordering) or orig (link order)", func(arg string) (Pass, error) {
 		switch arg {
@@ -513,11 +559,15 @@ func init() {
 		}
 		return materializePass{}, nil
 	})
-	mustRegister("ipchain", "inter-procedural call chaining: concatenate caller/callee units along hot call edges", func(arg string) (Pass, error) {
-		if arg != "" {
-			return nil, fmt.Errorf("takes no argument, got %q", arg)
+	mustRegister("ipchain", "inter-procedural call chaining: concatenate caller/callee units along hot call edges (:N merges only edges executed N+ times)", func(arg string) (Pass, error) {
+		if arg == "" {
+			return ipchainPass{}, nil
 		}
-		return ipchainPass{}, nil
+		n, err := strconv.ParseUint(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("want a minimum call-edge weight, got %q", arg)
+		}
+		return ipchainPass{minWeight: n}, nil
 	})
 	mustRegister("txfuse", "transaction-program fusion: one straight-line unit per transaction kind, cloning shared code within a growth budget (:N percent, default 10)", func(arg string) (Pass, error) {
 		pct := DefaultFuseBudgetPct

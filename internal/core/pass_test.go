@@ -28,12 +28,110 @@ func TestUnknownPassListsRegistry(t *testing.T) {
 	}
 }
 
+// TestUnknownPassTypedError pins the error's type: callers (the search
+// engine's genome validation, spike) match it with errors.As and read the
+// registry listing off the Valid field.
+func TestUnknownPassTypedError(t *testing.T) {
+	_, err := core.NewPass("warp9:x")
+	if err == nil {
+		t.Fatal("expected error for unknown pass")
+	}
+	var upe *core.UnknownPassError
+	if !errors.As(err, &upe) {
+		t.Fatalf("error %T is not *core.UnknownPassError: %v", err, err)
+	}
+	if upe.Pass != "warp9" {
+		t.Fatalf("Pass = %q, want the base name before the argument", upe.Pass)
+	}
+	if !reflect.DeepEqual(upe.Valid, core.RegisteredPasses()) {
+		t.Fatalf("Valid = %v, want the full registry %v", upe.Valid, core.RegisteredPasses())
+	}
+}
+
+// TestPassListingMatchesDocs keeps the shared listing (spike -list-passes,
+// UnknownPassError) aligned with the registry docs.
+func TestPassListingMatchesDocs(t *testing.T) {
+	lines := core.PassListing()
+	docs := core.PassDocs()
+	if len(lines) != len(docs) {
+		t.Fatalf("%d listing lines for %d registered passes", len(lines), len(docs))
+	}
+	for i, d := range docs {
+		if !strings.HasPrefix(lines[i], d.Name) || !strings.Contains(lines[i], d.Doc) {
+			t.Errorf("listing line %q does not render pass %q (%q)", lines[i], d.Name, d.Doc)
+		}
+	}
+}
+
+// TestParameterizedThresholds checks the new pass parameters actually bite:
+// a high hotcold@N threshold marks fewer units hot, and a high ipchain:N
+// merge threshold leaves more units unmerged than the classic
+// any-executed-edge merge.
+func TestParameterizedThresholds(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := progtest.RandProgram(r, 24)
+	pf := progtest.RandProfile(r, p, 40, 300)
+	run := func(spec string) *core.Report {
+		pl, err := core.ParsePipeline(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		_, rep, err := pl.Run(p, pf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		return rep
+	}
+	chains := make(map[program.ProcID][]core.Chain, len(p.Procs))
+	for _, pr := range p.Procs {
+		chains[pr.ID] = core.ChainProc(p, pr, pf)
+	}
+	hotSide := func(hotMin uint64) int {
+		units := core.BuildUnitsHot(p, pf, chains, core.SplitHotCold, hotMin)
+		n := 0
+		for _, u := range units {
+			for i, b := range u.Blocks {
+				// Each hot/cold half must be pure under the threshold.
+				if (pf.Count(b) >= hotMin) != (pf.Count(u.Blocks[0]) >= hotMin) {
+					t.Fatalf("hotcold@%d unit mixes hot and cold blocks (block %d of %v)", hotMin, i, u.Blocks)
+				}
+			}
+			if len(u.Blocks) > 0 && pf.Count(u.Blocks[0]) >= hotMin {
+				n += len(u.Blocks)
+			}
+		}
+		return n
+	}
+	var maxCount uint64
+	for _, pr := range p.Procs {
+		for _, b := range pr.Blocks {
+			if c := pf.Count(b); c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	if classic, none := hotSide(1), hotSide(maxCount+1); none != 0 || classic == 0 {
+		t.Errorf("hotcold threshold does not bite: %d hot blocks at @1, %d at @max+1", classic, none)
+	}
+	hotSide(maxCount / 2) // purity check at a mid threshold
+
+	li := run("chain,split:none,ipchain,porder:ph,materialize")
+	ti := run("chain,split:none,ipchain:1000000,porder:ph,materialize")
+	if ti.Units <= li.Units {
+		t.Errorf("ipchain:1000000 leaves %d units, want more than ipchain's %d (fewer merges)",
+			ti.Units, li.Units)
+	}
+}
+
 func TestParsePipelineRoundTrip(t *testing.T) {
 	canonical := []string{
 		"split:none,porder:orig,materialize",
 		"chain,split:fine,porder:ph,materialize",
 		"chain,split:hotcold,porder:ph,align:8,materialize",
+		"chain,split:hotcold@4,porder:ph,materialize",
 		"chain,split:fine,porder:ph,cfa:4096/1024,materialize",
+		"chain,split:none,ipchain:8,porder:ph,materialize",
+		"chain,split:none,txfuse:15,porder:ph,materialize",
 		core.IPChainSpec,
 	}
 	for _, spec := range canonical {
@@ -74,6 +172,7 @@ func TestParsePipelineBadArgs(t *testing.T) {
 	for _, spec := range []string{
 		"", "split:coarse", "porder:random", "align:0", "align:x",
 		"cfa:1024/4096", "chain:x", "materialize:x", "ipchain:x",
+		"split:hotcold@0", "split:hotcold@x", "txfuse:101", "txfuse:x",
 	} {
 		if _, err := core.ParsePipeline(spec); err == nil {
 			t.Fatalf("expected error for spec %q", spec)

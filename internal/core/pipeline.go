@@ -97,7 +97,7 @@ func PipelineFor(o Options) (Pipeline, error) {
 	if o.Chain {
 		pl = append(pl, chainPass{})
 	}
-	pl = append(pl, splitPass{o.Split})
+	pl = append(pl, splitPass{mode: o.Split})
 	switch o.Order {
 	case OrderOriginal, OrderPettisHansen:
 		pl = append(pl, porderPass{o.Order})

@@ -53,6 +53,18 @@ type Unit struct {
 
 // BuildUnits converts per-procedure chains into placement units.
 func BuildUnits(p *program.Program, pf *profile.Profile, chains map[program.ProcID][]Chain, mode SplitMode) []Unit {
+	return BuildUnitsHot(p, pf, chains, mode, 1)
+}
+
+// BuildUnitsHot is BuildUnits with an explicit hot/cold partition threshold
+// for SplitHotCold: a block lands in the hot half when its execution count is
+// at least hotMin (1 reproduces the classic executed-at-all partition, the
+// split:hotcold@N pass parameter raises the bar so lukewarm blocks join the
+// cold half). Other split modes ignore the threshold.
+func BuildUnitsHot(p *program.Program, pf *profile.Profile, chains map[program.ProcID][]Chain, mode SplitMode, hotMin uint64) []Unit {
+	if hotMin == 0 {
+		hotMin = 1
+	}
 	var units []Unit
 	for _, pr := range p.Procs {
 		ch := chains[pr.ID]
@@ -71,7 +83,7 @@ func BuildUnits(p *program.Program, pf *profile.Profile, chains map[program.Proc
 			var hot, cold []program.BlockID
 			for _, c := range ch {
 				for _, b := range c {
-					if pf.Count(b) > 0 {
+					if pf.Count(b) >= hotMin {
 						hot = append(hot, b)
 					} else {
 						cold = append(cold, b)

@@ -196,6 +196,39 @@ type Session struct {
 	measures map[measKey]*Measure
 	measErr  map[measKey]error
 	inflight map[measKey]chan struct{}
+
+	measHits, measMisses uint64 // measurement memo counters (MemoStats)
+}
+
+// MemoCounters reports one memo map's traffic: Hits answered from cache,
+// Misses that executed real work (a simulation run, a layout build, a
+// training run), and Entries currently memoized. A waiter that blocked on an
+// in-flight run counts as a hit — it executed nothing.
+type MemoCounters struct {
+	Hits, Misses, Entries uint64
+}
+
+// MemoStats is the session's memo-layer report card: the measurement memo
+// (this session's) plus the layout and training memos (shared with every
+// session of the same ProfileSource). Search runs assert on it to prove
+// population evaluation actually dedups — executed measurements must stay
+// strictly below the requested genome evaluations.
+type MemoStats struct {
+	Measure MemoCounters
+	Layout  MemoCounters
+	Train   MemoCounters
+}
+
+// MemoStats returns the session's memo counters (see MemoStats type).
+func (s *Session) MemoStats() MemoStats {
+	train, layout := s.src.memoStats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return MemoStats{
+		Measure: MemoCounters{Hits: s.measHits, Misses: s.measMisses, Entries: uint64(len(s.measures))},
+		Layout:  layout,
+		Train:   train,
+	}
 }
 
 // layoutKey identifies a built layout: the resolved train spec it was
@@ -329,7 +362,12 @@ func (s *Session) PipelineSpec(name string) (string, error) {
 // chain+split, chain+porder, all, hotcold, cfa, dcpi-all, ipchain, fusion.
 // "fusion" is special: it runs txfuse over a specialized copy of the app
 // image (AppImageFor returns it) so shared procedures can be cloned into
-// each transaction kind's fused unit.
+// each transaction kind's fused unit. A name containing pass separators
+// (",", ":") is treated as a raw pipeline spec and built through
+// core.ParsePipeline — specs containing txfuse take the specialized-image
+// path exactly like "fusion". Raw specs flow through Measure and
+// MeasureBatch too, which is how the search engine evaluates genome
+// populations as one memoized parallel wave.
 func (s *Session) Layout(name string) (*program.Layout, error) {
 	return s.src.layout(s.defTrain, name)
 }
@@ -433,6 +471,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 	for {
 		s.mu.Lock()
 		if m, ok := s.measures[key]; ok {
+			s.measHits++
 			s.mu.Unlock()
 			return m, nil
 		}
@@ -447,6 +486,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 		}
 		ch := make(chan struct{})
 		s.inflight[key] = ch
+		s.measMisses++
 		s.mu.Unlock()
 
 		meas, err := s.measure(tc, layout, kern, cpus)

@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -106,15 +107,20 @@ type ProfileSource struct {
 	trainExec uint64 // training runs actually executed (not served by a memo or the store)
 	lastHit   *pstore.Entry
 	runs      map[string]*trainRun
-	trainErr map[string]error
-	inflight map[string]chan struct{}
-	layouts  map[layoutKey]*program.Layout
-	reports  map[layoutKey]*core.Report
-	kernLay  map[layoutKey]*program.Layout
+	trainErr  map[string]error
+	inflight  map[string]chan struct{}
+	layouts   map[layoutKey]*program.Layout
+	reports   map[layoutKey]*core.Report
+	kernLay   map[layoutKey]*program.Layout
 	// images holds per-layout specialized app images: the fusion layout
 	// clones procedures, so its layout addresses blocks the shared image
 	// does not have, and measurements must run over the grown image.
 	images map[layoutKey]*codegen.Image
+
+	// memo hit/miss counters (MemoStats): how often the train and layout
+	// memos answered from cache vs executed work.
+	trainHits, trainMisses   uint64
+	layoutHits, layoutMisses uint64
 }
 
 // NewProfileSource builds the images and baseline layouts for o's workload
@@ -185,6 +191,16 @@ func (ps *ProfileSource) storeKey(spec string) pstore.Key {
 			ps.opt.PerCommitLogFlush, ps.opt.PredictFastPath, ps.opt.DCPIPeriod),
 		Image: ps.imageID,
 	}
+}
+
+// memoStats reports the source-side memo counters (train + layout halves of
+// a session's MemoStats).
+func (ps *ProfileSource) memoStats() (train, layout MemoCounters) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	train = MemoCounters{Hits: ps.trainHits, Misses: ps.trainMisses, Entries: uint64(len(ps.runs))}
+	layout = MemoCounters{Hits: ps.layoutHits, Misses: ps.layoutMisses, Entries: uint64(len(ps.layouts))}
+	return train, layout
 }
 
 // TrainRunsExecuted reports how many training simulations this source has
@@ -270,6 +286,7 @@ func (ps *ProfileSource) train(tc TrainConfig) (*trainRun, error) {
 	for {
 		ps.mu.Lock()
 		if run, ok := ps.runs[spec]; ok {
+			ps.trainHits++
 			ps.mu.Unlock()
 			return run, nil
 		}
@@ -284,6 +301,7 @@ func (ps *ProfileSource) train(tc TrainConfig) (*trainRun, error) {
 		}
 		ch := make(chan struct{})
 		ps.inflight[spec] = ch
+		ps.trainMisses++
 		ps.mu.Unlock()
 
 		run, err := ps.trainOrLoad(tc, spec)
@@ -300,14 +318,37 @@ func (ps *ProfileSource) train(tc TrainConfig) (*trainRun, error) {
 	}
 }
 
+// isPipelineSpec reports whether a layout name is a raw pass-pipeline spec
+// ("chain,split:fine,porder:ph,materialize") rather than a registered combo
+// name: specs contain the pass separators, combo names never do. Raw specs
+// are first-class layouts — the search engine's genomes measure through the
+// same memo layer as the named combos.
+func isPipelineSpec(name string) bool { return strings.ContainsAny(name, ",:") }
+
+// pipelineFuses reports whether a parsed pipeline contains the txfuse pass
+// (whose layouts clone procedures and therefore need a specialized image).
+func pipelineFuses(pl core.Pipeline) bool {
+	for _, p := range pl {
+		if n := p.Name(); n == "txfuse" || strings.HasPrefix(n, "txfuse:") {
+			return true
+		}
+	}
+	return false
+}
+
 // layoutSpec resolves a layout name to the pass pipeline implementing it
 // and the profile (from the given training run) it trains on. The paper's
 // combinations assemble their pipeline through core.PipelineFor; the
-// extensions name their pass lists directly.
+// extensions name their pass lists directly, and a raw pipeline spec parses
+// as itself.
 func (ps *ProfileSource) layoutSpec(tc TrainConfig, name string) (core.Pipeline, *profile.Profile, error) {
 	run, err := ps.train(tc)
 	if err != nil {
 		return nil, nil, err
+	}
+	if isPipelineSpec(name) {
+		pl, err := core.ParsePipeline(name)
+		return pl, run.app, err
 	}
 	var o core.Options
 	prof := run.app
@@ -355,12 +396,24 @@ func (ps *ProfileSource) layout(tc TrainConfig, name string) (*program.Layout, e
 	}
 	ps.mu.Lock()
 	l, ok := ps.layouts[key]
-	ps.mu.Unlock()
 	if ok {
+		ps.layoutHits++
+		ps.mu.Unlock()
 		return l, nil
 	}
+	ps.layoutMisses++
+	ps.mu.Unlock()
 	if name == "fusion" {
-		return ps.fusedLayout(tc, key)
+		return ps.fusedLayout(tc, key, nil)
+	}
+	if isPipelineSpec(name) {
+		pl, err := core.ParsePipeline(name)
+		if err != nil {
+			return nil, err
+		}
+		if pipelineFuses(pl) {
+			return ps.fusedLayout(tc, key, pl)
+		}
 	}
 	pl, prof, err := ps.layoutSpec(tc, name)
 	if err != nil {
@@ -389,18 +442,20 @@ func (ps *ProfileSource) layout(tc TrainConfig, name string) (*program.Layout, e
 	return l, nil
 }
 
-// fusedLayout builds the "fusion" layout: the txfuse pipeline run over a
-// specialized copy of the app image, so cloned procedures become real code
-// the simulator can fetch. The specialized image is memoized next to the
-// layout (appImageFor); the shared image is never mutated.
-func (ps *ProfileSource) fusedLayout(tc TrainConfig, key layoutKey) (*program.Layout, error) {
+// fusedLayout builds a fusing layout — the named "fusion" combo (pl nil) or
+// any raw pipeline spec containing txfuse — over a specialized copy of the
+// app image, so cloned procedures become real code the simulator can fetch.
+// The specialized image is memoized next to the layout (appImageFor); the
+// shared image is never mutated.
+func (ps *ProfileSource) fusedLayout(tc TrainConfig, key layoutKey, pl core.Pipeline) (*program.Layout, error) {
 	run, err := ps.train(tc)
 	if err != nil {
 		return nil, err
 	}
-	pl, err := core.ComboPipeline("fusion")
-	if err != nil {
-		return nil, err
+	if pl == nil {
+		if pl, err = core.ComboPipeline("fusion"); err != nil {
+			return nil, err
+		}
 	}
 	simg := ps.appImg.Specialize()
 	roots, err := ps.fusionRoots(simg)

@@ -105,7 +105,10 @@ func TestAutoGroupCommitValidation(t *testing.T) {
 		want   string
 	}{
 		{func(c *machine.Config) { c.AutoGroupCommit = machine.AutoGCFlushCount; c.PerCommitLogFlush = true }, "PerCommitLogFlush"},
-		{func(c *machine.Config) { c.AutoGroupCommit = machine.AutoGCFlushCount; c.GroupCommitWindowInstr = 50_000 }, "GroupCommitWindowInstr"},
+		{func(c *machine.Config) {
+			c.AutoGroupCommit = machine.AutoGCFlushCount
+			c.GroupCommitWindowInstr = 50_000
+		}, "GroupCommitWindowInstr"},
 	}
 	for _, tc := range cases {
 		cfg := base

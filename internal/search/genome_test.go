@@ -1,0 +1,181 @@
+package search
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"codelayout/internal/core"
+)
+
+func TestGenomeValidation(t *testing.T) {
+	good := []string{
+		"materialize", // the do-nothing layout is a legal point
+		"chain,materialize",
+		"chain,split:fine,porder:ph,materialize",
+		core.IPChainSpec,
+		core.TxFuseSpec,
+		"chain,split:hotcold@4,ipchain:8,porder:orig,cfa:65536/16384,align:8,materialize",
+		"split:none,txfuse:15,porder:ph,materialize",
+	}
+	for _, spec := range good {
+		g, err := ParseGenome(spec)
+		if err != nil {
+			t.Errorf("ParseGenome(%q): %v", spec, err)
+			continue
+		}
+		if g.Spec() != spec {
+			t.Errorf("ParseGenome(%q).Spec() = %q, want round-trip", spec, g.Spec())
+		}
+	}
+	bad := map[string]string{
+		"":                                       "empty",
+		"chain":                                  "must end with materialize",
+		"chain,materialize,porder:ph":            "must end with materialize",
+		"chain,chain,materialize":                "repeats",
+		"materialize,materialize":                "non-terminal",
+		"porder:ph,chain,materialize":            "stage order",
+		"porder:ph,split:fine,materialize":       "stage order",
+		"chain,ipchain,txfuse,materialize":       "stage order",
+		"chain,bogus,materialize":                "unknown pass",
+		"chain,split:hotcold@0,materialize":      "split",
+		"chain,ipchain:nope,materialize":         "ipchain",
+		"chain,split:fine,porder:zz,materialize": "unknown order mode",
+	}
+	for spec, frag := range bad {
+		if _, err := ParseGenome(spec); err == nil {
+			t.Errorf("ParseGenome(%q) accepted an illegal spec", spec)
+		} else if !strings.Contains(err.Error(), frag) {
+			t.Errorf("ParseGenome(%q) error %q does not mention %q", spec, err, frag)
+		}
+	}
+}
+
+// TestUnknownPassErrorSurfaces pins that genome validation surfaces core's
+// typed unknown-pass error, registry listing included.
+func TestUnknownPassErrorSurfaces(t *testing.T) {
+	_, err := ParseGenome("chain,warp9,materialize")
+	if err == nil {
+		t.Fatal("expected an error for an unknown pass")
+	}
+	var upe *core.UnknownPassError
+	if !errorsAs(err, &upe) {
+		t.Fatalf("error %T is not *core.UnknownPassError: %v", err, err)
+	}
+	if upe.Pass != "warp9" || len(upe.Valid) == 0 {
+		t.Fatalf("unexpected typed error contents: %+v", upe)
+	}
+	if !strings.Contains(err.Error(), "txfuse") {
+		t.Fatalf("error should list valid passes: %v", err)
+	}
+}
+
+// errorsAs avoids importing errors just for one call site.
+func errorsAs(err error, target **core.UnknownPassError) bool {
+	for err != nil {
+		if e, ok := err.(*core.UnknownPassError); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestCatalogsAreLegal cross-checks every mutation-catalog value against the
+// pass registry, so a catalog typo fails in tests, not mid-search.
+func TestCatalogsAreLegal(t *testing.T) {
+	check := func(name, arg string) {
+		t.Helper()
+		spec := name
+		if arg != "" {
+			spec += ":" + arg
+		}
+		if _, err := core.NewPass(spec); err != nil {
+			t.Errorf("catalog value %q is not a legal pass: %v", spec, err)
+		}
+	}
+	for _, v := range splitModes {
+		check("split", v)
+	}
+	for _, v := range ipchainMins {
+		check("ipchain", v)
+	}
+	for _, v := range txfuseBudgets {
+		check("txfuse", v)
+	}
+	for _, v := range porderModes {
+		check("porder", v)
+	}
+	for _, v := range alignWords {
+		check("align", v)
+	}
+	for _, v := range cfaAreas {
+		check("cfa", v)
+	}
+}
+
+// TestOperatorsPreserveLegality fuzzes the operators: every random genome,
+// mutation, and crossover product must validate, and Mutate must actually
+// change the spec.
+func TestOperatorsPreserveLegality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pool := make([]Genome, 0, 64)
+	for i := 0; i < 64; i++ {
+		g := RandomGenome(rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RandomGenome produced an illegal genome %q: %v", g.Spec(), err)
+		}
+		pool = append(pool, g)
+	}
+	for i := 0; i < 500; i++ {
+		parent := pool[rng.Intn(len(pool))]
+		child := Mutate(parent, rng)
+		if err := child.Validate(); err != nil {
+			t.Fatalf("Mutate(%q) -> illegal %q: %v", parent.Spec(), child.Spec(), err)
+		}
+		if child.Spec() == parent.Spec() {
+			t.Fatalf("Mutate(%q) returned an identical spec", parent.Spec())
+		}
+		a, b := pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+		cross := Crossover(a, b, rng)
+		if err := cross.Validate(); err != nil {
+			t.Fatalf("Crossover(%q, %q) -> illegal %q: %v", a.Spec(), b.Spec(), cross.Spec(), err)
+		}
+	}
+}
+
+// TestHandBuiltSeedsValidate keeps the seed list in sync with the registry.
+func TestHandBuiltSeedsValidate(t *testing.T) {
+	seeds, err := handBuiltSeeds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) < 3 {
+		t.Fatalf("want at least the three combo seeds, got %d", len(seeds))
+	}
+	specs := make(map[string]bool)
+	for _, g := range seeds {
+		specs[g.Spec()] = true
+	}
+	for _, want := range []string{core.IPChainSpec, core.TxFuseSpec} {
+		if !specs[want] {
+			t.Errorf("seed list is missing the hand-built combo %q", want)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, s := range []string{"", "instr", "miss", "p50", "p99"} {
+		if _, err := ParseObjective(s); err != nil {
+			t.Errorf("ParseObjective(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseObjective("tps"); err == nil {
+		t.Error("ParseObjective accepted an unknown objective")
+	}
+}

@@ -1,0 +1,120 @@
+package search
+
+import "math/rand"
+
+// The parameter catalogs the operators draw from. Every value must be a
+// legal argument of its pass factory — genome_test cross-checks each against
+// the registry so a catalog typo fails fast, not mid-search.
+var (
+	splitModes = []string{"none", "fine", "hotcold", "hotcold@2", "hotcold@4", "hotcold@8"}
+	// ipchainMins are ipchain's merge thresholds (minimum call-edge weight);
+	// "" is the classic any-executed-edge merge.
+	ipchainMins = []string{"", "2", "4", "8", "16", "32"}
+	// txfuseBudgets are txfuse clone budgets in percent of pre-fusion hot words.
+	txfuseBudgets = []string{"2", "5", "8", "10", "15", "20"}
+	porderModes   = []string{"ph", "orig"}
+	alignWords    = []string{"1", "2", "8", "16"}
+	cfaAreas      = []string{"65536/8192", "65536/16384", "65536/32768"}
+)
+
+func pick(rng *rand.Rand, vals []string) string { return vals[rng.Intn(len(vals))] }
+
+// randomFuse draws a unit-merging stage: absent, ipchain with a random merge
+// threshold, or txfuse with a random clone budget.
+func randomFuse(rng *rand.Rand) *Gene {
+	switch rng.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		return &Gene{Name: "ipchain", Arg: pick(rng, ipchainMins)}
+	default:
+		return &Gene{Name: "txfuse", Arg: pick(rng, txfuseBudgets)}
+	}
+}
+
+// RandomGenome draws a uniform-ish random point of the search space: each
+// structural stage present or absent with a fixed probability, parameters
+// drawn from the catalogs. The result is always a legal pipeline.
+func RandomGenome(rng *rand.Rand) Genome {
+	var st stages
+	if rng.Float64() < 0.85 {
+		st.chain = &Gene{Name: "chain"}
+	}
+	st.split = &Gene{Name: "split", Arg: pick(rng, splitModes)}
+	st.fuse = randomFuse(rng)
+	st.order = &Gene{Name: "porder", Arg: pick(rng, porderModes)}
+	if rng.Float64() < 0.25 {
+		st.cfa = &Gene{Name: "cfa", Arg: pick(rng, cfaAreas)}
+	}
+	if rng.Float64() < 0.25 {
+		st.align = &Gene{Name: "align", Arg: pick(rng, alignWords)}
+	}
+	return st.genome()
+}
+
+// Mutate returns a mutated copy of the genome: one randomly chosen stage
+// edit (toggle a stage, swap a fusion pass, or re-draw a parameter),
+// retried until the spec actually changes. The result is always legal — the
+// operators edit the stage decomposition and reassemble in canonical order,
+// so no repair pass is needed.
+func Mutate(g Genome, rng *rand.Rand) Genome {
+	before := g.Spec()
+	for attempt := 0; attempt < 32; attempt++ {
+		st := g.stages()
+		switch rng.Intn(6) {
+		case 0: // toggle basic-block chaining
+			if st.chain == nil {
+				st.chain = &Gene{Name: "chain"}
+			} else {
+				st.chain = nil
+			}
+		case 1: // re-draw the split mode / hot threshold
+			st.split = &Gene{Name: "split", Arg: pick(rng, splitModes)}
+		case 2: // swap or reparameterize the unit-merging stage
+			st.fuse = randomFuse(rng)
+		case 3: // flip the ordering variant
+			st.order = &Gene{Name: "porder", Arg: pick(rng, porderModes)}
+		case 4: // toggle or reparameterize the conflict-free area
+			if st.cfa == nil || rng.Intn(2) == 0 {
+				st.cfa = &Gene{Name: "cfa", Arg: pick(rng, cfaAreas)}
+			} else {
+				st.cfa = nil
+			}
+		case 5: // toggle or reparameterize the unit alignment
+			if st.align == nil || rng.Intn(2) == 0 {
+				st.align = &Gene{Name: "align", Arg: pick(rng, alignWords)}
+			} else {
+				st.align = nil
+			}
+		}
+		if out := st.genome(); out.Spec() != before {
+			return out
+		}
+	}
+	return g.Clone() // pathological rng stream; keep the parent
+}
+
+// Crossover mixes two parents stage-wise: each structural stage is inherited
+// from one parent or the other (absence included), reassembled in canonical
+// order — always legal, no repair needed.
+func Crossover(a, b Genome, rng *rand.Rand) Genome {
+	sa, sb := a.stages(), b.stages()
+	var st stages
+	choose := func(x, y *Gene) *Gene {
+		src := x
+		if rng.Intn(2) == 1 {
+			src = y
+		}
+		if src == nil {
+			return nil
+		}
+		return &Gene{Name: src.Name, Arg: src.Arg}
+	}
+	st.chain = choose(sa.chain, sb.chain)
+	st.split = choose(sa.split, sb.split)
+	st.fuse = choose(sa.fuse, sb.fuse)
+	st.order = choose(sa.order, sb.order)
+	st.cfa = choose(sa.cfa, sb.cfa)
+	st.align = choose(sa.align, sb.align)
+	return st.genome()
+}
