@@ -11,6 +11,8 @@
 //	layoutlab -table latency -matrix tpcb,ycsb -shardlist 1,2
 //	layoutlab -table latency -matrix tpcb,ordere -layout fusion -stall 40
 //	layoutlab -table blend -ratios 0,0.5,1
+//	layoutlab -table datalayout                      # record layout: interleaved vs grouped
+//	layoutlab -table datalayout -workload ycsb -zipf 0.9 -readpct 0
 //	layoutlab -table search -population 16 -generations 8 -objective instr
 //	layoutlab -table search -matrix tpcb,ordere,ycsb -search-seed 7
 //	layoutlab -run fig04 -profile-store /var/cache/pgo   # second run skips training
@@ -50,14 +52,17 @@ func main() {
 		wlName = flag.String("workload", "tpcb", fmt.Sprintf("workload to evaluate %v", workload.Names()))
 		csvDir = flag.String("csv", "", "directory to write CSV copies of each table")
 
-		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep, latency (percentiles) or search (evolutionary pipeline search)")
+		table     = flag.String("table", "", "extension table to emit: robustness (train×eval matrix), shardsweep, latency (percentiles), search (evolutionary pipeline search) or datalayout (record layout: interleaved vs grouped)")
 		matrix    = flag.String("matrix", "tpcb,ordere,ycsb", "robustness/latency: comma-separated workloads to measure")
 		shardlist = flag.String("shardlist", "1,4", "robustness/latency: comma-separated shard counts to measure")
 		layout    = flag.String("layout", "all", "extension tables: pipeline combo to train and evaluate (latency with 'fusion' also measures ipchain and emits per-kind deltas)")
 		stall     = flag.Uint64("stall", 0, "instruction-times of stall per L1 icache miss on the measurement clock (layout latency comparisons need a non-zero penalty, e.g. 40)")
 		fastpath  = flag.Bool("fastpath", true, "shardsweep: measure the predictive single-shard fast path against the routed baseline (on/off delta columns)")
 		gcMode    = flag.String("gc", "", "shardsweep: group-commit tuning mode (off, flushcount, p99; default p99)")
-		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage (0 = workload default, negative disables)")
+		crossPct  = flag.Int("cross", 0, "shardsweep: override the workload's cross-shard transaction percentage in [1, 100] (0 = workload default, negative disables)")
+		readPct   = flag.Int("readpct", -1, "ycsb: point-read share of the mix in [0, 100]; 0 is a valid pure-update mix (negative = workload default)")
+		zipfTheta = flag.Float64("zipf", 0, "ycsb: Zipfian key-skew theta in [0, 1); for -table datalayout, the skewed regime's theta (0 selects 0.9)")
+		hotFrac   = flag.Float64("hotfrac", 0, "tpcb: hot-account fraction in [0, 1); for -table datalayout, the skewed regime's fraction (0 selects 0.1)")
 		ratios    = flag.String("ratios", "", "blend: comma-separated new-mix weights to sweep (default 0,0.25,0.5,0.75,1)")
 		storeDir  = flag.String("profile-store", "", "directory of the persistent profile store; training runs already in the store are loaded instead of re-run")
 
@@ -72,6 +77,21 @@ func main() {
 
 	if *quick && *full {
 		fatal(fmt.Errorf("-quick conflicts with -full"))
+	}
+	// Percentage and fraction knobs fail fast here, before any image builds
+	// or training runs, instead of surfacing as a workload load error
+	// minutes in.
+	if *readPct > 100 {
+		fatal(fmt.Errorf("-readpct = %d; must be in [0, 100] (negative selects the workload default)", *readPct))
+	}
+	if *zipfTheta < 0 || *zipfTheta >= 1 {
+		fatal(fmt.Errorf("-zipf = %v; must be in [0, 1)", *zipfTheta))
+	}
+	if *hotFrac < 0 || *hotFrac >= 1 {
+		fatal(fmt.Errorf("-hotfrac = %v; must be in [0, 1)", *hotFrac))
+	}
+	if *crossPct > 100 {
+		fatal(fmt.Errorf("-cross = %d; must be in [1, 100] (0 = workload default, negative disables)", *crossPct))
 	}
 
 	if *list {
@@ -135,7 +155,7 @@ func main() {
 		return
 	}
 	if *table != "" {
-		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, *ratios, shardCounts, *fastpath, *gcMode, *crossPct)
+		tables, err := extensionTables(*table, opts, *full, *wlName, *matrix, *shardlist, *layout, *ratios, shardCounts, *fastpath, *gcMode, *crossPct, *readPct, *zipfTheta, *hotFrac)
 		if err != nil {
 			fatal(err)
 		}
@@ -146,6 +166,9 @@ func main() {
 
 	wl, err := resolveWorkload(*wlName, *full)
 	if err != nil {
+		fatal(err)
+	}
+	if err := applyMixKnobs(wl, *readPct, *zipfTheta, *hotFrac); err != nil {
 		fatal(err)
 	}
 	opts.Workload = wl
@@ -240,12 +263,30 @@ func resolveWorkload(name string, full bool) (workload.Workload, error) {
 
 // validTables lists every -table value extensionTables accepts, sorted; the
 // unknown-table error quotes it so a typo fails fast with the full menu.
-var validTables = []string{"blend", "latency", "robustness", "search", "shardsweep"}
+var validTables = []string{"blend", "datalayout", "latency", "robustness", "search", "shardsweep"}
 
 // extensionTables runs the cross-workload/cross-shard tables that need more
 // configuration than one session carries.
-func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, layout, ratios string, sweep []int, fastpath bool, gcMode string, crossPct int) ([]*stats.Table, error) {
+func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, shardlist, layout, ratios string, sweep []int, fastpath bool, gcMode string, crossPct, readPct int, zipfTheta, hotFrac float64) ([]*stats.Table, error) {
 	switch kind {
+	case "datalayout":
+		wl, err := resolveWorkload(wlName, full)
+		if err != nil {
+			return nil, err
+		}
+		// -zipf/-hotfrac parameterize the table's skewed regime; only the
+		// mix knob applies to the base workload here.
+		if err := applyMixKnobs(wl, readPct, 0, 0); err != nil {
+			return nil, err
+		}
+		opts.Workload = wl
+		t, err := expt.DataLayoutTable(opts, expt.DataLayoutSpec{
+			ZipfTheta: zipfTheta, HotAccountFrac: hotFrac,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*stats.Table{t}, nil
 	case "blend":
 		rs, err := parseFloats(ratios)
 		if err != nil {
@@ -282,6 +323,9 @@ func extensionTables(kind string, opts expt.Options, full bool, wlName, matrix, 
 			return nil, err
 		}
 		if err := setCrossShardPct(wl, crossPct); err != nil {
+			return nil, err
+		}
+		if err := applyMixKnobs(wl, readPct, zipfTheta, hotFrac); err != nil {
 			return nil, err
 		}
 		opts.Workload = wl
@@ -346,8 +390,37 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// applyMixKnobs applies the workload-mix flags to the resolved workload,
+// failing fast when a knob targets a workload that does not have it (range
+// checks happen at flag parse; this is the type check).
+func applyMixKnobs(wl workload.Workload, readPct int, zipfTheta, hotFrac float64) error {
+	if readPct >= 0 {
+		w, ok := wl.(*ycsb.Workload)
+		if !ok {
+			return fmt.Errorf("-readpct: workload %s has no read/update mix knob", wl.Name())
+		}
+		w.ReadPct = readPct
+	}
+	if zipfTheta > 0 {
+		w, ok := wl.(*ycsb.Workload)
+		if !ok {
+			return fmt.Errorf("-zipf: workload %s has no Zipfian skew knob", wl.Name())
+		}
+		w.ZipfTheta = zipfTheta
+	}
+	if hotFrac > 0 {
+		w, ok := wl.(*tpcb.Workload)
+		if !ok {
+			return fmt.Errorf("-hotfrac: workload %s has no hot-account knob", wl.Name())
+		}
+		w.HotAccountFrac = hotFrac
+	}
+	return nil
+}
+
 // setCrossShardPct overrides a workload's cross-shard transaction fraction
-// (0 leaves the workload's own setting in place).
+// (0 leaves the workload's own setting in place; the [1, 100] range is
+// checked at flag parse).
 func setCrossShardPct(wl workload.Workload, pct int) error {
 	if pct == 0 {
 		return nil

@@ -35,9 +35,10 @@ import (
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 
+	"codelayout/internal/tpcb" // registers the TPC-B workload
+	"codelayout/internal/ycsb" // registers the key-value workload
+
 	_ "codelayout/internal/ordere" // register the order-entry workload
-	_ "codelayout/internal/tpcb"   // register the TPC-B workload
-	_ "codelayout/internal/ycsb"   // register the key-value workload
 )
 
 func main() {
@@ -58,6 +59,9 @@ func main() {
 		libScale  = flag.Float64("libscale", 1.0, "library size multiplier")
 		cold      = flag.Int("cold", 6_400_000, "app cold words")
 		wlName    = flag.String("workload", "tpcb", fmt.Sprintf("workload to run %v", workload.Names()))
+		readPct   = flag.Int("readpct", -1, "ycsb: point-read share of the mix in [0, 100]; 0 is a valid pure-update mix (negative = workload default)")
+		zipfTheta = flag.Float64("zipf", 0, "ycsb: Zipfian key-skew theta in [0, 1); 0 = uniform")
+		hotFrac   = flag.Float64("hotfrac", 0, "tpcb: hot-account fraction in [0, 1); 0 = uniform")
 		quick     = flag.Bool("quick", false, "use the workload's quick scale")
 		layoutIn  = flag.String("layout", "", "optimized layout file (from spike); default baseline")
 		optCombo  = flag.String("opt", "", "train in-process and optimize with this combo (e.g. all, ipchain, fusion) before measuring")
@@ -87,6 +91,16 @@ func main() {
 	if *fastPath && *shards <= 1 {
 		fatal(fmt.Errorf("-fastpath needs -shards > 1 (a single engine has no router to skip)"))
 	}
+	// Percentage and fraction knobs fail fast before the image builds.
+	if *readPct > 100 {
+		fatal(fmt.Errorf("-readpct = %d; must be in [0, 100] (negative selects the workload default)", *readPct))
+	}
+	if *zipfTheta < 0 || *zipfTheta >= 1 {
+		fatal(fmt.Errorf("-zipf = %v; must be in [0, 1)", *zipfTheta))
+	}
+	if *hotFrac < 0 || *hotFrac >= 1 {
+		fatal(fmt.Errorf("-hotfrac = %v; must be in [0, 1)", *hotFrac))
+	}
 	gcMode := machine.AutoGCOff
 	if *gcAuto {
 		gcMode = machine.AutoGCFlushCount
@@ -101,6 +115,27 @@ func main() {
 	}
 	if *quick {
 		wl = wl.QuickScale()
+	}
+	if *readPct >= 0 {
+		w, ok := wl.(*ycsb.Workload)
+		if !ok {
+			fatal(fmt.Errorf("-readpct: workload %s has no read/update mix knob", wl.Name()))
+		}
+		w.ReadPct = *readPct
+	}
+	if *zipfTheta > 0 {
+		w, ok := wl.(*ycsb.Workload)
+		if !ok {
+			fatal(fmt.Errorf("-zipf: workload %s has no Zipfian skew knob", wl.Name()))
+		}
+		w.ZipfTheta = *zipfTheta
+	}
+	if *hotFrac > 0 {
+		w, ok := wl.(*tpcb.Workload)
+		if !ok {
+			fatal(fmt.Errorf("-hotfrac: workload %s has no hot-account knob", wl.Name()))
+		}
+		w.HotAccountFrac = *hotFrac
 	}
 
 	// The training workload (when it differs) joins the image, so the

@@ -26,12 +26,14 @@ import (
 	"codelayout/internal/appmodel"
 	"codelayout/internal/codegen"
 	"codelayout/internal/core"
+	"codelayout/internal/db"
 	"codelayout/internal/expt"
 	"codelayout/internal/kernel"
 	"codelayout/internal/machine"
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/pstore"
+	"codelayout/internal/reclayout"
 	"codelayout/internal/search"
 	"codelayout/internal/stats"
 	"codelayout/internal/tpcb"
@@ -453,3 +455,40 @@ func ParsePipelineGenome(spec string) (PipelineGenome, error) { return search.Pa
 // ParseSearchObjective resolves an objective name ("instr", "miss", "p50",
 // "p99"; empty selects instr).
 func ParseSearchObjective(s string) (SearchObjective, error) { return search.ParseObjective(s) }
+
+// Record-layout surface: profile-guided hot/cold field grouping of records
+// on slotted pages — the data-cache analogue of the code-layout passes.
+type (
+	// FieldSchema declares one record field: its name, byte width, and
+	// which transaction kinds read or write it (the static hot hint used
+	// when no measured profile is available).
+	FieldSchema = workload.FieldSchema
+	// TableSchema declares one table's record fields in storage order.
+	TableSchema = workload.TableSchema
+	// FieldProfile is a measured field-access profile (table → field →
+	// read/write tallies), harvested from a training run's engines.
+	FieldProfile = reclayout.Profile
+	// DataLayoutSpec configures the interleaved-vs-grouped record-layout
+	// comparison table.
+	DataLayoutSpec = expt.DataLayoutSpec
+)
+
+// GroupedRecordLayouts computes the grouped physical layout of every table
+// the workload declares a schema for: hot fields (by measured profile, or
+// the schema's static hints when prof is nil) packed contiguously at the
+// record head. The result plugs into MachineConfig.RecordLayouts; set
+// SessionOptions.RecordLayout = "grouped" to have sessions do this
+// automatically from their training profile.
+func GroupedRecordLayouts(wl Workload, prof FieldProfile) (map[string][]FieldDef, error) {
+	return reclayout.GroupedDefs(wl, prof)
+}
+
+// FieldDef places one named field at a byte offset within a table's records.
+type FieldDef = db.FieldDef
+
+// DataLayoutTable measures interleaved vs grouped record layouts per
+// key-distribution regime (uniform plus the workload's skew knob) with code
+// layout held at base, so every delta is attributable to data layout alone.
+func DataLayoutTable(o SessionOptions, spec DataLayoutSpec) (*Table, error) {
+	return expt.DataLayoutTable(o, spec)
+}

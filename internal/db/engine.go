@@ -48,6 +48,10 @@ type Engine struct {
 	pageLimit PageID
 	nextTxn   uint64
 
+	// fieldHints holds per-table physical record layouts installed before
+	// the workload loads (SetFieldHints); CreateTable applies them.
+	fieldHints map[string][]FieldDef
+
 	// Committed counts committed transactions.
 	Committed uint64
 	// Aborted counts aborted transactions.
@@ -190,11 +194,23 @@ type Table struct {
 	Name  string
 	Pages []PageID
 	eng   *Engine
+
+	// fields is the physical record layout (nil until EnsureFields or a
+	// field hint installs one); fieldByName indexes it and tally counts
+	// per-field accesses through FetchFields/UpdateFields.
+	fields      []FieldDef
+	fieldByName map[string]*FieldDef
+	tally       map[string]*FieldAccess
 }
 
-// CreateTable registers an empty heap table.
+// CreateTable registers an empty heap table. A field hint installed for the
+// name (SetFieldHints) becomes the table's physical record layout, winning
+// over the loader's interleaved default.
 func (e *Engine) CreateTable(name string) *Table {
 	t := &Table{Name: name, eng: e}
+	if defs, ok := e.fieldHints[name]; ok {
+		t.setFields(defs)
+	}
 	e.tables[name] = t
 	return t
 }

@@ -127,6 +127,15 @@ func (p *Page) Record(slot int) ([]byte, error) {
 	return p.Data[off+2 : off+2+n], nil
 }
 
+// DataOffset returns the page-relative byte offset of a slot's stored
+// record: the u16 length prefix sits at the returned offset and the record
+// bytes begin 2 past it. The slot must be live (callers have already
+// resolved it through Record); combined with PageAddr it yields the honest
+// simulated address of a record for the D-cache models.
+func (p *Page) DataOffset(slot int) int {
+	return int(p.u16(p.slotOff(slot)))
+}
+
 // Update overwrites the record in place; the new record must have the same
 // length (fixed-size rows, as TPC-B uses).
 func (p *Page) Update(slot int, rec []byte) error {

@@ -196,7 +196,7 @@ func (tb *Table) Insert(s *Session, rec []byte) RID {
 		s.txn.undo = append(s.txn.undo, lr)
 	}
 	s.PB.Data(PageAddr(pgID), 16, true) // page header: slot count, LSN
-	s.PB.Data(PageAddr(pgID)+uint64(slot%64)*100, len(rec), true)
+	s.PB.Data(PageAddr(pgID)+uint64(pg.DataOffset(slot)), len(rec)+2, true)
 	return rid
 }
 
@@ -210,7 +210,42 @@ func (tb *Table) Fetch(s *Session, rid RID) []byte {
 	if err != nil {
 		panic(fmt.Sprintf("db: heap fetch %v: %v", rid, err))
 	}
-	s.PB.Data(PageAddr(rid.Page)+uint64(rid.Slot)*100, len(rec), false)
+	s.PB.Data(recordAddr(pg, rid), len(rec)+2, false)
+	return clone(rec)
+}
+
+// recordAddr returns the honest simulated address of a record's length
+// prefix (its first stored byte) for the D-cache models.
+func recordAddr(pg *Page, rid RID) uint64 {
+	return PageAddr(rid.Page) + uint64(pg.DataOffset(int(rid.Slot)))
+}
+
+// FetchFields is Fetch for schema-aware callers: it copies the whole record
+// but models only the named fields as read — one data reference for the
+// record's length prefix plus one per field at its resolved offset — and
+// tallies each into the table's field-access profile. The instruction
+// stream is identical to Fetch (same probe enter/leave shape; data
+// references cost no instructions), so interleaved and grouped layouts
+// differ only in the addresses the D-cache models see.
+func (tb *Table) FetchFields(s *Session, rid RID, names ...string) []byte {
+	s.PB.Enter("heap_fetch")
+	defer s.PB.Leave("heap_fetch")
+	pg := s.BufGet(rid.Page)
+	defer s.Unpin(pg)
+	rec, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		panic(fmt.Sprintf("db: heap fetch %v: %v", rid, err))
+	}
+	base := recordAddr(pg, rid)
+	s.PB.Data(base, 2, false) // record header: length prefix
+	for _, name := range names {
+		f, ok := tb.fieldByName[name]
+		if !ok {
+			panic(fmt.Sprintf("db: table %q has no field %q", tb.Name, name))
+		}
+		s.PB.Data(base+2+uint64(f.Off), f.Width, false)
+		tb.tally[name].Reads++
+	}
 	return clone(rec)
 }
 
@@ -235,7 +270,43 @@ func (tb *Table) Update(s *Session, rid RID, rec []byte) {
 		panic(err)
 	}
 	s.PB.Data(PageAddr(rid.Page), 16, true) // page header LSN
-	s.PB.Data(PageAddr(rid.Page)+uint64(rid.Slot)*100, len(rec), true)
+	s.PB.Data(recordAddr(pg, rid), len(rec)+2, true)
+}
+
+// UpdateFields is Update for schema-aware callers: the full record image is
+// still logged and written (fixed-size in-place update), but the modeled
+// dirty bytes are only the named fields — a header write plus one write per
+// field at its resolved offset — since the unnamed bytes are unchanged.
+// Each named field is tallied as written in the field-access profile.
+func (tb *Table) UpdateFields(s *Session, rid RID, rec []byte, names ...string) {
+	s.PB.Enter("heap_update")
+	defer s.PB.Leave("heap_update")
+	pg := s.BufGet(rid.Page)
+	defer s.Unpin(pg)
+	old, err := pg.Record(int(rid.Slot))
+	if err != nil {
+		panic(fmt.Sprintf("db: heap update %v: %v", rid, err))
+	}
+	lr := LogRec{Txn: s.txnID(), Kind: LogUpdate, Page: rid.Page, Slot: rid.Slot,
+		Before: clone(old), After: clone(rec)}
+	s.LogAppend(lr)
+	if s.txn != nil {
+		s.txn.undo = append(s.txn.undo, lr)
+	}
+	if err := pg.Update(int(rid.Slot), rec); err != nil {
+		panic(err)
+	}
+	s.PB.Data(PageAddr(rid.Page), 16, true) // page header LSN
+	base := recordAddr(pg, rid)
+	s.PB.Data(base, 2, true)
+	for _, name := range names {
+		f, ok := tb.fieldByName[name]
+		if !ok {
+			panic(fmt.Sprintf("db: table %q has no field %q", tb.Name, name))
+		}
+		s.PB.Data(base+2+uint64(f.Off), f.Width, true)
+		tb.tally[name].Writes++
+	}
 }
 
 func (s *Session) txnID() uint64 {

@@ -19,6 +19,7 @@ import (
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/pstore"
+	"codelayout/internal/reclayout"
 	"codelayout/internal/tpcb"
 	"codelayout/internal/workload"
 )
@@ -64,6 +65,17 @@ type Options struct {
 
 	Transactions int
 	WarmupTxns   int
+
+	// RecordLayout selects the physical record layout the measured machine
+	// installs before the workload loads: "" or "interleaved" keeps each
+	// table's declared schema order; "grouped" asks reclayout to regroup
+	// each table's hot fields contiguously at the record head, driven by
+	// the field-access profile of the session's training run (falling back
+	// to the schema's static hot hints when the profile predates field
+	// tallying). Training itself always runs interleaved — the baseline —
+	// so the two regimes share one training memo; the setting keys the
+	// measurement memos, so interleaved and grouped runs never collide.
+	RecordLayout string
 
 	// FetchStallPenaltyInstr charges each L1 instruction-cache miss this
 	// many instruction-times of stall on the fetching CPU's clock (see
@@ -244,6 +256,7 @@ type measKey struct {
 	workload  string
 	layout    string
 	kern      string
+	reclayout string
 	cpus      int
 	shards    int
 	gcWindow  uint64
@@ -279,6 +292,11 @@ func NewSessionFrom(src *ProfileSource, o Options) (*Session, error) {
 	if !src.Covers(o.Workload.Name()) {
 		return nil, fmt.Errorf("expt: eval workload %q is not modeled in the source image (covers %v); list it in NewProfileSource",
 			o.Workload.Name(), src.WorkloadNames())
+	}
+	switch o.RecordLayout {
+	case "", "interleaved", "grouped":
+	default:
+		return nil, fmt.Errorf("expt: RecordLayout = %q; must be \"interleaved\" or \"grouped\" (empty selects interleaved)", o.RecordLayout)
 	}
 	if o.PredictFastPath && shardKey(o.Shards) > 1 && src.appImg.Fns["predict_check"] == nil {
 		return nil, fmt.Errorf("expt: PredictFastPath needs the predictor models in the source image; build the ProfileSource with Options.PredictFastPath set")
@@ -398,6 +416,15 @@ func (s *Session) KernLayout(name string) (*program.Layout, error) {
 	return s.src.kernLayout(s.defTrain, name)
 }
 
+// recordLayout normalizes the session's record-layout setting: the empty
+// string is the interleaved default, so both spellings share one memo key.
+func (s *Session) recordLayout() string {
+	if s.Opt.RecordLayout == "" {
+		return "interleaved"
+	}
+	return s.Opt.RecordLayout
+}
+
 // fastPath normalizes the session's fast-path setting: single-shard
 // measurements have no router to skip, so the flag is effective only on
 // sharded configurations (this also keeps shards=1 memo keys and machine
@@ -460,6 +487,7 @@ func (s *Session) measureFor(tc TrainConfig, layout, kern string, cpus int) (*Me
 		workload:  s.Opt.Workload.Name(),
 		layout:    layout,
 		kern:      kern,
+		reclayout: s.recordLayout(),
 		cpus:      cpus,
 		shards:    shardKey(s.Opt.Shards),
 		gcWindow:  s.Opt.GroupCommitWindowInstr,
@@ -519,12 +547,25 @@ func (s *Session) measure(tc TrainConfig, layout, kern string, cpus int) (*Measu
 	cfg := s.machineConfig(s.src.appImageFor(tc, layout), appL, kernL, cpus)
 	cfg.Sinks = bat.sinks()
 	cfg.DataSinks = bat.dataSinks()
+	if s.recordLayout() == "grouped" {
+		prof, err := s.src.fieldProfile(tc)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RecordLayouts, err = reclayout.GroupedDefs(s.Opt.Workload, prof)
+		if err != nil {
+			return nil, err
+		}
+	}
 	mach, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res, err := mach.Run()
 	if err != nil {
+		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu (train %s): %w", layout, kern, cpus, tc.Spec(), err)
+	}
+	if err := mach.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("expt: measuring %s/%s/%dcpu (train %s): %w", layout, kern, cpus, tc.Spec(), err)
 	}
 	meas := bat.finish(res)

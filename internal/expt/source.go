@@ -16,6 +16,7 @@ import (
 	"codelayout/internal/profile"
 	"codelayout/internal/program"
 	"codelayout/internal/pstore"
+	"codelayout/internal/reclayout"
 	"codelayout/internal/trace"
 	"codelayout/internal/workload"
 )
@@ -78,6 +79,11 @@ type trainRun struct {
 	kern     *profile.Profile
 	dcpi     *profile.Profile
 	kindFreq map[string]float64
+	// fields is the field-access profile the engines tallied while training
+	// (table → field → read/write counts) — what the record-layout pass
+	// groups hot fields from. Training always runs the interleaved baseline
+	// layout, so the profile is layout-independent.
+	fields reclayout.Profile
 }
 
 // ProfileSource owns the built images, their baseline layouts, and memos of
@@ -243,10 +249,22 @@ func (ps *ProfileSource) trainEntry(tc TrainConfig) (*pstore.Entry, error) {
 		Spec:     k.Spec,
 		Image:    k.Image,
 		KindFreq: run.kindFreq,
+		Fields:   run.fields,
 		App:      run.app,
 		Kern:     run.kern,
 		DCPI:     run.dcpi,
 	}, nil
+}
+
+// fieldProfile trains (or loads) tc and returns its field-access profile —
+// nil (static-hint fallback) when the run predates field tallying (an old
+// store entry).
+func (ps *ProfileSource) fieldProfile(tc TrainConfig) (reclayout.Profile, error) {
+	run, err := ps.train(ps.opt.resolveTrain(tc))
+	if err != nil {
+		return nil, err
+	}
+	return run.fields, nil
 }
 
 // AppImage exposes the shared application image.
@@ -579,7 +597,8 @@ func (ps *ProfileSource) trainOrLoad(tc TrainConfig, spec string) (*trainRun, er
 		ps.mu.Lock()
 		ps.lastHit = e
 		ps.mu.Unlock()
-		return &trainRun{app: e.App, kern: e.Kern, dcpi: e.DCPI, kindFreq: e.KindFreq}, nil
+		return &trainRun{app: e.App, kern: e.Kern, dcpi: e.DCPI, kindFreq: e.KindFreq,
+			fields: reclayout.Profile(e.Fields)}, nil
 	}
 	run, err := ps.runTraining(tc, spec)
 	if err != nil {
@@ -589,7 +608,7 @@ func (ps *ProfileSource) trainOrLoad(tc TrainConfig, spec string) (*trainRun, er
 	// and the in-memory memo still carries the run.
 	_ = ps.store.Put(&pstore.Entry{
 		Spec: key.Spec, Image: key.Image, CreatedAt: time.Now(),
-		KindFreq: run.kindFreq, App: run.app, Kern: run.kern, DCPI: run.dcpi,
+		KindFreq: run.kindFreq, Fields: run.fields, App: run.app, Kern: run.kern, DCPI: run.dcpi,
 	})
 	return run, nil
 }
@@ -630,5 +649,5 @@ func (ps *ProfileSource) runTraining(tc TrainConfig, spec string) (*trainRun, er
 	ps.trainExec++
 	ps.mu.Unlock()
 	return &trainRun{app: px.Profile, kern: kx.Profile, dcpi: dcpi.Finish("dcpi-train"),
-		kindFreq: m.KindFrequencies()}, nil
+		kindFreq: m.KindFrequencies(), fields: m.FieldProfile()}, nil
 }

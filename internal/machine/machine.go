@@ -92,6 +92,16 @@ type Config struct {
 	// everything.
 	BufferPoolPages int
 
+	// RecordLayouts, when set, installs a physical record layout per table
+	// (table name → field definitions) on every engine before the workload
+	// loads: the workload's loaders and accessors then encode and decode
+	// records at these byte offsets instead of the schema's declared
+	// (interleaved) ones. This is how the profile-guided record-layout pass
+	// (internal/reclayout) applies a hot/cold field grouping — only data
+	// addresses move; instruction streams are untouched. nil keeps each
+	// workload's interleaved default.
+	RecordLayouts map[string][]db.FieldDef
+
 	// QuantumInstr is the scheduling timeslice in instructions.
 	QuantumInstr uint64
 	// TimerIntervalInstr is the clock-interrupt period in instructions.
@@ -453,6 +463,11 @@ func New(cfg Config) (*Machine, error) {
 			PageStride:        pageStride(cfg.Shards),
 		}))
 	}
+	for _, e := range m.engs {
+		if err := e.SetFieldHints(cfg.RecordLayouts); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Shards > 1 {
 		sw := cfg.Workload.(workload.ShardedWorkload) // checked by Validate
 		sinst, err := sw.LoadSharded(m.engs)
@@ -608,6 +623,31 @@ func (m *Machine) GroupCommitWindows() []uint64 {
 // Instance exposes the loaded workload of a single-shard machine (tests and
 // verification); nil when sharded.
 func (m *Machine) Instance() workload.Instance { return m.inst }
+
+// FieldProfile harvests the field-access profile the engines tallied during
+// the run: table → field → read/write counts, merged across shards. Only
+// field-instrumented accesses (db.Table.FetchFields/UpdateFields) tally, so
+// loaders and verification readers never pollute the profile. The result is
+// what reclayout.Decide consumes to group hot fields.
+func (m *Machine) FieldProfile() map[string]map[string]db.FieldAccess {
+	out := make(map[string]map[string]db.FieldAccess)
+	for _, e := range m.engs {
+		for name, fields := range e.FieldProfile() {
+			dst, ok := out[name]
+			if !ok {
+				dst = make(map[string]db.FieldAccess, len(fields))
+				out[name] = dst
+			}
+			for field, a := range fields {
+				cur := dst[field]
+				cur.Reads += a.Reads
+				cur.Writes += a.Writes
+				dst[field] = cur
+			}
+		}
+	}
+	return out
+}
 
 // Engines exposes the per-shard engines (tests and verification).
 func (m *Machine) Engines() []*db.Engine { return m.engs }

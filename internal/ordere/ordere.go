@@ -58,20 +58,86 @@ const (
 	lineStride = 16
 )
 
-// Row field helpers: fixed 100-byte rows with four u64 fields.
-func encodeRow(f0, f1 uint64, f2, f3 int64) []byte {
-	row := make([]byte, rowBytes)
-	binary.LittleEndian.PutUint64(row[0:], f0)
-	binary.LittleEndian.PutUint64(row[8:], f1)
-	binary.LittleEndian.PutUint64(row[16:], uint64(f2))
-	binary.LittleEndian.PutUint64(row[24:], uint64(f3))
-	return row
+// Schemas returns the per-table field schemas: every table is a fixed
+// 100-byte row of four u64 fields plus a wide cold filler, but each table's
+// hot fields differ — the district's order-id allocator and the stock
+// quantities belong to New-Order, the YTD and balance columns to Payment —
+// so a profile-guided layout groups a different head per table.
+func Schemas() []workload.TableSchema {
+	pay := []string{"payment", "payment_dist"}
+	no := []string{"neworder"}
+	filler := rowBytes - 32
+	u := func(name string) workload.FieldSchema { return workload.FieldSchema{Name: name, Width: 8} }
+	rw := func(name string, by []string) workload.FieldSchema {
+		return workload.FieldSchema{Name: name, Width: 8, ReadBy: by, WrittenBy: by}
+	}
+	fill := workload.FieldSchema{Name: "filler", Width: filler}
+	return []workload.TableSchema{
+		{Table: "warehouse", Fields: []workload.FieldSchema{
+			u("id"), u("tag"), rw("ytd", pay), u("reserved"), fill}},
+		{Table: "district", Fields: []workload.FieldSchema{
+			u("id"), u("warehouse"), rw("ytd", pay), rw("next_oid", no), fill}},
+		{Table: "customer", Fields: []workload.FieldSchema{
+			u("id"), u("district"), rw("balance", pay),
+			{Name: "credit", Width: 8, ReadBy: no}, fill}},
+		{Table: "stock", Fields: []workload.FieldSchema{
+			u("id"), u("warehouse"), rw("qty", no), rw("ytd", no), fill}},
+		{Table: "orders", Fields: []workload.FieldSchema{
+			u("key"), u("customer"), rw("total", no), u("lines"), fill}},
+		{Table: "order_line", Fields: []workload.FieldSchema{
+			u("key"), u("item"), {Name: "amount", Width: 8, ReadBy: no}, u("qty"), fill}},
+	}
 }
 
-func rowF2(row []byte) int64       { return int64(binary.LittleEndian.Uint64(row[16:])) }
-func rowSetF2(row []byte, v int64) { binary.LittleEndian.PutUint64(row[16:], uint64(v)) }
-func rowF3(row []byte) int64       { return int64(binary.LittleEndian.Uint64(row[24:])) }
-func rowSetF3(row []byte, v int64) { binary.LittleEndian.PutUint64(row[24:], uint64(v)) }
+// offsets caches the resolved byte offsets of every live field, per table,
+// under whatever layout (interleaved or grouped) the engine installed.
+type offsets struct {
+	whID, whTag, whYTD, whReserved              int
+	distID, distWh, distYTD, distNext           int
+	custID, custDist, custBal, custCredit       int
+	stockID, stockWh, stockQty, stockYTD        int
+	orderKey, orderCust, orderTotal, orderLines int
+	lineKey, lineItem, lineAmount, lineQty      int
+}
+
+func resolveOffsets(m *Bench) {
+	o := &m.off
+	o.whID, o.whTag, o.whYTD, o.whReserved =
+		m.WhTable.FieldOffset("id"), m.WhTable.FieldOffset("tag"),
+		m.WhTable.FieldOffset("ytd"), m.WhTable.FieldOffset("reserved")
+	o.distID, o.distWh, o.distYTD, o.distNext =
+		m.DistTable.FieldOffset("id"), m.DistTable.FieldOffset("warehouse"),
+		m.DistTable.FieldOffset("ytd"), m.DistTable.FieldOffset("next_oid")
+	o.custID, o.custDist, o.custBal, o.custCredit =
+		m.CustTable.FieldOffset("id"), m.CustTable.FieldOffset("district"),
+		m.CustTable.FieldOffset("balance"), m.CustTable.FieldOffset("credit")
+	o.stockID, o.stockWh, o.stockQty, o.stockYTD =
+		m.StockTable.FieldOffset("id"), m.StockTable.FieldOffset("warehouse"),
+		m.StockTable.FieldOffset("qty"), m.StockTable.FieldOffset("ytd")
+	o.orderKey, o.orderCust, o.orderTotal, o.orderLines =
+		m.OrderTable.FieldOffset("key"), m.OrderTable.FieldOffset("customer"),
+		m.OrderTable.FieldOffset("total"), m.OrderTable.FieldOffset("lines")
+	o.lineKey, o.lineItem, o.lineAmount, o.lineQty =
+		m.LineTable.FieldOffset("key"), m.LineTable.FieldOffset("item"),
+		m.LineTable.FieldOffset("amount"), m.LineTable.FieldOffset("qty")
+}
+
+// Row field helpers: u64/i64 access at resolved offsets.
+func rowU(row []byte, off int) uint64       { return binary.LittleEndian.Uint64(row[off:]) }
+func rowPutU(row []byte, off int, v uint64) { binary.LittleEndian.PutUint64(row[off:], v) }
+func rowI(row []byte, off int) int64        { return int64(rowU(row, off)) }
+func rowPutI(row []byte, off int, v int64)  { rowPutU(row, off, uint64(v)) }
+
+// encodeRow4 builds a 100-byte row with the four u64 fields at the given
+// resolved offsets.
+func encodeRow4(o0, o1, o2, o3 int, f0, f1 uint64, f2, f3 int64) []byte {
+	row := make([]byte, rowBytes)
+	rowPutU(row, o0, f0)
+	rowPutU(row, o1, f1)
+	rowPutI(row, o2, f2)
+	rowPutI(row, o3, f3)
+	return row
+}
 
 // Bench is a loaded order-entry database.
 type Bench struct {
@@ -93,6 +159,8 @@ type Bench struct {
 
 	whRID   []db.RID
 	distRID []db.RID
+
+	off offsets
 
 	// owned lists the warehouses resident in this engine, ascending (every
 	// warehouse for an unsharded load; one hash partition for a shard).
@@ -130,6 +198,17 @@ func loadOwned(eng *db.Engine, sc Scale, own func(warehouse uint64) bool) (*Benc
 	m.Orders = eng.CreateBTree("order_pk")
 	m.OrderLines = eng.CreateBTree("order_line_pk")
 
+	tables := map[string]*db.Table{
+		"warehouse": m.WhTable, "district": m.DistTable, "customer": m.CustTable,
+		"stock": m.StockTable, "orders": m.OrderTable, "order_line": m.LineTable,
+	}
+	for _, ts := range Schemas() {
+		if err := tables[ts.Table].EnsureFields(ts.Interleaved()); err != nil {
+			return nil, err
+		}
+	}
+	resolveOffsets(m)
+
 	m.whRID = make([]db.RID, sc.Warehouses)
 	m.distRID = make([]db.RID, sc.Warehouses*sc.DistrictsPerWarehouse)
 	for w := 0; w < sc.Warehouses; w++ {
@@ -137,15 +216,17 @@ func loadOwned(eng *db.Engine, sc Scale, own func(warehouse uint64) bool) (*Benc
 			continue
 		}
 		m.owned = append(m.owned, uint64(w))
-		m.whRID[w] = m.WhTable.Insert(s, encodeRow(uint64(w), uint64(w), 0, 0))
+		m.whRID[w] = m.WhTable.Insert(s, encodeRow4(m.off.whID, m.off.whTag, m.off.whYTD, m.off.whReserved,
+			uint64(w), uint64(w), 0, 0))
 	}
 	for dg := 0; dg < sc.Warehouses*sc.DistrictsPerWarehouse; dg++ {
 		wh := uint64(dg / sc.DistrictsPerWarehouse)
 		if own != nil && !own(wh) {
 			continue
 		}
-		// f3 is d_next_o_id, starting at 1.
-		m.distRID[dg] = m.DistTable.Insert(s, encodeRow(uint64(dg), wh, 0, 1))
+		// next_oid is d_next_o_id, starting at 1.
+		m.distRID[dg] = m.DistTable.Insert(s, encodeRow4(m.off.distID, m.off.distWh, m.off.distYTD, m.off.distNext,
+			uint64(dg), wh, 0, 1))
 	}
 	for cg := 0; cg < m.NumCustomers(); cg++ {
 		dg := uint64(cg / sc.CustomersPerDistrict)
@@ -153,7 +234,8 @@ func loadOwned(eng *db.Engine, sc Scale, own func(warehouse uint64) bool) (*Benc
 		if own != nil && !own(wh) {
 			continue
 		}
-		rid := m.CustTable.Insert(s, encodeRow(uint64(cg), dg, 0, 0))
+		rid := m.CustTable.Insert(s, encodeRow4(m.off.custID, m.off.custDist, m.off.custBal, m.off.custCredit,
+			uint64(cg), dg, 0, 0))
 		if err := m.Customers.Insert(s, uint64(cg), rid.Pack()); err != nil {
 			return nil, err
 		}
@@ -163,7 +245,8 @@ func loadOwned(eng *db.Engine, sc Scale, own func(warehouse uint64) bool) (*Benc
 		if own != nil && !own(wh) {
 			continue
 		}
-		rid := m.StockTable.Insert(s, encodeRow(uint64(sk), wh, 100, 0))
+		rid := m.StockTable.Insert(s, encodeRow4(m.off.stockID, m.off.stockWh, m.off.stockQty, m.off.stockYTD,
+			uint64(sk), wh, 100, 0))
 		if err := m.StockIdx.Insert(s, uint64(sk), rid.Pack()); err != nil {
 			return nil, err
 		}
@@ -314,11 +397,11 @@ func (m *Bench) noDistrict(s *db.Session, in Input) uint64 {
 	dg := m.distGlobal(in)
 	s.LockX(db.LockKey(lockSpaceDistrict, dg))
 	rid := m.distRID[dg]
-	row := m.DistTable.Fetch(s, rid)
-	oid := uint64(rowF3(row))
-	rowSetF3(row, int64(oid)+1)
+	row := m.DistTable.FetchFields(s, rid, "next_oid")
+	oid := rowU(row, m.off.distNext)
+	rowPutU(row, m.off.distNext, oid+1)
 	s.PB.Data(s.ScratchAddr(256), 128, true)
-	m.DistTable.Update(s, rid, row)
+	m.DistTable.UpdateFields(s, rid, row, "next_oid")
 	return oid
 }
 
@@ -332,7 +415,7 @@ func (m *Bench) noCustomer(s *db.Session, in Input) {
 		panic(fmt.Sprintf("ordere: customer %d missing", cg))
 	}
 	s.LockS(db.LockKey(lockSpaceCustomer, cg))
-	m.CustTable.Fetch(s, db.UnpackRID(packed))
+	m.CustTable.FetchFields(s, db.UnpackRID(packed), "credit")
 	s.PB.Data(s.ScratchAddr(384), 128, true)
 }
 
@@ -348,15 +431,15 @@ func (m *Bench) noStock(s *db.Session, warehouse uint64, ln Line) {
 	}
 	s.LockX(db.LockKey(lockSpaceStock, skey))
 	rid := db.UnpackRID(packed)
-	row := m.StockTable.Fetch(s, rid)
-	qty := rowF2(row) - ln.Qty
+	row := m.StockTable.FetchFields(s, rid, "qty", "ytd")
+	qty := rowI(row, m.off.stockQty) - ln.Qty
 	if qty < 10 {
 		qty += 91
 	}
-	rowSetF2(row, qty)
-	rowSetF3(row, rowF3(row)+ln.Qty)
+	rowPutI(row, m.off.stockQty, qty)
+	rowPutI(row, m.off.stockYTD, rowI(row, m.off.stockYTD)+ln.Qty)
 	s.PB.Data(s.ScratchAddr(512), 128, true)
-	m.StockTable.Update(s, rid, row)
+	m.StockTable.UpdateFields(s, rid, row, "qty", "ytd")
 }
 
 // noInsert writes the order row and its order lines, maintaining both
@@ -364,7 +447,8 @@ func (m *Bench) noStock(s *db.Session, warehouse uint64, ln Line) {
 func (m *Bench) noInsert(s *db.Session, in Input, okey uint64) db.RID {
 	s.PB.Enter("no_order")
 	defer s.PB.Leave("no_order")
-	orid := m.OrderTable.Insert(s, encodeRow(okey, m.custGlobal(in), 0, int64(len(in.Lines))))
+	orid := m.OrderTable.Insert(s, encodeRow4(m.off.orderKey, m.off.orderCust, m.off.orderTotal, m.off.orderLines,
+		okey, m.custGlobal(in), 0, int64(len(in.Lines))))
 	if err := m.Orders.Insert(s, okey, orid.Pack()); err != nil {
 		panic(err)
 	}
@@ -372,7 +456,8 @@ func (m *Bench) noInsert(s *db.Session, in Input, okey uint64) db.RID {
 		s.PB.Branch("no_insline", true)
 		lkey := okey*lineStride + uint64(i+1)
 		amount := linePrice(ln.Item) * ln.Qty
-		lrid := m.LineTable.Insert(s, encodeRow(lkey, ln.Item, amount, ln.Qty))
+		lrid := m.LineTable.Insert(s, encodeRow4(m.off.lineKey, m.off.lineItem, m.off.lineAmount, m.off.lineQty,
+			lkey, ln.Item, amount, ln.Qty))
 		s.PB.Data(s.ScratchAddr(640), 96, true)
 		if err := m.OrderLines.Insert(s, lkey, lrid.Pack()); err != nil {
 			panic(err)
@@ -396,13 +481,13 @@ func (m *Bench) noTotal(s *db.Session, okey uint64, orid db.RID) {
 	var total int64
 	for _, rid := range rids {
 		s.PB.Branch("no_sum", true)
-		total += rowF2(m.LineTable.Fetch(s, rid))
+		total += rowI(m.LineTable.FetchFields(s, rid, "amount"), m.off.lineAmount)
 	}
 	s.PB.Branch("no_sum", false)
-	row := m.OrderTable.Fetch(s, orid)
-	rowSetF2(row, total)
+	row := m.OrderTable.FetchFields(s, orid, "total")
+	rowPutI(row, m.off.orderTotal, total)
 	s.PB.Data(s.ScratchAddr(768), 128, true)
-	m.OrderTable.Update(s, orid, row)
+	m.OrderTable.UpdateFields(s, orid, row, "total")
 }
 
 // ---- Payment ----
@@ -424,10 +509,10 @@ func (m *Bench) payWarehouse(s *db.Session, in Input) {
 	defer s.PB.Leave("pay_warehouse")
 	s.LockX(db.LockKey(lockSpaceWarehouse, in.Warehouse))
 	rid := m.whRID[in.Warehouse]
-	row := m.WhTable.Fetch(s, rid)
-	rowSetF2(row, rowF2(row)+in.Amount)
+	row := m.WhTable.FetchFields(s, rid, "ytd")
+	rowPutI(row, m.off.whYTD, rowI(row, m.off.whYTD)+in.Amount)
 	s.PB.Data(s.ScratchAddr(0), 128, true)
-	m.WhTable.Update(s, rid, row)
+	m.WhTable.UpdateFields(s, rid, row, "ytd")
 }
 
 func (m *Bench) payDistrict(s *db.Session, in Input) {
@@ -436,10 +521,10 @@ func (m *Bench) payDistrict(s *db.Session, in Input) {
 	dg := m.distGlobal(in)
 	s.LockX(db.LockKey(lockSpaceDistrict, dg))
 	rid := m.distRID[dg]
-	row := m.DistTable.Fetch(s, rid)
-	rowSetF2(row, rowF2(row)+in.Amount)
+	row := m.DistTable.FetchFields(s, rid, "ytd")
+	rowPutI(row, m.off.distYTD, rowI(row, m.off.distYTD)+in.Amount)
 	s.PB.Data(s.ScratchAddr(256), 128, true)
-	m.DistTable.Update(s, rid, row)
+	m.DistTable.UpdateFields(s, rid, row, "ytd")
 }
 
 func (m *Bench) payCustomer(s *db.Session, in Input) {
@@ -452,10 +537,10 @@ func (m *Bench) payCustomer(s *db.Session, in Input) {
 	}
 	s.LockX(db.LockKey(lockSpaceCustomer, cg))
 	rid := db.UnpackRID(packed)
-	row := m.CustTable.Fetch(s, rid)
-	rowSetF2(row, rowF2(row)+in.Amount)
+	row := m.CustTable.FetchFields(s, rid, "balance")
+	rowPutI(row, m.off.custBal, rowI(row, m.off.custBal)+in.Amount)
 	s.PB.Data(s.ScratchAddr(512), 128, true)
-	m.CustTable.Update(s, rid, row)
+	m.CustTable.UpdateFields(s, rid, row, "balance")
 }
 
 func (m *Bench) payHistory(s *db.Session, in Input) {
@@ -472,12 +557,12 @@ func (m *Bench) payHistory(s *db.Session, in Input) {
 
 // WarehouseYTD reads a warehouse's year-to-date total (verification).
 func (m *Bench) WarehouseYTD(s *db.Session, w uint64) int64 {
-	return rowF2(m.WhTable.Fetch(s, m.whRID[w]))
+	return rowI(m.WhTable.Fetch(s, m.whRID[w]), m.off.whYTD)
 }
 
 // DistrictYTD reads a district's year-to-date total (verification).
 func (m *Bench) DistrictYTD(s *db.Session, dg uint64) int64 {
-	return rowF2(m.DistTable.Fetch(s, m.distRID[dg]))
+	return rowI(m.DistTable.Fetch(s, m.distRID[dg]), m.off.distYTD)
 }
 
 // CustomerBalance reads a customer balance (verification).
@@ -486,7 +571,7 @@ func (m *Bench) CustomerBalance(s *db.Session, cg uint64) int64 {
 	if !ok {
 		panic(fmt.Sprintf("ordere: customer %d missing", cg))
 	}
-	return rowF2(m.CustTable.Fetch(s, db.UnpackRID(packed)))
+	return rowI(m.CustTable.Fetch(s, db.UnpackRID(packed)), m.off.custBal)
 }
 
 // Check implements workload.Instance: every order's total equals the sum of
@@ -523,15 +608,15 @@ func (m *Bench) checkOrders(s *db.Session) error {
 		lines := 0
 		m.OrderLines.ScanRange(s, o.key*lineStride+1, o.key*lineStride+MaxLines,
 			func(_, val uint64) bool {
-				sum += rowF2(m.LineTable.Fetch(s, db.UnpackRID(val)))
+				sum += rowI(m.LineTable.Fetch(s, db.UnpackRID(val)), m.off.lineAmount)
 				lines++
 				return true
 			})
-		if sum != rowF2(row) {
-			return fmt.Errorf("ordere: order %d total %d, lines sum to %d", o.key, rowF2(row), sum)
+		if total := rowI(row, m.off.orderTotal); sum != total {
+			return fmt.Errorf("ordere: order %d total %d, lines sum to %d", o.key, total, sum)
 		}
-		if int64(lines) != rowF3(row) {
-			return fmt.Errorf("ordere: order %d records %d lines, index has %d", o.key, rowF3(row), lines)
+		if rec := rowI(row, m.off.orderLines); int64(lines) != rec {
+			return fmt.Errorf("ordere: order %d records %d lines, index has %d", o.key, rec, lines)
 		}
 	}
 	return nil

@@ -56,6 +56,10 @@ func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
 	return Load(eng, w.Scale)
 }
 
+// RecordSchemas implements workload.RecordSchemas: the per-table field
+// schemas the record-layout pass groups.
+func (w *Workload) RecordSchemas() []workload.TableSchema { return Schemas() }
+
 // KindRoots implements workload.KindRoots: one entry model per transaction
 // kind in the mix, including the distributed Payment the sharded variant
 // labels "payment_dist".

@@ -21,9 +21,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"codelayout/internal/db"
 	"codelayout/internal/profile"
 )
 
@@ -64,9 +67,14 @@ type Entry struct {
 	// KindFreq is the normalized transaction-kind mix observed while
 	// training; the drift detector compares the live mix against it.
 	KindFreq map[string]float64
-	App      *profile.Profile
-	Kern     *profile.Profile
-	DCPI     *profile.Profile // nil when sampling was off
+	// Fields is the field-access profile harvested from the training run
+	// (table → field → read/write tallies) — the record-layout pass's
+	// training signal. nil in entries written before the field existed; the
+	// caller then falls back to static schema hints.
+	Fields map[string]map[string]db.FieldAccess
+	App    *profile.Profile
+	Kern   *profile.Profile
+	DCPI   *profile.Profile // nil when sampling was off
 }
 
 // Key returns the entry's store key.
@@ -84,12 +92,59 @@ type wireEntry struct {
 	CreatedAt time.Time
 	KindNames []string
 	KindFreqs []float64
-	App       *profile.Profile
-	Kern      *profile.Profile
-	DCPI      *profile.Profile
-	AppFP     uint64
-	KernFP    uint64
-	DCPIFP    uint64
+	// The field-access profile, flattened to parallel slices sorted by key
+	// (gob map order is random): FieldKeys[i] is "table\x00field". Absent in
+	// files written before the record-layout pass existed — they decode to
+	// empty slices and a nil Entry.Fields.
+	FieldKeys   []string
+	FieldReads  []uint64
+	FieldWrites []uint64
+	App         *profile.Profile
+	Kern        *profile.Profile
+	DCPI        *profile.Profile
+	AppFP       uint64
+	KernFP      uint64
+	DCPIFP      uint64
+}
+
+// flattenFields turns a field-access profile into the wire form's sorted
+// parallel slices.
+func flattenFields(fields map[string]map[string]db.FieldAccess) (keys []string, reads, writes []uint64) {
+	for table, fs := range fields {
+		for name := range fs {
+			keys = append(keys, table+"\x00"+name)
+		}
+	}
+	sort.Strings(keys)
+	reads = make([]uint64, len(keys))
+	writes = make([]uint64, len(keys))
+	for i, k := range keys {
+		cut := strings.IndexByte(k, 0)
+		a := fields[k[:cut]][k[cut+1:]]
+		reads[i], writes[i] = a.Reads, a.Writes
+	}
+	return keys, reads, writes
+}
+
+// unflattenFields rebuilds the profile map ("" on malformed keys reads as
+// corrupt to the caller).
+func unflattenFields(keys []string, reads, writes []uint64) (map[string]map[string]db.FieldAccess, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]map[string]db.FieldAccess)
+	for i, k := range keys {
+		cut := strings.IndexByte(k, 0)
+		if cut < 0 {
+			return nil, fmt.Errorf("field key %q missing separator", k)
+		}
+		table, name := k[:cut], k[cut+1:]
+		if out[table] == nil {
+			out[table] = make(map[string]db.FieldAccess)
+		}
+		out[table][name] = db.FieldAccess{Reads: reads[i], Writes: writes[i]}
+	}
+	return out, nil
 }
 
 // Stats counts store traffic since Open.
@@ -284,6 +339,7 @@ func encodeEntry(w *bufio.Writer, e *Entry) error {
 		we.DCPIFP = e.DCPI.Fingerprint()
 	}
 	we.KindNames, we.KindFreqs = flattenFreq(e.KindFreq)
+	we.FieldKeys, we.FieldReads, we.FieldWrites = flattenFields(e.Fields)
 	return gob.NewEncoder(w).Encode(&we)
 }
 
@@ -314,6 +370,9 @@ func ReadEntry(path string) (*Entry, error) {
 	if len(we.KindNames) != len(we.KindFreqs) {
 		return nil, fmt.Errorf("%w: %s: kind mix length mismatch", ErrCorrupt, filepath.Base(path))
 	}
+	if len(we.FieldKeys) != len(we.FieldReads) || len(we.FieldKeys) != len(we.FieldWrites) {
+		return nil, fmt.Errorf("%w: %s: field profile length mismatch", ErrCorrupt, filepath.Base(path))
+	}
 	e := &Entry{
 		Spec:      we.Spec,
 		Image:     we.Image,
@@ -328,5 +387,10 @@ func ReadEntry(path string) (*Entry, error) {
 			e.KindFreq[name] = we.KindFreqs[i]
 		}
 	}
+	fields, err := unflattenFields(we.FieldKeys, we.FieldReads, we.FieldWrites)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+	}
+	e.Fields = fields
 	return e, nil
 }

@@ -1,0 +1,122 @@
+// Package reclayout decides profile-guided physical record layouts: given a
+// workload's declared per-table field schemas (workload.TableSchema) and a
+// measured field-access profile (per-field read/write tallies collected by
+// the storage engine during training), it groups hot fields contiguously at
+// the record head with cold fields packed behind — the data-cache analogue
+// of the paper's hot/cold code splitting. The grouped layout changes only
+// the byte offsets records encode and decode on slotted pages; record width,
+// field set and instruction streams are preserved, so the L1D model sees
+// fewer touched lines per transaction and nothing else moves.
+package reclayout
+
+import (
+	"fmt"
+	"sort"
+
+	"codelayout/internal/db"
+	"codelayout/internal/workload"
+)
+
+// Profile is a field-access profile: table → field → access tally. It is
+// what machine.Machine.FieldProfile harvests from a training run's engines.
+type Profile map[string]map[string]db.FieldAccess
+
+// Merge adds src's tallies into p (used when blending profiles from
+// multiple runs).
+func (p Profile) Merge(src Profile) {
+	for table, fields := range src {
+		dst, ok := p[table]
+		if !ok {
+			dst = make(map[string]db.FieldAccess, len(fields))
+			p[table] = dst
+		}
+		for name, a := range fields {
+			cur := dst[name]
+			cur.Reads += a.Reads
+			cur.Writes += a.Writes
+			dst[name] = cur
+		}
+	}
+}
+
+// Total returns the total access count across every table and field.
+func (p Profile) Total() uint64 {
+	var n uint64
+	for _, fields := range p {
+		for _, a := range fields {
+			n += a.Total()
+		}
+	}
+	return n
+}
+
+// Interleaved returns the baseline layout of a schema: fields at their
+// declared offsets (see workload.TableSchema.Interleaved).
+func Interleaved(ts workload.TableSchema) []db.FieldDef { return ts.Interleaved() }
+
+// Decide computes the grouped layout of one table: hot fields first, in
+// descending access count, then cold fields in declared order, all packed
+// contiguously so the record width is exactly the schema width. With
+// measured counts, hotness is the field's read+write tally; with nil or
+// empty counts it falls back to the schema's static hint (a field some
+// transaction kind declares it reads or writes is hot). Ties keep declared
+// order, so the decision is deterministic.
+func Decide(ts workload.TableSchema, counts map[string]db.FieldAccess) []db.FieldDef {
+	type scored struct {
+		idx  int
+		hot  bool
+		heat uint64
+	}
+	rank := make([]scored, len(ts.Fields))
+	for i, f := range ts.Fields {
+		sc := scored{idx: i}
+		if a, ok := counts[f.Name]; ok && a.Total() > 0 {
+			sc.hot, sc.heat = true, a.Total()
+		} else if len(counts) == 0 && f.Hot() {
+			sc.hot = true
+		}
+		rank[i] = sc
+	}
+	sort.SliceStable(rank, func(i, j int) bool {
+		if rank[i].hot != rank[j].hot {
+			return rank[i].hot
+		}
+		return rank[i].heat > rank[j].heat
+	})
+	defs := make([]db.FieldDef, 0, len(ts.Fields))
+	off := 0
+	for _, sc := range rank {
+		f := ts.Fields[sc.idx]
+		defs = append(defs, db.FieldDef{Name: f.Name, Off: off, Width: f.Width})
+		off += f.Width
+	}
+	return defs
+}
+
+// GroupedDefs computes the grouped layout of every table the workload
+// declares a schema for, keyed by table name — the value of
+// machine.Config.RecordLayouts. The workload must implement
+// workload.RecordSchemas; prof may be nil (or missing tables), in which
+// case the static schema hints decide.
+func GroupedDefs(wl workload.Workload, prof Profile) (map[string][]db.FieldDef, error) {
+	rs, ok := wl.(workload.RecordSchemas)
+	if !ok {
+		return nil, fmt.Errorf("reclayout: workload %q declares no record schemas (implement workload.RecordSchemas)", wl.Name())
+	}
+	schemas := rs.RecordSchemas()
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("reclayout: workload %q returned no table schemas", wl.Name())
+	}
+	out := make(map[string][]db.FieldDef, len(schemas))
+	for _, ts := range schemas {
+		if err := ts.Validate(); err != nil {
+			return nil, err
+		}
+		defs := Decide(ts, prof[ts.Table])
+		if err := db.ValidateFieldDefs(ts.Table, defs); err != nil {
+			return nil, err
+		}
+		out[ts.Table] = defs
+	}
+	return out, nil
+}

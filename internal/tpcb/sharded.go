@@ -24,6 +24,7 @@ type Sharded struct {
 	Map      shard.Map
 	Shards   []*Bench
 	crossPct int
+	hotFrac  float64
 
 	branchShard []int      // branch → owning shard
 	localBy     [][]uint64 // shard → branches it owns
@@ -35,11 +36,15 @@ func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, err
 	if len(engs) < 2 {
 		return nil, fmt.Errorf("tpcb: LoadSharded needs >= 2 engines (got %d); use Load", len(engs))
 	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
 	sc := w.Scale
 	sb := &Sharded{
 		Scale:    sc,
 		Map:      shard.Map{Shards: len(engs)},
 		crossPct: w.Partitioning().CrossShardPct,
+		hotFrac:  w.HotAccountFrac,
 
 		branchShard: make([]int, sc.Branches),
 		localBy:     make([][]uint64, len(engs)),
@@ -62,6 +67,7 @@ func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, err
 		if err != nil {
 			return nil, err
 		}
+		b.HotAccountFrac = w.HotAccountFrac
 		sb.Shards = append(sb.Shards, b)
 	}
 	return sb, nil
@@ -86,7 +92,7 @@ func (sb *Sharded) GenInput(r *rand.Rand) workload.Input {
 	}
 	acctBranch := pool[r.Intn(len(pool))]
 	return Input{
-		Account: acctBranch*uint64(sc.AccountsPerBranch) + uint64(r.Intn(sc.AccountsPerBranch)),
+		Account: acctBranch*uint64(sc.AccountsPerBranch) + uint64(hotIndex(r, sc.AccountsPerBranch, sb.hotFrac)),
 		Teller:  teller,
 		Branch:  branch,
 		Delta:   r.Int63n(1_999_999) - 999_999,

@@ -45,10 +45,49 @@ const (
 	historyBytes = 50
 )
 
+// balanceSchema declares the shared account/teller/branch record shape: the
+// balance is the only field the transaction paths touch at runtime, so a
+// grouped layout pulls it to the record head ahead of the cold id, branch
+// and filler bytes. Declaration order reproduces the historical offsets
+// (id@0, branch@8, balance@16).
+func balanceSchema(table string) workload.TableSchema {
+	kinds := []string{"tpcb", "tpcb_dist"}
+	return workload.TableSchema{Table: table, Fields: []workload.FieldSchema{
+		{Name: "id", Width: 8},
+		{Name: "branch", Width: 8},
+		{Name: "balance", Width: 8, ReadBy: kinds, WrittenBy: kinds},
+		{Name: "filler", Width: rowBytes - 24},
+	}}
+}
+
+// Schemas declares the workload's table schemas (history is insert-only and
+// schema-free: whole-record appends gain nothing from field grouping).
+func Schemas() []workload.TableSchema {
+	return []workload.TableSchema{
+		balanceSchema("account"),
+		balanceSchema("teller"),
+		balanceSchema("branch"),
+	}
+}
+
+// rowOffsets is one table's resolved field offsets; encode/decode goes
+// through it so a grouped physical layout changes the bytes transparently.
+type rowOffsets struct {
+	id, branch, balance int
+}
+
+func resolveOffsets(t *db.Table) rowOffsets {
+	return rowOffsets{id: t.FieldOffset("id"), branch: t.FieldOffset("branch"), balance: t.FieldOffset("balance")}
+}
+
 // Bench is a loaded TPC-B database.
 type Bench struct {
 	Eng   *db.Engine
 	Scale Scale
+
+	// HotAccountFrac > 0 skews account draws: 80% of picks land in the
+	// first HotAccountFrac fraction of each draw range (see Workload).
+	HotAccountFrac float64
 
 	Accounts *db.BTree
 	Tellers  *db.BTree
@@ -57,6 +96,10 @@ type Bench struct {
 	TellerTable *db.Table
 	BranchTable *db.Table
 	HistTable   *db.Table
+
+	acctOff rowOffsets
+	tellOff rowOffsets
+	brchOff rowOffsets
 
 	branchRID []db.RID
 	tellerRID []db.RID
@@ -92,6 +135,18 @@ func loadOwned(eng *db.Engine, sc Scale, own func(branch uint64) bool) (*Bench, 
 	b.Accounts = eng.CreateBTree("account_pk")
 	b.Tellers = eng.CreateBTree("teller_pk")
 
+	// The interleaved schema layout is the default; an engine field hint
+	// (a grouped record layout) installed before load wins, and the
+	// resolved offsets below follow it.
+	for _, ts := range Schemas() {
+		if err := eng.Table(ts.Table).EnsureFields(ts.Interleaved()); err != nil {
+			return nil, err
+		}
+	}
+	b.acctOff = resolveOffsets(b.AcctTable)
+	b.tellOff = resolveOffsets(b.TellerTable)
+	b.brchOff = resolveOffsets(b.BranchTable)
+
 	b.branchRID = make([]db.RID, sc.Branches)
 	b.tellerRID = make([]db.RID, sc.Branches*sc.TellersPerBranch)
 	for br := 0; br < sc.Branches; br++ {
@@ -99,14 +154,14 @@ func loadOwned(eng *db.Engine, sc Scale, own func(branch uint64) bool) (*Bench, 
 			continue
 		}
 		b.owned = append(b.owned, uint64(br))
-		b.branchRID[br] = b.BranchTable.Insert(s, encodeRow(uint64(br), uint64(br), 0))
+		b.branchRID[br] = b.BranchTable.Insert(s, encodeRow(b.brchOff, uint64(br), uint64(br), 0))
 	}
 	for t := 0; t < sc.Branches*sc.TellersPerBranch; t++ {
 		branch := uint64(t / sc.TellersPerBranch)
 		if own != nil && !own(branch) {
 			continue
 		}
-		rid := b.TellerTable.Insert(s, encodeRow(uint64(t), branch, 0))
+		rid := b.TellerTable.Insert(s, encodeRow(b.tellOff, uint64(t), branch, 0))
 		b.tellerRID[t] = rid
 		if err := b.Tellers.Insert(s, uint64(t), rid.Pack()); err != nil {
 			return nil, err
@@ -117,7 +172,7 @@ func loadOwned(eng *db.Engine, sc Scale, own func(branch uint64) bool) (*Bench, 
 		if own != nil && !own(branch) {
 			continue
 		}
-		rid := b.AcctTable.Insert(s, encodeRow(uint64(a), branch, 0))
+		rid := b.AcctTable.Insert(s, encodeRow(b.acctOff, uint64(a), branch, 0))
 		if err := b.Accounts.Insert(s, uint64(a), rid.Pack()); err != nil {
 			return nil, err
 		}
@@ -133,23 +188,24 @@ func (b *Bench) NumAccounts() int { return b.Scale.Branches * b.Scale.AccountsPe
 // NumTellers returns the total teller count.
 func (b *Bench) NumTellers() int { return b.Scale.Branches * b.Scale.TellersPerBranch }
 
-// encodeRow packs a fixed 100-byte row: id, branch, balance, filler.
-func encodeRow(id, branch uint64, balance int64) []byte {
+// encodeRow packs a fixed 100-byte row (id, branch, balance, filler) at the
+// table's resolved field offsets.
+func encodeRow(o rowOffsets, id, branch uint64, balance int64) []byte {
 	row := make([]byte, rowBytes)
-	binary.LittleEndian.PutUint64(row[0:], id)
-	binary.LittleEndian.PutUint64(row[8:], branch)
-	binary.LittleEndian.PutUint64(row[16:], uint64(balance))
+	binary.LittleEndian.PutUint64(row[o.id:], id)
+	binary.LittleEndian.PutUint64(row[o.branch:], branch)
+	binary.LittleEndian.PutUint64(row[o.balance:], uint64(balance))
 	return row
 }
 
-// rowBalance reads the balance field.
-func rowBalance(row []byte) int64 {
-	return int64(binary.LittleEndian.Uint64(row[16:]))
+// balance reads the balance field at the resolved offset.
+func (o rowOffsets) getBalance(row []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(row[o.balance:]))
 }
 
-// rowSetBalance writes the balance field.
-func rowSetBalance(row []byte, v int64) {
-	binary.LittleEndian.PutUint64(row[16:], uint64(v))
+// setBalance writes the balance field at the resolved offset.
+func (o rowOffsets) setBalance(row []byte, v int64) {
+	binary.LittleEndian.PutUint64(row[o.balance:], uint64(v))
 }
 
 // Input is one transaction request from a client.
@@ -160,16 +216,34 @@ type Input struct {
 	Delta   int64
 }
 
-// Gen draws a TPC-B request: uniform teller, uniform account, delta in
-// [-999999, +999999]. The branch is the teller's branch.
+// Gen draws a TPC-B request: uniform teller, account uniform or hot-skewed
+// (HotAccountFrac), delta in [-999999, +999999]. The branch is the teller's
+// branch.
 func (b *Bench) Gen(r *rand.Rand) Input {
 	teller := uint64(r.Intn(b.NumTellers()))
 	return Input{
-		Account: uint64(r.Intn(b.NumAccounts())),
+		Account: uint64(hotIndex(r, b.NumAccounts(), b.HotAccountFrac)),
 		Teller:  teller,
 		Branch:  teller / uint64(b.Scale.TellersPerBranch),
 		Delta:   r.Int63n(1_999_999) - 999_999,
 	}
+}
+
+// hotIndex draws an index in [0, n): uniform when frac is 0, otherwise 80%
+// of draws land in the first max(1, frac*n) indexes — the classic hot-set
+// contention model. frac must have been validated into [0, 1).
+func hotIndex(r *rand.Rand, n int, frac float64) int {
+	if frac <= 0 {
+		return r.Intn(n)
+	}
+	hot := int(frac * float64(n))
+	if hot < 1 {
+		hot = 1
+	}
+	if hot < n && r.Intn(100) < 80 {
+		return r.Intn(hot)
+	}
+	return r.Intn(n)
 }
 
 // GenInput implements workload.Instance.
@@ -231,11 +305,11 @@ func (b *Bench) updAccount(s *db.Session, acct uint64, delta int64) int64 {
 	}
 	rid := db.UnpackRID(packed)
 	s.LockX(db.LockKey(lockSpaceAccount, acct))
-	row := b.AcctTable.Fetch(s, rid)
-	bal := rowBalance(row) + delta
-	rowSetBalance(row, bal)
+	row := b.AcctTable.FetchFields(s, rid, "balance")
+	bal := b.acctOff.getBalance(row) + delta
+	b.acctOff.setBalance(row, bal)
 	s.PB.Data(s.ScratchAddr(256), 128, true) // row image in private buffer
-	b.AcctTable.Update(s, rid, row)
+	b.AcctTable.UpdateFields(s, rid, row, "balance")
 	return bal
 }
 
@@ -248,10 +322,10 @@ func (b *Bench) updTeller(s *db.Session, teller uint64, delta int64) {
 	}
 	rid := db.UnpackRID(packed)
 	s.LockX(db.LockKey(lockSpaceTeller, teller))
-	row := b.TellerTable.Fetch(s, rid)
-	rowSetBalance(row, rowBalance(row)+delta)
+	row := b.TellerTable.FetchFields(s, rid, "balance")
+	b.tellOff.setBalance(row, b.tellOff.getBalance(row)+delta)
 	s.PB.Data(s.ScratchAddr(512), 128, true)
-	b.TellerTable.Update(s, rid, row)
+	b.TellerTable.UpdateFields(s, rid, row, "balance")
 }
 
 func (b *Bench) updBranch(s *db.Session, branch uint64, delta int64) {
@@ -259,10 +333,10 @@ func (b *Bench) updBranch(s *db.Session, branch uint64, delta int64) {
 	defer s.PB.Leave("upd_branch")
 	rid := b.branchRID[branch]
 	s.LockX(db.LockKey(lockSpaceBranch, branch))
-	row := b.BranchTable.Fetch(s, rid)
-	rowSetBalance(row, rowBalance(row)+delta)
+	row := b.BranchTable.FetchFields(s, rid, "balance")
+	b.brchOff.setBalance(row, b.brchOff.getBalance(row)+delta)
 	s.PB.Data(s.ScratchAddr(768), 128, true)
-	b.BranchTable.Update(s, rid, row)
+	b.BranchTable.UpdateFields(s, rid, row, "balance")
 }
 
 func (b *Bench) insHistory(s *db.Session, in Input) {
@@ -285,17 +359,17 @@ func (b *Bench) AccountBalance(s *db.Session, acct uint64) int64 {
 		panic(fmt.Sprintf("tpcb: account %d missing", acct))
 	}
 	row := b.AcctTable.Fetch(s, db.UnpackRID(packed))
-	return rowBalance(row)
+	return b.acctOff.getBalance(row)
 }
 
 // BranchBalance reads a branch balance (verification).
 func (b *Bench) BranchBalance(s *db.Session, branch uint64) int64 {
 	row := b.BranchTable.Fetch(s, b.branchRID[branch])
-	return rowBalance(row)
+	return b.brchOff.getBalance(row)
 }
 
 // TellerBalance reads a teller balance (verification).
 func (b *Bench) TellerBalance(s *db.Session, teller uint64) int64 {
 	row := b.TellerTable.Fetch(s, b.tellerRID[teller])
-	return rowBalance(row)
+	return b.tellOff.getBalance(row)
 }

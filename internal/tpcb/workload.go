@@ -1,6 +1,8 @@
 package tpcb
 
 import (
+	"fmt"
+
 	"codelayout/internal/codegen"
 	"codelayout/internal/db"
 	"codelayout/internal/workload"
@@ -18,6 +20,11 @@ type Workload struct {
 	// workload.DefaultCrossShardPct, negative disables cross-shard
 	// traffic.
 	CrossShardPct int
+	// HotAccountFrac, in [0, 1), skews account picks: 80% of draws land in
+	// the first HotAccountFrac fraction of the draw range (per branch on
+	// sharded machines). 0 keeps the classic uniform draw — and leaves runs
+	// bit-identical to a workload that never heard of skew.
+	HotAccountFrac float64
 }
 
 // New returns the TPC-B workload at the paper's 40-branch scale.
@@ -26,16 +33,33 @@ func New() *Workload { return NewScaled(DefaultScale()) }
 // NewScaled returns the TPC-B workload at an explicit scale.
 func NewScaled(sc Scale) *Workload { return &Workload{Scale: sc} }
 
-// Name implements workload.Workload.
-func (w *Workload) Name() string { return "tpcb" }
+// Name implements workload.Workload. A hot-account skew names a distinct
+// workload — it draws a different request stream, so profiles, memo entries
+// and persistent-store keys must never collide with the uniform mix.
+func (w *Workload) Name() string {
+	if w.HotAccountFrac > 0 {
+		return fmt.Sprintf("tpcb-hot%02d", int(w.HotAccountFrac*100))
+	}
+	return "tpcb"
+}
 
 // QuickScale implements workload.Workload: a shrunken database for CI and
 // bench runs.
 func (w *Workload) QuickScale() workload.Workload {
 	return &Workload{
-		Scale:         Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400},
-		CrossShardPct: w.CrossShardPct,
+		Scale:          Scale{Branches: 10, TellersPerBranch: 5, AccountsPerBranch: 400},
+		CrossShardPct:  w.CrossShardPct,
+		HotAccountFrac: w.HotAccountFrac,
 	}
+}
+
+// validate fails fast on knob values that would silently produce a
+// nonsensical mix.
+func (w *Workload) validate() error {
+	if w.HotAccountFrac < 0 || w.HotAccountFrac >= 1 {
+		return fmt.Errorf("tpcb: HotAccountFrac = %v; must be in [0, 1) (0 = uniform)", w.HotAccountFrac)
+	}
+	return nil
 }
 
 // Partitioning implements workload.ShardedWorkload: TPC-B partitions on the
@@ -54,8 +78,20 @@ func (w *Workload) DataPages() int {
 
 // Load implements workload.Workload.
 func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
-	return Load(eng, w.Scale)
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	b, err := Load(eng, w.Scale)
+	if err != nil {
+		return nil, err
+	}
+	b.HotAccountFrac = w.HotAccountFrac
+	return b, nil
 }
+
+// RecordSchemas implements workload.RecordSchemas: the per-table field
+// schemas the record-layout pass groups.
+func (w *Workload) RecordSchemas() []workload.TableSchema { return Schemas() }
 
 // KindRoots implements workload.KindRoots: the local mix runs tpcb_txn, the
 // cross-shard variant runs the tpcb_dist model (sharded runs label it

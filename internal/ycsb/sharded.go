@@ -28,8 +28,11 @@ func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, err
 	if len(engs) < 2 {
 		return nil, fmt.Errorf("ycsb: LoadSharded needs >= 2 engines (got %d); use Load", len(engs))
 	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
 	readPct := w.ReadPct
-	if readPct <= 0 {
+	if readPct < 0 {
 		readPct = DefaultReadPct
 	}
 	sb := &Sharded{
@@ -46,6 +49,7 @@ func (w *Workload) LoadSharded(engs []*db.Engine) (workload.ShardedInstance, err
 		// Shards[0] is the shared generator; the others carry the knobs for
 		// consistency.
 		b.ShiftAfterGens, b.ShiftReadPct = w.ShiftAfterGens, w.ShiftReadPct
+		b.SetZipfTheta(w.ZipfTheta)
 		sb.Shards = append(sb.Shards, b)
 	}
 	return sb, nil

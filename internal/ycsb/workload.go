@@ -1,6 +1,8 @@
 package ycsb
 
 import (
+	"fmt"
+
 	"codelayout/internal/codegen"
 	"codelayout/internal/db"
 	"codelayout/internal/workload"
@@ -13,9 +15,17 @@ func init() {
 // Workload adapts the key-value bench to the workload seam.
 type Workload struct {
 	Scale Scale
-	// ReadPct is the point-read share of the mix; 0 selects DefaultReadPct
-	// (95).
+	// ReadPct is the point-read share of the mix in [0, 100]; 0 is a valid
+	// pure-update mix. Negative selects DefaultReadPct (95) — the
+	// constructors set it explicitly, so only a hand-built literal ever sees
+	// the sentinel.
 	ReadPct int
+	// ZipfTheta, in [0, 1), skews key picks with the YCSB Zipfian generator:
+	// popular keys are drawn far more often, scattered over the key space by
+	// a hash so the hot set does not cluster on adjacent pages. 0 keeps the
+	// classic uniform draw — and leaves runs bit-identical to a workload
+	// that never heard of skew.
+	ZipfTheta float64
 	// CrossShardPct sets the fraction of sharded-machine reads that become
 	// two-shard scatter reads. Point operations shard trivially, so the
 	// default is 0 — no cross-shard traffic, unlike the write workloads'
@@ -40,14 +50,31 @@ type Workload struct {
 func New() *Workload { return NewScaled(DefaultScale()) }
 
 // NewScaled returns the workload at an explicit scale.
-func NewScaled(sc Scale) *Workload { return &Workload{Scale: sc} }
+func NewScaled(sc Scale) *Workload { return &Workload{Scale: sc, ReadPct: DefaultReadPct} }
 
-// Name implements workload.Workload.
+// Name implements workload.Workload. A Zipfian skew names a distinct
+// workload — it draws a different request stream, so profiles, memo entries
+// and persistent-store keys must never collide with the uniform mix.
 func (w *Workload) Name() string {
 	if w.Label != "" {
 		return w.Label
 	}
+	if w.ZipfTheta > 0 {
+		return fmt.Sprintf("ycsb-zipf%02d", int(w.ZipfTheta*100))
+	}
 	return "ycsb"
+}
+
+// validate fails fast on knob values that would silently produce a
+// nonsensical mix.
+func (w *Workload) validate() error {
+	if w.ReadPct > 100 {
+		return fmt.Errorf("ycsb: ReadPct = %d; must be in [0, 100] (negative selects the default %d)", w.ReadPct, DefaultReadPct)
+	}
+	if w.ZipfTheta < 0 || w.ZipfTheta >= 1 {
+		return fmt.Errorf("ycsb: ZipfTheta = %v; must be in [0, 1) (0 = uniform)", w.ZipfTheta)
+	}
+	return nil
 }
 
 // QuickScale implements workload.Workload.
@@ -75,13 +102,21 @@ func (w *Workload) DataPages() int {
 
 // Load implements workload.Workload.
 func (w *Workload) Load(eng *db.Engine) (workload.Instance, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
 	b, err := Load(eng, w.Scale, w.ReadPct)
 	if err != nil {
 		return nil, err
 	}
 	b.ShiftAfterGens, b.ShiftReadPct = w.ShiftAfterGens, w.ShiftReadPct
+	b.SetZipfTheta(w.ZipfTheta)
 	return b, nil
 }
+
+// RecordSchemas implements workload.RecordSchemas: the per-table field
+// schemas the record-layout pass groups.
+func (w *Workload) RecordSchemas() []workload.TableSchema { return Schemas() }
 
 // KindRoots implements workload.KindRoots: point reads, read-modify-write
 // updates, and the sharded scatter read each have their own entry model.

@@ -12,6 +12,7 @@ package ycsb
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"codelayout/internal/db"
@@ -58,19 +59,53 @@ type Input struct {
 	MultiGet bool
 }
 
-// Row field helpers: fixed 100-byte rows (key, version, value, filler).
-func encodeRow(key, version uint64, value int64) []byte {
+// Schemas returns the per-table field schemas: key, version and value are
+// the live fields (version and value are what every operation actually
+// touches), the filler models the wide cold payload a real user row carries.
+func Schemas() []workload.TableSchema {
+	readers := []string{"read", "update", "mget"}
+	writers := []string{"update"}
+	return []workload.TableSchema{{
+		Table: "usertable",
+		Fields: []workload.FieldSchema{
+			{Name: "key", Width: 8},
+			{Name: "version", Width: 8, ReadBy: readers, WrittenBy: writers},
+			{Name: "value", Width: 8, ReadBy: readers, WrittenBy: writers},
+			{Name: "filler", Width: rowBytes - 24},
+		},
+	}}
+}
+
+// rowOffsets caches the resolved byte offsets of the live fields under
+// whatever layout (interleaved or grouped) the engine installed.
+type rowOffsets struct{ key, version, value int }
+
+func resolveOffsets(t *db.Table) rowOffsets {
+	return rowOffsets{
+		key:     t.FieldOffset("key"),
+		version: t.FieldOffset("version"),
+		value:   t.FieldOffset("value"),
+	}
+}
+
+func encodeRow(o rowOffsets, key, version uint64, value int64) []byte {
 	row := make([]byte, rowBytes)
-	binary.LittleEndian.PutUint64(row[0:], key)
-	binary.LittleEndian.PutUint64(row[8:], version)
-	binary.LittleEndian.PutUint64(row[16:], uint64(value))
+	binary.LittleEndian.PutUint64(row[o.key:], key)
+	binary.LittleEndian.PutUint64(row[o.version:], version)
+	binary.LittleEndian.PutUint64(row[o.value:], uint64(value))
 	return row
 }
 
-func rowVersion(row []byte) uint64       { return binary.LittleEndian.Uint64(row[8:]) }
-func rowSetVersion(row []byte, v uint64) { binary.LittleEndian.PutUint64(row[8:], v) }
-func rowValue(row []byte) int64          { return int64(binary.LittleEndian.Uint64(row[16:])) }
-func rowSetValue(row []byte, v int64)    { binary.LittleEndian.PutUint64(row[16:], uint64(v)) }
+func (o rowOffsets) rowVersion(row []byte) uint64 { return binary.LittleEndian.Uint64(row[o.version:]) }
+func (o rowOffsets) rowSetVersion(row []byte, v uint64) {
+	binary.LittleEndian.PutUint64(row[o.version:], v)
+}
+func (o rowOffsets) rowValue(row []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(row[o.value:]))
+}
+func (o rowOffsets) rowSetValue(row []byte, v int64) {
+	binary.LittleEndian.PutUint64(row[o.value:], uint64(v))
+}
 
 // delta is the deterministic increment the k-th update applies to a record:
 // the invariant checker replays it, so a record's value is fully determined
@@ -104,13 +139,24 @@ type Bench struct {
 	UserTable *db.Table
 	Users     *db.BTree
 
+	off rowOffsets
+
+	// Zipfian key-skew state (SetZipfTheta); zipfN == 0 means uniform keys.
+	zipfN     int
+	zipfTheta float64
+	zipfAlpha float64
+	zipfEta   float64
+	zipfZetan float64
+	zipfHalf  float64
+
 	// owned lists the record keys resident in this engine, ascending (every
 	// key for an unsharded load; one hash partition for a shard).
 	owned []uint64
 }
 
 // Load creates and populates the store through an uninstrumented session and
-// leaves it checkpointed, like tpcb.Load.
+// leaves it checkpointed, like tpcb.Load. A negative readPct selects
+// DefaultReadPct (95); 0 is a valid pure-update mix.
 func Load(eng *db.Engine, sc Scale, readPct int) (*Bench, error) {
 	return loadOwned(eng, sc, readPct, nil)
 }
@@ -121,20 +167,27 @@ func loadOwned(eng *db.Engine, sc Scale, readPct int, own func(key uint64) bool)
 	if sc.Records <= 0 {
 		return nil, fmt.Errorf("ycsb: bad scale %+v", sc)
 	}
-	if readPct <= 0 {
+	if readPct < 0 {
 		readPct = DefaultReadPct
+	}
+	if readPct > 100 {
+		return nil, fmt.Errorf("ycsb: ReadPct = %d; must be in [0, 100] (negative selects the default %d)", readPct, DefaultReadPct)
 	}
 	b := &Bench{Eng: eng, Scale: sc, ReadPct: readPct}
 	s := eng.NewSession(0, nil)
 	b.UserTable = eng.CreateTable("usertable")
 	b.Users = eng.CreateBTree("user_pk")
+	if err := b.UserTable.EnsureFields(Schemas()[0].Interleaved()); err != nil {
+		return nil, err
+	}
+	b.off = resolveOffsets(b.UserTable)
 	for k := 0; k < sc.Records; k++ {
 		key := uint64(k)
 		if own != nil && !own(key) {
 			continue
 		}
 		b.owned = append(b.owned, key)
-		rid := b.UserTable.Insert(s, encodeRow(key, 0, 0))
+		rid := b.UserTable.Insert(s, encodeRow(b.off, key, 0, 0))
 		if err := b.Users.Insert(s, key, rid.Pack()); err != nil {
 			return nil, err
 		}
@@ -144,16 +197,76 @@ func loadOwned(eng *db.Engine, sc Scale, readPct int, own func(key uint64) bool)
 	return b, nil
 }
 
-// Gen draws one request: ReadPct% point reads, the rest single-row updates,
-// keys uniform. With ShiftAfterGens set, requests past that count use
-// ShiftReadPct instead — the forced-drift mode.
+// SetZipfTheta switches key generation from uniform to the YCSB Zipfian
+// generator with parameter theta in (0, 1): popular keys are drawn far more
+// often, scattered over the key space by an FNV hash so the hot set does not
+// cluster on adjacent pages. theta <= 0 keeps the classic uniform draw — and
+// leaves runs bit-identical to a bench that never heard of skew.
+func (b *Bench) SetZipfTheta(theta float64) {
+	if theta <= 0 {
+		b.zipfN = 0
+		return
+	}
+	n := b.Scale.Records
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	b.zipfN = n
+	b.zipfTheta = theta
+	b.zipfZetan = zetan
+	b.zipfAlpha = 1 / (1 - theta)
+	b.zipfEta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	b.zipfHalf = math.Pow(0.5, theta)
+}
+
+// scatterKey spreads Zipfian ranks over the key space (FNV-1a), so the hot
+// records land on unrelated pages the way popular rows do in a real store.
+func scatterKey(rank, n int) uint64 {
+	h := uint64(14695981039346656037)
+	x := uint64(rank)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return h % uint64(n)
+}
+
+// genKey draws one key: uniform by default, Zipfian-with-scatter after
+// SetZipfTheta.
+func (b *Bench) genKey(r *rand.Rand) uint64 {
+	if b.zipfN == 0 {
+		return uint64(r.Intn(b.Scale.Records))
+	}
+	u := r.Float64()
+	uz := u * b.zipfZetan
+	var rank int
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+b.zipfHalf:
+		rank = 1
+	default:
+		rank = int(float64(b.zipfN) * math.Pow(b.zipfEta*u-b.zipfEta+1, b.zipfAlpha))
+		if rank >= b.zipfN {
+			rank = b.zipfN - 1
+		}
+	}
+	return scatterKey(rank, b.zipfN)
+}
+
+// Gen draws one request: ReadPct% point reads, the rest single-row updates.
+// Keys are uniform, or Zipfian after SetZipfTheta. With ShiftAfterGens set,
+// requests past that count use ShiftReadPct instead — the forced-drift mode.
 func (b *Bench) Gen(r *rand.Rand) Input {
 	b.gens++
 	pct := b.ReadPct
 	if b.ShiftAfterGens > 0 && b.gens > b.ShiftAfterGens {
 		pct = b.ShiftReadPct
 	}
-	in := Input{Key: uint64(r.Intn(b.Scale.Records))}
+	in := Input{Key: b.genKey(r)}
 	if r.Intn(100) >= pct {
 		in.Kind = Update
 	}
@@ -184,7 +297,9 @@ func (b *Bench) KindOf(in workload.Input) string {
 
 // runRead executes one point read: a B-tree search and a heap fetch with no
 // transaction, no locks and no log traffic — read-committed row reads under
-// page latches, the way a key-value GET executes.
+// page latches, the way a key-value GET executes. The fetch touches only the
+// live fields (version and value), so the data-cache cost depends on where
+// the record layout put them.
 func (b *Bench) runRead(s *db.Session, key uint64) {
 	s.PB.Enter("ycsb_read")
 	defer s.PB.Leave("ycsb_read")
@@ -193,7 +308,7 @@ func (b *Bench) runRead(s *db.Session, key uint64) {
 	if !ok {
 		panic(fmt.Sprintf("ycsb: record %d missing", key))
 	}
-	b.UserTable.Fetch(s, db.UnpackRID(packed))
+	b.UserTable.FetchFields(s, db.UnpackRID(packed), "version", "value")
 	s.PB.Data(s.ScratchAddr(256), 128, true) // materialized value
 }
 
@@ -211,12 +326,12 @@ func (b *Bench) runUpdate(s *db.Session, key uint64) {
 	}
 	rid := db.UnpackRID(packed)
 	s.LockX(db.LockKey(lockSpaceUser, key))
-	row := b.UserTable.Fetch(s, rid)
-	v := rowVersion(row) + 1
-	rowSetVersion(row, v)
-	rowSetValue(row, rowValue(row)+delta(key, v))
+	row := b.UserTable.FetchFields(s, rid, "version", "value")
+	v := b.off.rowVersion(row) + 1
+	b.off.rowSetVersion(row, v)
+	b.off.rowSetValue(row, b.off.rowValue(row)+delta(key, v))
 	s.PB.Data(s.ScratchAddr(768), 128, true)
-	b.UserTable.Update(s, rid, row)
+	b.UserTable.UpdateFields(s, rid, row, "version", "value")
 	s.Commit()
 }
 
@@ -228,7 +343,7 @@ func (b *Bench) ReadRecord(s *db.Session, key uint64) (version uint64, value int
 		panic(fmt.Sprintf("ycsb: record %d missing", key))
 	}
 	row := b.UserTable.Fetch(s, db.UnpackRID(packed))
-	return rowVersion(row), rowValue(row)
+	return b.off.rowVersion(row), b.off.rowValue(row)
 }
 
 // Check implements workload.Instance: every resident record's value must

@@ -22,7 +22,7 @@ func load(t *testing.T, sc ycsb.Scale, readPct int) (*ycsb.Bench, *db.Session) {
 }
 
 func TestLoadPopulates(t *testing.T) {
-	b, s := load(t, smallScale(), 0)
+	b, s := load(t, smallScale(), -1)
 	if got := b.Users.Count(s); got != 800 {
 		t.Fatalf("records = %d", got)
 	}
@@ -38,7 +38,7 @@ func TestLoadPopulates(t *testing.T) {
 }
 
 func TestMixKeepsInvariants(t *testing.T) {
-	b, s := load(t, smallScale(), 0)
+	b, s := load(t, smallScale(), -1)
 	r := rand.New(rand.NewSource(1))
 	reads, updates := 0, 0
 	for i := 0; i < 2000; i++ {
@@ -136,6 +136,125 @@ func TestLabelOverridesName(t *testing.T) {
 	q := w.QuickScale()
 	if q.Name() != "ycsb50" {
 		t.Fatalf("quick scale dropped the label: %q", q.Name())
+	}
+}
+
+// TestReadPctZeroIsPureUpdate is the regression test for the zero-value
+// conflation bug: ReadPct: 0 used to silently become DefaultReadPct (95),
+// making an explicit pure-update mix impossible. Now 0 is configurable and
+// only a negative value selects the default, on both the plain and sharded
+// paths.
+func TestReadPctZeroIsPureUpdate(t *testing.T) {
+	b, s := load(t, smallScale(), 0)
+	if b.ReadPct != 0 {
+		t.Fatalf("ReadPct = %d, want 0 (explicit zero must stick)", b.ReadPct)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		in := b.Gen(r)
+		if in.Kind != ycsb.Update {
+			t.Fatalf("gen %d produced a read under ReadPct=0", i)
+		}
+		b.RunTxn(s, in)
+	}
+	if err := b.Check(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// The workload seam: an explicit 0 survives Load, a negative value means
+	// "use the default", and out-of-range values fail fast.
+	w := ycsb.NewScaled(smallScale())
+	if w.ReadPct != ycsb.DefaultReadPct {
+		t.Fatalf("NewScaled ReadPct = %d, want the explicit default %d", w.ReadPct, ycsb.DefaultReadPct)
+	}
+	w.ReadPct = 0
+	eng := db.NewEngine(db.Config{BufferPoolPages: 4096})
+	inst, err := w.Load(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.(*ycsb.Bench).ReadPct; got != 0 {
+		t.Fatalf("loaded ReadPct = %d, want 0", got)
+	}
+	w.ReadPct = 120
+	if _, err := w.Load(db.NewEngine(db.Config{BufferPoolPages: 4096})); err == nil {
+		t.Fatal("ReadPct = 120 must fail Load")
+	}
+
+	// Sharded path: same sentinel semantics.
+	sw := ycsb.NewScaled(smallScale())
+	sw.ReadPct = 0
+	engs := []*db.Engine{
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 0}),
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 1}),
+	}
+	sinst, err := sw.LoadSharded(engs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sb := range sinst.(*ycsb.Sharded).Shards {
+		if sb.ReadPct != 0 {
+			t.Fatalf("shard %d ReadPct = %d, want 0", i, sb.ReadPct)
+		}
+	}
+	sw.ReadPct = -1
+	engs2 := []*db.Engine{
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 0}),
+		db.NewEngine(db.Config{BufferPoolPages: 4096, Shard: 1}),
+	}
+	sinst2, err := sw.LoadSharded(engs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sinst2.(*ycsb.Sharded).Shards[0].ReadPct; got != ycsb.DefaultReadPct {
+		t.Fatalf("sharded ReadPct = %d, want default %d for negative sentinel", got, ycsb.DefaultReadPct)
+	}
+}
+
+// TestZipfSkewConcentrates checks the Zipfian knob: theta > 0 draws a
+// visibly skewed key stream (top key far above the uniform expectation),
+// validation rejects out-of-range thetas, and the skewed variant names
+// itself distinctly so memo and store keys cannot collide with uniform runs.
+func TestZipfSkewConcentrates(t *testing.T) {
+	w := ycsb.NewScaled(smallScale())
+	w.ZipfTheta = 0.9
+	if w.Name() != "ycsb-zipf90" {
+		t.Fatalf("name = %q, want ycsb-zipf90", w.Name())
+	}
+	eng := db.NewEngine(db.Config{BufferPoolPages: 4096})
+	inst, err := w.Load(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := inst.(*ycsb.Bench)
+	r := rand.New(rand.NewSource(11))
+	counts := map[uint64]int{}
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		counts[b.Gen(r).Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Uniform expectation over 800 keys is ~6 draws; a 0.9-theta Zipfian's
+	// top key should be an order of magnitude above that.
+	if max < 60 {
+		t.Fatalf("top key drawn %d times in %d draws; Zipfian skew missing", max, draws)
+	}
+	s := eng.NewSession(1, nil)
+	for i := 0; i < 500; i++ {
+		b.RunTxn(s, b.Gen(r))
+	}
+	if err := b.Check(s); err != nil {
+		t.Fatal(err)
+	}
+
+	w.ZipfTheta = 1.0
+	if _, err := w.Load(db.NewEngine(db.Config{BufferPoolPages: 4096})); err == nil {
+		t.Fatal("ZipfTheta = 1.0 must fail Load")
 	}
 }
 
